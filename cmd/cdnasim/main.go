@@ -1,0 +1,124 @@
+// Command cdnasim runs a single CDNA/Xen/native experiment and prints
+// the measured row: throughput, the six-column execution profile, and
+// interrupt rates — the same columns as the paper's Tables 2–4.
+//
+// Examples:
+//
+//	cdnasim -mode cdna -dir tx
+//	cdnasim -mode xen -nic intel -dir rx -guests 8
+//	cdnasim -mode native -nics 6 -dir tx
+//	cdnasim -mode cdna -protection off -dir tx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdna/internal/bench"
+	"cdna/internal/core"
+	"cdna/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "cdna", "I/O architecture: native | xen | cdna")
+	nic := flag.String("nic", "", "NIC model: intel | ricenic (default: intel for xen/native, ricenic for cdna)")
+	dir := flag.String("dir", "tx", "traffic direction: tx | rx | both")
+	guests := flag.Int("guests", 1, "number of guest domains")
+	nics := flag.Int("nics", 2, "number of physical NICs")
+	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
+	window := flag.Int("window", 48, "transport window in segments")
+	protection := flag.String("protection", "hypercall", "CDNA protection: hypercall | iommu | off")
+	duration := flag.Float64("duration", 1.0, "measurement window, simulated seconds")
+	warmup := flag.Float64("warmup", 0.3, "warmup, simulated seconds")
+	verbose := flag.Bool("v", false, "print extra diagnostics")
+	trace := flag.Int("trace", 0, "print the last N simulator events")
+	flag.Parse()
+
+	var m bench.Mode
+	switch *mode {
+	case "native":
+		m = bench.ModeNative
+	case "xen":
+		m = bench.ModeXen
+	case "cdna":
+		m = bench.ModeCDNA
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	k := bench.NICIntel
+	if m == bench.ModeCDNA {
+		k = bench.NICRice
+	}
+	switch *nic {
+	case "":
+	case "intel":
+		k = bench.NICIntel
+	case "ricenic":
+		k = bench.NICRice
+	default:
+		fmt.Fprintf(os.Stderr, "unknown nic %q\n", *nic)
+		os.Exit(2)
+	}
+	var d bench.Direction
+	switch *dir {
+	case "tx":
+		d = bench.Tx
+	case "rx":
+		d = bench.Rx
+	case "both":
+		d = bench.Both
+	default:
+		fmt.Fprintf(os.Stderr, "unknown direction %q\n", *dir)
+		os.Exit(2)
+	}
+	var p core.Mode
+	switch *protection {
+	case "hypercall":
+		p = core.ModeHypercall
+	case "iommu":
+		p = core.ModeIOMMU
+	case "off":
+		p = core.ModeOff
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protection %q\n", *protection)
+		os.Exit(2)
+	}
+
+	cfg := bench.DefaultConfig(m, k, d)
+	cfg.Guests = *guests
+	cfg.NICs = *nics
+	cfg.Window = *window
+	cfg.Protection = p
+	if *conns > 0 {
+		cfg.ConnsPerGuestPerNIC = *conns
+	} else {
+		cfg.ConnsPerGuestPerNIC = 0 // balanced default chosen by Run
+	}
+	cfg.Duration = sim.Time(*duration * float64(sim.Second))
+	cfg.Warmup = sim.Time(*warmup * float64(sim.Second))
+
+	var res bench.Result
+	var err error
+	if *trace > 0 {
+		var machine *bench.Machine
+		machine, res, err = bench.RunTraced(cfg, *trace)
+		if err == nil {
+			for _, e := range machine.Tracer.Last(*trace) {
+				fmt.Printf("%12v  %s\n", e.At, e.Name)
+			}
+		}
+	} else {
+		res, err = bench.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	if *verbose {
+		fmt.Printf("packets/s: %.0f  phys-irq/s: %.0f  drops: %d  retransmits: %d  fairness: %.3f  faults: %d  events: %d\n",
+			res.PktPerSec, res.PhysIRQPerSec, res.Drops, res.Retransmits, res.Fairness, res.Faults, res.Events)
+	}
+}

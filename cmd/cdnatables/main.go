@@ -1,0 +1,120 @@
+// Command cdnatables regenerates every table and figure of the paper's
+// evaluation (§5) plus the ablations DESIGN.md calls out, printing each
+// as an aligned text table.
+//
+// Usage:
+//
+//	cdnatables              # everything, full-length runs
+//	cdnatables -quick       # shorter measurement windows
+//	cdnatables -table 2     # only Table 2
+//	cdnatables -figure 3    # only Figure 3
+//	cdnatables -ablations   # only the ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdna/internal/bench"
+	"cdna/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short measurement windows")
+	table := flag.Int("table", 0, "run only this table (1-4)")
+	figure := flag.Int("figure", 0, "run only this figure (3-4)")
+	ablations := flag.Bool("ablations", false, "run only the ablation studies")
+	flag.Parse()
+
+	opts := bench.Full()
+	if *quick {
+		opts = bench.Quick()
+	}
+
+	type job struct {
+		title string
+		run   func() (*stats.Table, error)
+	}
+	var jobs []job
+	add := func(title string, fn func() (*stats.Table, error)) {
+		jobs = append(jobs, job{title, fn})
+	}
+
+	wantTables := *table == 0 && *figure == 0 && !*ablations
+	if wantTables || *table == 1 {
+		add("Table 1: native Linux vs Xen guest (paper: native 5126/3629, Xen 1602/1112 Mb/s)", func() (*stats.Table, error) {
+			t, _, err := bench.Table1(opts)
+			return t, err
+		})
+	}
+	if wantTables || *table == 2 {
+		add("Table 2: single-guest transmit, 2 NICs (paper: 1602 / 1674 / 1867 Mb/s)", func() (*stats.Table, error) {
+			t, _, err := bench.Table2(opts)
+			return t, err
+		})
+	}
+	if wantTables || *table == 3 {
+		add("Table 3: single-guest receive, 2 NICs (paper: 1112 / 1075 / 1874 Mb/s)", func() (*stats.Table, error) {
+			t, _, err := bench.Table3(opts)
+			return t, err
+		})
+	}
+	if wantTables || *table == 4 {
+		add("Table 4: CDNA with and without DMA memory protection (paper: hyp 10.2->1.9%, idle +9.6)", func() (*stats.Table, error) {
+			t, _, err := bench.Table4(opts)
+			return t, err
+		})
+	}
+	if wantTables || *figure == 3 {
+		add("Figure 3: transmit throughput vs guests (paper: Xen 1602->891, CDNA ~1867 flat)", func() (*stats.Table, error) {
+			t, _, err := bench.Figure3(opts, bench.FigureGuests)
+			return t, err
+		})
+	}
+	if wantTables || *figure == 4 {
+		add("Figure 4: receive throughput vs guests (paper: Xen 1112->558, CDNA ~1874 flat)", func() (*stats.Table, error) {
+			t, _, err := bench.Figure4(opts, bench.FigureGuests)
+			return t, err
+		})
+	}
+	if wantTables || *ablations {
+		add("Ablation A1 (§3.2): interrupt bit vectors vs per-context interrupts, 8 guests", func() (*stats.Table, error) {
+			t, _, err := bench.AblationInterrupts(opts, 8)
+			return t, err
+		})
+		add("Ablation A2 (§3.3): descriptors per enqueue hypercall", func() (*stats.Table, error) {
+			t, _, err := bench.AblationBatching(opts, []int{1, 2, 4, 8, 16, 0})
+			return t, err
+		})
+		add("Ablation A4 (§5.3): protection via hypercall vs IOMMU vs disabled", func() (*stats.Table, error) {
+			t, _, err := bench.AblationIOMMU(opts)
+			return t, err
+		})
+		add("Ablation A5 (§5.1): transmit interrupt coalescing threshold", func() (*stats.Table, error) {
+			t, _, err := bench.AblationCoalescing(opts, []int{2, 4, 8, 12, 24, 48})
+			return t, err
+		})
+		add("Extension: full-duplex traffic (beyond the paper's unidirectional runs)", func() (*stats.Table, error) {
+			t, _, err := bench.ExtensionDuplex(opts)
+			return t, err
+		})
+		add("Extension (§5.4 conjecture): CDNA with four NICs vs guest count", func() (*stats.Table, error) {
+			t, _, err := bench.ExtensionMoreNICs(opts, []int{1, 2, 4, 8, 16, 24})
+			return t, err
+		})
+	}
+
+	for _, j := range jobs {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", j.title)
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(completed in %.1fs wall clock)\n\n", time.Since(start).Seconds())
+	}
+}

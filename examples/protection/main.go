@@ -1,0 +1,102 @@
+// protection demonstrates CDNA's DMA memory protection (§3.3) against a
+// buggy or malicious guest driver, using two guests sharing one CDNA
+// NIC:
+//
+//  1. the attacker asks the hypervisor to enqueue a DMA descriptor
+//     pointing at the victim's memory — rejected at validation;
+//  2. the attacker forges its mailbox producer index to replay a stale
+//     descriptor — the NIC's sequence-number check fires a protection
+//     fault and the hypervisor revokes the context, while the victim's
+//     traffic keeps flowing;
+//  3. the same replay with protection disabled goes entirely
+//     undetected — the NIC transmits whatever the stale descriptor
+//     points at, which is why Table 4's "disabled" row is only an upper
+//     bound, not a deployable configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdna/internal/bench"
+	"cdna/internal/core"
+	"cdna/internal/sim"
+)
+
+func main() {
+	fmt.Println("--- protection enabled (hypercall validation + sequence numbers) ---")
+	protected()
+	fmt.Println()
+	fmt.Println("--- protection disabled (Table 4 upper bound) ---")
+	unprotected()
+}
+
+func build(prot core.Mode) (*bench.Machine, bench.Config) {
+	cfg := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
+	cfg.Guests = 2
+	cfg.NICs = 1
+	cfg.ConnsPerGuestPerNIC = 4
+	cfg.Protection = prot
+	m, err := bench.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range m.Conns.Conns {
+		c.Start()
+	}
+	return m, cfg
+}
+
+func protected() {
+	m, _ := build(core.ModeHypercall)
+	attacker := m.Drivers[0] // guest1's driver
+	victimDom := m.Hyp.Domains()[2]
+	m.Eng.Run(100 * sim.Millisecond)
+
+	// Attack 1: enqueue a descriptor referencing the victim's memory.
+	victimPage := m.Mem.AllocOne(victimDom.ID)
+	attacker.AttackForeignEnqueue(victimPage.Base(), func(err error) {
+		fmt.Printf("attack 1 (cross-domain DMA descriptor): hypervisor says %q\n", err)
+	})
+	m.Eng.Run(110 * sim.Millisecond)
+
+	// Attack 2: forge the mailbox producer index past the valid
+	// descriptors, exposing a stale ring entry.
+	fmt.Println("attack 2 (stale-descriptor replay via forged producer index):")
+	attacker.AttackStaleProducer(4)
+	m.Eng.Run(150 * sim.Millisecond)
+	fmt.Printf("  NIC protection faults reported: %d\n", m.RiceNICs[0].E.Faults.Total())
+	fmt.Printf("  hypervisor faults handled:      %d\n", m.Hyp.Faults.Total())
+	fmt.Printf("  attacker context revoked:       %v (active contexts left: %d)\n",
+		attacker.Ctx.Faulted, m.CtxMgrs[0].Assigned())
+
+	// The victim's traffic keeps flowing after the revocation.
+	m.Conns.StartWindow()
+	m.Eng.Run(350 * sim.Millisecond)
+	var attackerBytes, victimBytes uint64
+	for i, c := range m.Conns.Conns {
+		if i < 4 {
+			attackerBytes += c.Delivered.Window()
+		} else {
+			victimBytes += c.Delivered.Window()
+		}
+	}
+	fmt.Printf("  post-revocation delivery: attacker %d bytes, victim %d bytes\n",
+		attackerBytes, victimBytes)
+}
+
+func unprotected() {
+	m, _ := build(core.ModeOff)
+	attacker := m.Drivers[0]
+	m.Eng.Run(100 * sim.Millisecond)
+
+	sent := m.RiceNICs[0].E.TxPackets.Total()
+	fmt.Println("stale-descriptor replay with no sequence checking:")
+	attacker.AttackStaleProducer(4)
+	m.Eng.Run(150 * sim.Millisecond)
+	fmt.Printf("  NIC protection faults: %d (nothing detects the replay)\n", m.RiceNICs[0].E.Faults.Total())
+	fmt.Printf("  frames transmitted from stale descriptors: %d\n",
+		m.RiceNICs[0].E.TxPackets.Total()-sent)
+	fmt.Println("  the NIC happily DMA-read memory the guest no longer validly owns —")
+	fmt.Println("  with protection enabled this raised a fault and revoked the context.")
+}

@@ -1,0 +1,42 @@
+// scaling regenerates the paper's Figures 3 and 4: aggregate transmit
+// and receive throughput for Xen and CDNA as the number of guest
+// domains grows from 1 to 24, with CDNA's idle time annotated — the
+// paper's scalability argument in one run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cdna/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "short measurement windows")
+	flag.Parse()
+	opts := bench.Full()
+	if *quick {
+		opts = bench.Quick()
+	}
+	for _, fig := range []struct {
+		name string
+		run  func(bench.Opts, []int) (t interface{ String() string }, pts []bench.FigurePoint, err error)
+	}{
+		{"Figure 3 (transmit)", func(o bench.Opts, g []int) (interface{ String() string }, []bench.FigurePoint, error) {
+			return bench.Figure3(o, g)
+		}},
+		{"Figure 4 (receive)", func(o bench.Opts, g []int) (interface{ String() string }, []bench.FigurePoint, error) {
+			return bench.Figure4(o, g)
+		}},
+	} {
+		table, pts, err := fig.run(opts, bench.FigureGuests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n%s", fig.name, table.String())
+		last := pts[len(pts)-1]
+		fmt.Printf("at %d guests CDNA sustains %.2fx Xen's bandwidth (paper: 2.1x tx, 3.3x rx)\n\n",
+			last.Guests, last.CDNA.Mbps/last.Xen.Mbps)
+	}
+}

@@ -1,0 +1,39 @@
+// xenvscdna runs the paper's central comparison head to head: a single
+// guest doing network I/O through Xen's software-virtualized path versus
+// the same guest with concurrent direct network access, in both
+// directions, and prints where the CPU time went (Tables 2 and 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdna/internal/bench"
+)
+
+func main() {
+	opts := bench.Opts{Warmup: bench.Full().Warmup, Duration: bench.Full().Duration}
+	for _, dir := range []bench.Direction{bench.Tx, bench.Rx} {
+		xen, err := bench.Run(withOpts(bench.DefaultConfig(bench.ModeXen, bench.NICIntel, dir), opts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cdna, err := bench.Run(withOpts(bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, dir), opts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %v ===\n", dir)
+		fmt.Printf("  Xen  : %5.0f Mb/s  %s\n", xen.Mbps, xen.Profile)
+		fmt.Printf("  CDNA : %5.0f Mb/s  %s\n", cdna.Mbps, cdna.Profile)
+		fmt.Printf("  CDNA wins by %.2fx while leaving %.0f%% of the CPU idle;\n",
+			cdna.Mbps/xen.Mbps, 100*cdna.Profile.Idle)
+		fmt.Printf("  the eliminated driver-domain time was %.1f%% of the machine.\n\n",
+			100*(xen.Profile.DriverOS+xen.Profile.DriverUser))
+	}
+}
+
+func withOpts(cfg bench.Config, o bench.Opts) bench.Config {
+	cfg.Warmup = o.Warmup
+	cfg.Duration = o.Duration
+	return cfg
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+
+	"cdna/internal/core"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Config describes one experiment.
+type Config struct {
+	Mode       Mode
+	NIC        NICKind
+	Guests     int
+	NICs       int
+	Dir        Direction
+	Protection core.Mode // CDNA only
+
+	ConnsPerGuestPerNIC int
+	Window              int
+
+	// MaxEnqueueBatch caps descriptors per CDNA enqueue (ablation A2;
+	// 0 = unlimited).
+	MaxEnqueueBatch int
+	// DirectPerContextIRQ switches the CDNA NIC to one physical
+	// interrupt per context (ablation A1).
+	DirectPerContextIRQ bool
+	// TxCoalescePkts overrides the CDNA NIC's transmit interrupt
+	// coalescing threshold (ablation A5; 0 = calibrated default).
+	TxCoalescePkts int
+
+	Warmup   sim.Time
+	Duration sim.Time
+
+	Cal Calibration
+}
+
+// Name returns a compact identifier for logs and tables.
+func (c Config) Name() string {
+	return fmt.Sprintf("%v/%v/%dg/%dnic/%v", c.Mode, c.NIC, c.Guests, c.NICs, c.Dir)
+}
+
+// DefaultConfig returns the standard 2-NIC single-guest setup of
+// Tables 2–4, in the given mode and direction.
+func DefaultConfig(mode Mode, nic NICKind, dir Direction) Config {
+	cfg := Config{
+		Mode:       mode,
+		NIC:        nic,
+		Guests:     1,
+		NICs:       2,
+		Dir:        dir,
+		Protection: core.ModeHypercall,
+		Window:     48,
+		Warmup:     300 * sim.Millisecond,
+		Duration:   sim.Second,
+		Cal:        Default(),
+	}
+	cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+	return cfg
+}
+
+// connsFor balances a fixed total connection count per NIC over the
+// guests, as the paper's benchmark tool does (§5.1).
+func connsFor(guests int) int {
+	const totalPerNIC = 12
+	c := totalPerNIC / guests
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Result is one experiment's measurements, matching the columns of
+// Tables 2–4.
+type Result struct {
+	Config Config
+
+	Mbps    float64
+	Profile stats.Profile
+
+	DriverIntrPerSec float64 // interrupts delivered to the driver domain
+	GuestIntrPerSec  float64 // interrupts delivered to guests (aggregate)
+
+	PktPerSec     float64
+	PhysIRQPerSec float64 // physical interrupts fielded by the hypervisor
+	LatencyP50us  float64 // median end-to-end segment latency
+	LatencyP90us  float64
+	Drops         uint64 // NIC-level receive drops
+	Retransmits   uint64
+	Fairness      float64
+	Faults        uint64 // CDNA protection faults (should be 0 under load)
+	Events        uint64 // simulator events executed (diagnostics)
+}
+
+// String formats the result as a row like the paper's tables.
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s %7.0f Mb/s | %s | drv %5.0f/s gst %6.0f/s",
+		r.Config.Name(), r.Mbps, r.Profile, r.DriverIntrPerSec, r.GuestIntrPerSec)
+}
+
+// Run builds the machine, runs warmup plus the measurement window, and
+// collects the result.
+func Run(cfg Config) (Result, error) {
+	_, res, err := runMachine(cfg, 0)
+	return res, err
+}
+
+// RunTraced is Run with the simulator's flight recorder attached: the
+// returned machine's Tracer holds the last `traceN` fired events.
+func RunTraced(cfg Config, traceN int) (*Machine, Result, error) {
+	return runMachine(cfg, traceN)
+}
+
+func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
+	if cfg.ConnsPerGuestPerNIC <= 0 {
+		cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+	}
+	m, err := Build(cfg)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if traceN > 0 {
+		m.Tracer = m.Eng.Attach(traceN)
+	}
+	// Stagger connection starts over the first part of warmup so the
+	// initial windows do not arrive as one synchronized burst.
+	stagger := cfg.Warmup / 3
+	if stagger > 50*sim.Millisecond {
+		stagger = 50 * sim.Millisecond
+	}
+	for i, c := range m.Conns.Conns {
+		c := c
+		// Offset past driver initialization (initial receive-buffer
+		// posting), then spread the starts.
+		at := 2*sim.Millisecond + sim.Time(i)*stagger/sim.Time(len(m.Conns.Conns))
+		m.Eng.At(at, "conn.start", c.Start)
+	}
+	m.Eng.Run(cfg.Warmup)
+
+	// Open the measurement window.
+	m.CPU.StartWindow()
+	m.Conns.StartWindow()
+	if m.Hyp != nil {
+		m.Hyp.StartWindow()
+	}
+	for _, n := range m.IntelNICs {
+		n.E.StartWindow()
+		n.Coal.Fires.StartWindow()
+	}
+	for _, n := range m.RiceNICs {
+		n.E.StartWindow()
+		n.Coal.Fires.StartWindow()
+	}
+
+	m.Eng.Run(cfg.Warmup + cfg.Duration)
+	m.CPU.EndWindow()
+
+	res := Result{
+		Config:      cfg,
+		Mbps:        m.Conns.DeliveredMbps(cfg.Duration),
+		Profile:     m.CPU.Profile(),
+		Retransmits: m.Conns.Retransmits(),
+		Fairness:    m.Conns.FairnessIndex(),
+		Events:      m.Eng.Fired(),
+	}
+	res.PktPerSec = float64(m.Conns.DeliveredBytes()) / 1448 / cfg.Duration.Seconds()
+	res.LatencyP50us = m.Conns.LatencyQuantile(0.5)
+	res.LatencyP90us = m.Conns.LatencyQuantile(0.9)
+	if m.Hyp != nil {
+		res.PhysIRQPerSec = m.Hyp.PhysIRQs.Rate(cfg.Duration)
+	}
+
+	for _, n := range m.IntelNICs {
+		res.Drops += n.E.RxDrops.Window()
+	}
+	for _, n := range m.RiceNICs {
+		res.Drops += n.E.RxDrops.Window()
+		res.Faults += n.E.Faults.Window()
+	}
+
+	switch cfg.Mode {
+	case ModeNative:
+		// Physical interrupts go straight to the host OS; report them in
+		// the guest column.
+		var fires uint64
+		for _, n := range m.IntelNICs {
+			fires += n.Coal.Fires.Window()
+		}
+		res.GuestIntrPerSec = float64(fires) / cfg.Duration.Seconds()
+	default:
+		if cfg.Mode == ModeXen {
+			// All physical NIC interrupts route to the driver domain.
+			res.DriverIntrPerSec = m.Hyp.PhysIRQs.Rate(cfg.Duration)
+		} else {
+			res.DriverIntrPerSec = m.dom0.Virqs.Rate(cfg.Duration)
+		}
+		var g float64
+		for _, d := range m.guestDoms {
+			g += d.Virqs.Rate(cfg.Duration)
+		}
+		res.GuestIntrPerSec = g
+	}
+	return m, res, nil
+}

@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"fmt"
+
+	"cdna/internal/backend"
+	"cdna/internal/bus"
+	"cdna/internal/core"
+	"cdna/internal/cpu"
+	"cdna/internal/ether"
+	"cdna/internal/guest"
+	"cdna/internal/intelnic"
+	"cdna/internal/mem"
+	"cdna/internal/ricenic"
+	"cdna/internal/ring"
+	"cdna/internal/sim"
+	"cdna/internal/transport"
+	"cdna/internal/xen"
+)
+
+// Mode selects the I/O virtualization architecture.
+type Mode int
+
+// Machine modes.
+const (
+	ModeNative Mode = iota // no VMM: host OS drives the NICs (Table 1)
+	ModeXen                // Xen software I/O virtualization (§2)
+	ModeCDNA               // concurrent direct network access (§3)
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "Native"
+	case ModeXen:
+		return "Xen"
+	case ModeCDNA:
+		return "CDNA"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// NICKind selects the device model.
+type NICKind int
+
+// NIC kinds.
+const (
+	NICIntel NICKind = iota // conventional Intel Pro/1000-style NIC
+	NICRice                 // CDNA-capable RiceNIC
+)
+
+func (k NICKind) String() string {
+	if k == NICIntel {
+		return "Intel"
+	}
+	return "RiceNIC"
+}
+
+// Direction selects the traffic direction under test.
+type Direction int
+
+// Traffic directions.
+const (
+	Tx Direction = iota // guests transmit to the peer
+	Rx                  // guests receive from the peer
+	// Both runs full-duplex traffic — an extension beyond the paper's
+	// unidirectional evaluation (each guest gets a transmit and a
+	// receive connection set per NIC).
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Tx:
+		return "transmit"
+	case Rx:
+		return "receive"
+	case Both:
+		return "duplex"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Machine is an assembled testbed: the system under test, its NICs, the
+// external peer, and the benchmark connections.
+type Machine struct {
+	Eng   *sim.Engine
+	CPU   *cpu.CPU
+	Mem   *mem.Memory
+	Hyp   *xen.Hypervisor // nil in native mode
+	Conns transport.Group
+
+	IntelNICs []*intelnic.NIC
+	RiceNICs  []*ricenic.NIC
+	CtxMgrs   []*core.ContextManager // per RiceNIC
+	Drivers   []*guest.CDNADriver    // all CDNA drivers (ordered by guest, NIC)
+
+	guestDoms []*xen.Domain
+	dom0      *xen.Domain
+
+	// Tracer is attached by RunTraced (cdnasim -trace).
+	Tracer *sim.Tracer
+}
+
+// peer is the traffic generator/sink machine on the far end of every
+// link. The paper tuned it to never be the bottleneck; here it has no
+// CPU model at all.
+type peer struct {
+	outs []*ether.Pipe
+	macs []ether.MAC
+}
+
+func (p *peer) port(i int) ether.Port {
+	return ether.PortFunc(func(f *ether.Frame) {
+		if seg, ok := f.Payload.(*transport.Segment); ok {
+			transport.Dispatch(seg)
+		}
+	})
+}
+
+// sender returns a transport transmit function pushing frames onto link
+// i toward dst.
+func (p *peer) sender(i int, dst ether.MAC) func(*transport.Segment) {
+	out := p.outs[i]
+	src := p.macs[i]
+	return func(seg *transport.Segment) {
+		out.Send(&ether.Frame{Src: src, Dst: dst, Size: seg.FrameBytes(), Payload: seg})
+	}
+}
+
+// makeRings allocates a tx/rx descriptor ring pair in the domain's
+// memory.
+func makeRings(m *mem.Memory, dom mem.DomID, name string) (*ring.Ring, *ring.Ring, error) {
+	pages := (guest.RingEntries*ring.DefaultLayout.Size + mem.PageSize - 1) / mem.PageSize
+	tx, err := ring.New(name+".tx", ring.DefaultLayout, m.Alloc(dom, pages)[0].Base(), guest.RingEntries)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := ring.New(name+".rx", ring.DefaultLayout, m.Alloc(dom, pages)[0].Base(), guest.RingEntries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, rx, nil
+}
+
+// startBackground models housekeeping daemons in a domain.
+func startBackground(eng *sim.Engine, d *cpu.Domain, period, kernel, user sim.Time) {
+	var tick func()
+	tick = func() {
+		d.Exec(cpu.CatKernel, kernel, "bg.kernel", nil)
+		d.Exec(cpu.CatUser, user, "bg.user", nil)
+		eng.After(period, "bg", tick)
+	}
+	eng.After(period, "bg", tick)
+}
+
+// Build assembles a machine for the configuration.
+func Build(cfg Config) (*Machine, error) {
+	cal := cfg.Cal
+	eng := sim.New()
+	m := &Machine{
+		Eng: eng,
+		CPU: cpu.New(eng, cal.CPU),
+		Mem: mem.New(),
+	}
+	pr := &peer{}
+
+	// Links and peer ports, one per NIC.
+	newLink := func() (*ether.Pipe, *ether.Pipe) {
+		l := ether.NewDuplex(eng, 1.0, 500*sim.Nanosecond)
+		i := len(pr.outs)
+		pr.outs = append(pr.outs, l.BtoA)
+		pr.macs = append(pr.macs, ether.MakeMAC(200, i))
+		l.AtoB.Connect(pr.port(i))
+		return l.AtoB, l.BtoA // (NIC out, peer out)
+	}
+
+	switch cfg.Mode {
+	case ModeNative:
+		if err := buildNative(cfg, m, pr, newLink); err != nil {
+			return nil, err
+		}
+	case ModeXen:
+		if err := buildXen(cfg, m, pr, newLink); err != nil {
+			return nil, err
+		}
+	case ModeCDNA:
+		if err := buildCDNA(cfg, m, pr, newLink); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown mode %v", cfg.Mode)
+	}
+	return m, nil
+}
+
+// wireConns creates the benchmark connections between a guest stack's
+// device for NIC i and the peer's port i.
+func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, dev guest.NetDevice) {
+	for c := 0; c < cfg.ConnsPerGuestPerNIC; c++ {
+		dirs := []Direction{cfg.Dir}
+		if cfg.Dir == Both {
+			dirs = []Direction{Tx, Rx}
+		}
+		for _, dir := range dirs {
+			conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
+			conn.RTO = 200 * sim.Millisecond
+			if dir == Tx {
+				conn.AttachSender(st.Sender(dev, pr.macs[nicIdx]))
+				conn.AttachReceiver(pr.sender(nicIdx, dev.MAC()))
+			} else {
+				conn.AttachSender(pr.sender(nicIdx, dev.MAC()))
+				conn.AttachReceiver(st.Sender(dev, pr.macs[nicIdx]))
+			}
+			m.Conns.Add(conn)
+		}
+	}
+}
+
+func buildNative(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+	cal := cfg.Cal
+	hostDom := m.CPU.NewDomain("host", cpu.KindGuest)
+	const hostID = mem.Dom0 + 1
+	st := guest.NewStack(hostDom, cal.StackNative)
+	for i := 0; i < cfg.NICs; i++ {
+		nicOut, _ := newLink()
+		b := bus.New(m.Eng, cal.Bus)
+		n := intelnic.New(m.Eng, b, m.Mem, nicOut, cal.Intel, ether.MakeMAC(1, i))
+		pr.outs[i].Connect(ether.PortFunc(n.Receive))
+		drv, err := guest.NewNativeDriver(hostDom, hostID, m.Mem, n, cal.NativeDrv)
+		if err != nil {
+			return err
+		}
+		// Native: the NIC interrupts the host OS directly.
+		n.SetIRQ(drv.OnInterrupt)
+		drv.Start()
+		st.AttachDevice(drv)
+		m.IntelNICs = append(m.IntelNICs, n)
+		m.wireConns(cfg, pr, st, i, drv)
+	}
+	return nil
+}
+
+func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+	cal := cfg.Cal
+	// Xen trusts the driver domain (§2.2): the only rings on a CDNA NIC
+	// in this topology belong to dom0 and are not validated.
+	hyp := xen.New(m.Eng, m.CPU, m.Mem, cal.Hyp, core.ModeOff)
+	m.Hyp = hyp
+	dom0 := hyp.NewDomain("dom0", cpu.KindDriver)
+	m.dom0 = dom0
+	startBackground(m.Eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
+
+	guests := make([]*xen.Domain, cfg.Guests)
+	stacks := make([]*guest.Stack, cfg.Guests)
+	stackCosts := cal.StackTSO
+	if cfg.NIC == NICRice {
+		stackCosts = cal.StackNoTSO // RiceNIC lacks TSO (§5.1)
+	}
+	for g := range guests {
+		guests[g] = hyp.NewDomain(fmt.Sprintf("guest%d", g+1), cpu.KindGuest)
+		stacks[g] = guest.NewStack(guests[g].VCPU, stackCosts)
+	}
+	m.guestDoms = guests
+
+	for i := 0; i < cfg.NICs; i++ {
+		nicOut, _ := newLink()
+		b := bus.New(m.Eng, cal.Bus)
+
+		// Physical device owned by the driver domain.
+		var phys guest.NetDevice
+		switch cfg.NIC {
+		case NICIntel:
+			n := intelnic.New(m.Eng, b, m.Mem, nicOut, cal.Intel, ether.MakeMAC(1, i))
+			pr.outs[i].Connect(ether.PortFunc(n.Receive))
+			drv, err := guest.NewNativeDriver(dom0.VCPU, dom0.ID, m.Mem, n, cal.NativeDrv)
+			if err != nil {
+				return err
+			}
+			ch := hyp.NewChannel(dom0, "nic", drv.OnInterrupt)
+			irq := hyp.NewIRQ(fmt.Sprintf("intel%d", i), ch.Notify)
+			n.SetIRQ(irq.Raise)
+			drv.Start()
+			m.IntelNICs = append(m.IntelNICs, n)
+			phys = drv
+		case NICRice:
+			// RiceNIC under software virtualization: one context assigned
+			// to the driver domain, none to guests (§5.2). The driver
+			// domain is trusted (§2.2), so its enqueues skip hypervisor
+			// validation, exactly like a conventional NIC's driver.
+			rice := cal.Rice
+			rice.SeqCheck = false
+			n, err := ricenic.New(m.Eng, b, m.Mem, nicOut, rice)
+			if err != nil {
+				return err
+			}
+			pr.outs[i].Connect(ether.PortFunc(n.Receive))
+			cm := core.NewContextManager(hyp.Prot)
+			cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
+			tx, rx, err := makeRings(m.Mem, dom0.ID, fmt.Sprintf("dom0.nic%d", i))
+			if err != nil {
+				return err
+			}
+			ctx, err := cm.Assign(dom0.ID, ether.MakeMAC(1, i), tx, rx)
+			if err != nil {
+				return err
+			}
+			n.SetPromiscuous(ctx.ID)
+			drv := guest.NewCDNADriver(dom0, m.Mem, n, ctx, cal.CDNADrv, hyp.Prot, true, cal.DirectPerDesc)
+			ch := hyp.NewChannel(dom0, "cdna", drv.OnVirq)
+			channels := map[int]*xen.EventChannel{ctx.ID: ch}
+			irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+			n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
+			drv.Start()
+			m.RiceNICs = append(m.RiceNICs, n)
+			m.CtxMgrs = append(m.CtxMgrs, cm)
+			m.Drivers = append(m.Drivers, drv)
+			phys = drv
+		}
+
+		nb := backend.NewNetback(hyp, dom0, phys, cal.Back)
+		for g := range guests {
+			front := nb.AddVif(guests[g], ether.MakeMAC(10+i, g), cal.Front)
+			stacks[g].AttachDevice(front)
+			m.wireConns(cfg, pr, stacks[g], i, front)
+		}
+	}
+	hyp.StartTimers()
+	return nil
+}
+
+func buildCDNA(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+	cal := cfg.Cal
+	hyp := xen.New(m.Eng, m.CPU, m.Mem, cal.Hyp, cfg.Protection)
+	m.Hyp = hyp
+	dom0 := hyp.NewDomain("dom0", cpu.KindDriver)
+	m.dom0 = dom0
+	startBackground(m.Eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
+
+	guests := make([]*xen.Domain, cfg.Guests)
+	stacks := make([]*guest.Stack, cfg.Guests)
+	for g := range guests {
+		guests[g] = hyp.NewDomain(fmt.Sprintf("guest%d", g+1), cpu.KindGuest)
+		stacks[g] = guest.NewStack(guests[g].VCPU, cal.StackNoTSO)
+	}
+	m.guestDoms = guests
+
+	direct := cfg.Protection != core.ModeHypercall
+	rice := cal.Rice
+	rice.SeqCheck = cfg.Protection == core.ModeHypercall
+	rice.DirectPerContextIRQ = cfg.DirectPerContextIRQ
+	if cfg.TxCoalescePkts > 0 {
+		rice.CoalescePkts = cfg.TxCoalescePkts
+	}
+
+	for i := 0; i < cfg.NICs; i++ {
+		nicOut, _ := newLink()
+		b := bus.New(m.Eng, cal.Bus)
+		n, err := ricenic.New(m.Eng, b, m.Mem, nicOut, rice)
+		if err != nil {
+			return err
+		}
+		pr.outs[i].Connect(ether.PortFunc(n.Receive))
+		cm := core.NewContextManager(hyp.Prot)
+		cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
+		channels := make(map[int]*xen.EventChannel)
+		irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+		n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
+
+		for g := range guests {
+			tx, rx, err := makeRings(m.Mem, guests[g].ID, fmt.Sprintf("g%d.nic%d", g, i))
+			if err != nil {
+				return err
+			}
+			ctx, err := cm.Assign(guests[g].ID, ether.MakeMAC(10+i, g), tx, rx)
+			if err != nil {
+				return err
+			}
+			drv := guest.NewCDNADriver(guests[g], m.Mem, n, ctx, cal.CDNADrv, hyp.Prot, direct, cal.DirectPerDesc)
+			drv.MaxBatch = cfg.MaxEnqueueBatch
+			channels[ctx.ID] = hyp.NewChannel(guests[g], "cdna", drv.OnVirq)
+			drv.Start()
+			stacks[g].AttachDevice(drv)
+			m.Drivers = append(m.Drivers, drv)
+			m.wireConns(cfg, pr, stacks[g], i, drv)
+		}
+		m.RiceNICs = append(m.RiceNICs, n)
+		m.CtxMgrs = append(m.CtxMgrs, cm)
+	}
+	hyp.StartTimers()
+	return nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestExtensionMoreNICsShape verifies the paper's §5.4 conjecture in
+// our model: with four CDNA NICs the single-guest peak far exceeds the
+// two-NIC configuration, and the curve bends over (declines or
+// plateaus below peak) once many guests saturate the CPU — "a similar
+// shape to that of software virtualization, but with a much higher
+// peak".
+func TestExtensionMoreNICsShape(t *testing.T) {
+	_, results, err := ExtensionMoreNICs(Quick(), []int{1, 8, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, eight, many := results[0], results[1], results[2]
+	if one.Mbps < 2500 {
+		t.Errorf("4-NIC single-guest peak = %.0f Mb/s, want well above the 2-NIC 1883", one.Mbps)
+	}
+	if one.Profile.Idle > 0.25 {
+		t.Errorf("4-NIC single guest idle = %.1f%%; four links should nearly consume the CPU", 100*one.Profile.Idle)
+	}
+	// The conjectured bend-over: many guests cannot exceed the few-guest
+	// throughput once the CPU is the bottleneck.
+	if many.Mbps > one.Mbps*1.05 {
+		t.Errorf("throughput grew with 24 guests (%.0f vs %.0f)?", many.Mbps, one.Mbps)
+	}
+	if eight.Profile.Idle > 0.02 {
+		t.Errorf("8-guest idle = %.1f%%, expected saturation", 100*eight.Profile.Idle)
+	}
+}

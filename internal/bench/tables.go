@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+
+	"cdna/internal/core"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Opts controls experiment length. Quick() is for tests and benchmarks;
+// Full() is what cmd/cdnatables and EXPERIMENTS.md use.
+type Opts struct {
+	Warmup   sim.Time
+	Duration sim.Time
+}
+
+// Full returns publication-length windows.
+func Full() Opts { return Opts{Warmup: 300 * sim.Millisecond, Duration: sim.Second} }
+
+// Quick returns short windows for tests and benchmarks.
+func Quick() Opts { return Opts{Warmup: 150 * sim.Millisecond, Duration: 300 * sim.Millisecond} }
+
+func (o Opts) apply(cfg Config) Config {
+	cfg.Warmup = o.Warmup
+	cfg.Duration = o.Duration
+	return cfg
+}
+
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func profileCells(r Result) []string {
+	p := r.Profile
+	return []string{
+		fmtPct(p.Hyp), fmtPct(p.DriverOS), fmtPct(p.DriverUser),
+		fmtPct(p.GuestOS), fmtPct(p.GuestUser), fmtPct(p.Idle),
+		fmt.Sprintf("%.0f", r.DriverIntrPerSec), fmt.Sprintf("%.0f", r.GuestIntrPerSec),
+	}
+}
+
+var profileHeader = []string{"Hyp", "DrvOS", "DrvUsr", "GstOS", "GstUsr", "Idle", "DrvIntr/s", "GstIntr/s"}
+
+// Table1 reproduces Table 1: native Linux vs a Xen guest, transmit and
+// receive (native uses the paper's six-NIC rig; Xen the two-NIC one).
+func Table1(o Opts) (*stats.Table, []Result, error) {
+	rows := []struct {
+		label string
+		cfg   Config
+	}{}
+	for _, dir := range []Direction{Tx, Rx} {
+		ncfg := DefaultConfig(ModeNative, NICIntel, dir)
+		ncfg.NICs = 6
+		ncfg.ConnsPerGuestPerNIC = 6
+		rows = append(rows, struct {
+			label string
+			cfg   Config
+		}{fmt.Sprintf("Native Linux %v", dir), ncfg})
+		rows = append(rows, struct {
+			label string
+			cfg   Config
+		}{fmt.Sprintf("Xen Guest %v", dir), DefaultConfig(ModeXen, NICIntel, dir)})
+	}
+	t := &stats.Table{Header: []string{"System", "Direction", "Mb/s"}}
+	var results []Result
+	for _, row := range rows {
+		res, err := Run(o.apply(row.cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(row.label, row.cfg.Dir.String(), fmt.Sprintf("%.0f", res.Mbps))
+	}
+	return t, results, nil
+}
+
+// table23 runs Table 2 (transmit) or Table 3 (receive): single guest,
+// two NICs, three I/O architectures.
+func table23(o Opts, dir Direction) (*stats.Table, []Result, error) {
+	rows := []struct {
+		label string
+		cfg   Config
+	}{
+		{"Xen / Intel", DefaultConfig(ModeXen, NICIntel, dir)},
+		{"Xen / RiceNIC", DefaultConfig(ModeXen, NICRice, dir)},
+		{"CDNA / RiceNIC", DefaultConfig(ModeCDNA, NICRice, dir)},
+	}
+	t := &stats.Table{Header: append([]string{"System", "Mb/s"}, profileHeader...)}
+	var results []Result
+	for _, row := range rows {
+		res, err := Run(o.apply(row.cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", res.Mbps)}, profileCells(res)...)...)
+	}
+	return t, results, nil
+}
+
+// Table2 reproduces Table 2 (single-guest transmit).
+func Table2(o Opts) (*stats.Table, []Result, error) { return table23(o, Tx) }
+
+// Table3 reproduces Table 3 (single-guest receive).
+func Table3(o Opts) (*stats.Table, []Result, error) { return table23(o, Rx) }
+
+// Table4 reproduces Table 4: CDNA transmit and receive with DMA memory
+// protection enabled and disabled.
+func Table4(o Opts) (*stats.Table, []Result, error) {
+	rows := []struct {
+		label string
+		dir   Direction
+		prot  core.Mode
+	}{
+		{"CDNA (Transmit) / Enabled", Tx, core.ModeHypercall},
+		{"CDNA (Transmit) / Disabled", Tx, core.ModeOff},
+		{"CDNA (Receive) / Enabled", Rx, core.ModeHypercall},
+		{"CDNA (Receive) / Disabled", Rx, core.ModeOff},
+	}
+	t := &stats.Table{Header: append([]string{"System / Protection", "Mb/s"}, profileHeader...)}
+	var results []Result
+	for _, row := range rows {
+		cfg := DefaultConfig(ModeCDNA, NICRice, row.dir)
+		cfg.Protection = row.prot
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", res.Mbps)}, profileCells(res)...)...)
+	}
+	return t, results, nil
+}
+
+// FigureGuests is the x-axis of Figures 3 and 4.
+var FigureGuests = []int{1, 2, 4, 8, 12, 16, 20, 24}
+
+// FigurePoint is one (guests, system) sample of Figure 3 or 4.
+type FigurePoint struct {
+	Guests int
+	Xen    Result
+	CDNA   Result
+}
+
+// figure runs Figure 3 (transmit) or Figure 4 (receive): aggregate
+// throughput and CDNA idle time versus the number of guests.
+func figure(o Opts, dir Direction, guests []int) (*stats.Table, []FigurePoint, error) {
+	t := &stats.Table{Header: []string{"Guests", "Xen Mb/s", "Xen idle", "CDNA Mb/s", "CDNA idle"}}
+	var pts []FigurePoint
+	for _, g := range guests {
+		xcfg := DefaultConfig(ModeXen, NICIntel, dir)
+		xcfg.Guests = g
+		xcfg.ConnsPerGuestPerNIC = connsFor(g)
+		xres, err := Run(o.apply(xcfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		ccfg := DefaultConfig(ModeCDNA, NICRice, dir)
+		ccfg.Guests = g
+		ccfg.ConnsPerGuestPerNIC = connsFor(g)
+		cres, err := Run(o.apply(ccfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		pts = append(pts, FigurePoint{Guests: g, Xen: xres, CDNA: cres})
+		t.AddRow(fmt.Sprintf("%d", g),
+			fmt.Sprintf("%.0f", xres.Mbps), fmtPct(xres.Profile.Idle),
+			fmt.Sprintf("%.0f", cres.Mbps), fmtPct(cres.Profile.Idle))
+	}
+	return t, pts, nil
+}
+
+// Figure3 reproduces Figure 3 (transmit scaling).
+func Figure3(o Opts, guests []int) (*stats.Table, []FigurePoint, error) {
+	return figure(o, Tx, guests)
+}
+
+// Figure4 reproduces Figure 4 (receive scaling).
+func Figure4(o Opts, guests []int) (*stats.Table, []FigurePoint, error) {
+	return figure(o, Rx, guests)
+}
+
+// AblationBatching sweeps the maximum descriptors per CDNA enqueue
+// hypercall (§3.3's batching): smaller batches pay the hypercall base
+// cost more often, growing hypervisor time.
+func AblationBatching(o Opts, batches []int) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"MaxBatch", "Mb/s", "Hyp", "Idle"}}
+	var results []Result
+	for _, b := range batches {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.MaxEnqueueBatch = b
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		label := fmt.Sprintf("%d", b)
+		if b <= 0 {
+			label = "unlimited"
+		}
+		t.AddRow(label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp), fmtPct(res.Profile.Idle))
+	}
+	return t, results, nil
+}
+
+// AblationInterrupts compares CDNA's DMA'd interrupt bit vectors against
+// raising a separate physical interrupt per context (§3.2 argues the
+// latter creates a much higher interrupt load).
+func AblationInterrupts(o Opts, guests int) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"Delivery", "Mb/s", "Hyp", "Idle", "PhysIRQ/s"}}
+	var results []Result
+	for _, direct := range []bool{false, true} {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.Guests = guests
+		cfg.ConnsPerGuestPerNIC = connsFor(guests)
+		cfg.DirectPerContextIRQ = direct
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		label := "bit vector"
+		if direct {
+			label = "per-context IRQ"
+		}
+		t.AddRow(label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp),
+			fmtPct(res.Profile.Idle), fmt.Sprintf("%.0f", res.PhysIRQPerSec))
+	}
+	return t, results, nil
+}
+
+// AblationCoalescing sweeps the CDNA NIC's transmit interrupt
+// coalescing threshold (§5.1 notes the NIC coalescing options were
+// tuned): tighter coalescing raises the interrupt rate and burns idle
+// time in per-interrupt fixed costs; looser coalescing adds latency but
+// returns CPU.
+func AblationCoalescing(o Opts, thresholds []int) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"TxCoalescePkts", "Mb/s", "Idle", "GstIntr/s"}}
+	var results []Result
+	for _, th := range thresholds {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.TxCoalescePkts = th
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(fmt.Sprintf("%d", th), fmt.Sprintf("%.0f", res.Mbps),
+			fmtPct(res.Profile.Idle), fmt.Sprintf("%.0f", res.GuestIntrPerSec))
+	}
+	return t, results, nil
+}
+
+// ExtensionDuplex runs full-duplex traffic — beyond the paper's
+// unidirectional evaluation — comparing Xen and CDNA when every guest
+// both transmits and receives at once.
+func ExtensionDuplex(o Opts) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"System", "Mb/s (agg)", "Idle", "p50 lat (us)", "p90 lat (us)"}}
+	var results []Result
+	for _, row := range []struct {
+		label string
+		cfg   Config
+	}{
+		{"Xen / Intel", DefaultConfig(ModeXen, NICIntel, Both)},
+		{"CDNA / RiceNIC", DefaultConfig(ModeCDNA, NICRice, Both)},
+	} {
+		res, err := Run(o.apply(row.cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(row.label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Idle),
+			fmt.Sprintf("%.0f", res.LatencyP50us), fmt.Sprintf("%.0f", res.LatencyP90us))
+	}
+	return t, results, nil
+}
+
+// ExtensionMoreNICs tests the paper's §5.4 conjecture: "it is likely
+// that with more CDNA NICs, the throughput curve would have a similar
+// shape to that of software virtualization, but with a much higher
+// peak." Four CDNA NICs give guests ~3.7 Gb/s of line rate; once the
+// CPU saturates the curve must bend over exactly as the conjecture
+// predicts.
+func ExtensionMoreNICs(o Opts, guests []int) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"Guests", "CDNA 4-NIC Mb/s", "Idle"}}
+	var results []Result
+	for _, g := range guests {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.NICs = 4
+		cfg.Guests = g
+		cfg.ConnsPerGuestPerNIC = connsFor(g)
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(fmt.Sprintf("%d", g), fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Idle))
+	}
+	return t, results, nil
+}
+
+// AblationIOMMU reproduces §5.3's discussion: protection by hypercall,
+// by a context-aware IOMMU (guest enqueues directly), and disabled.
+func AblationIOMMU(o Opts) (*stats.Table, []Result, error) {
+	t := &stats.Table{Header: []string{"Protection", "Mb/s", "Hyp", "Idle"}}
+	var results []Result
+	for _, mode := range []core.Mode{core.ModeHypercall, core.ModeIOMMU, core.ModeOff} {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.Protection = mode
+		res, err := Run(o.apply(cfg))
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		t.AddRow(mode.String(), fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp), fmtPct(res.Profile.Idle))
+	}
+	return t, results, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cdna/internal/mem"
+	"cdna/internal/stats"
+)
+
+// BitVectorQueue is the CDNA interrupt delivery channel (§3.2). The NIC
+// tracks which contexts have updates since the last physical interrupt in
+// a 32-bit vector, DMAs the vector into a circular buffer in hypervisor
+// memory, updates a producer index in that memory, and raises a physical
+// interrupt. The hypervisor's ISR drains all pending vectors and
+// schedules virtual interrupts for every context with a set bit.
+//
+// The producer/consumer protocol guarantees a vector is never overwritten
+// before the host has processed it: when the buffer is full the NIC holds
+// the bits locally and merges them into the next posted vector.
+type BitVectorQueue struct {
+	memory  *mem.Memory
+	base    mem.Addr // entries*4 bytes of vectors, then 4 bytes producer index
+	entries int
+
+	prodShadow uint32 // NIC-side copy of the producer index
+	cons       uint32 // host-side consumer index
+
+	pendingBits uint32 // NIC-local accumulation (merged when full)
+
+	Posted  stats.Counter // vectors DMA'd to the host
+	Merged  stats.Counter // post attempts coalesced into pending bits
+	Drained stats.Counter // vectors consumed by the host ISR
+}
+
+// BitVectorBytes returns the memory footprint for a queue of n entries.
+func BitVectorBytes(n int) int { return n*4 + 4 }
+
+// NewBitVectorQueue creates a queue over hypervisor-owned memory at base.
+func NewBitVectorQueue(m *mem.Memory, base mem.Addr, entries int) (*BitVectorQueue, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("core: bitvec entries %d must be a positive power of two", entries)
+	}
+	if !m.RangeOwned(mem.DomHyp, base, BitVectorBytes(entries)) {
+		return nil, ErrForeignMemory
+	}
+	return &BitVectorQueue{memory: m, base: base, entries: entries}, nil
+}
+
+func (q *BitVectorQueue) slotAddr(i uint32) mem.Addr {
+	return q.base + mem.Addr((i%uint32(q.entries))*4)
+}
+
+func (q *BitVectorQueue) prodAddr() mem.Addr {
+	return q.base + mem.Addr(q.entries*4)
+}
+
+// Accumulate records NIC-local pending bits for contexts with updates.
+func (q *BitVectorQueue) Accumulate(contextID int) {
+	q.pendingBits |= 1 << uint(contextID)
+}
+
+// Pending reports whether the NIC has unposted bits.
+func (q *BitVectorQueue) Pending() bool { return q.pendingBits != 0 }
+
+// PostBytes returns the DMA size of one post (vector + producer index).
+const PostBytes = 8
+
+// Post moves the accumulated bits into the circular buffer (the bytes
+// really are written into simulated hypervisor memory) and advances the
+// producer index. It returns the posted vector and true, or 0 and false
+// if the buffer is full — in which case the bits stay accumulated and
+// are merged into a later post, so no update is ever lost. The caller
+// (the NIC model) charges DMA time for PostBytes and then raises the
+// physical interrupt.
+func (q *BitVectorQueue) Post() (uint32, bool) {
+	if q.pendingBits == 0 {
+		return 0, false
+	}
+	if q.prodShadow-q.cons == uint32(q.entries) {
+		q.Merged.Inc()
+		return 0, false
+	}
+	vec := q.pendingBits
+	q.pendingBits = 0
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], vec)
+	q.memory.Write(q.slotAddr(q.prodShadow), b[:])
+	q.prodShadow++
+	binary.LittleEndian.PutUint32(b[:], q.prodShadow)
+	q.memory.Write(q.prodAddr(), b[:])
+	q.Posted.Inc()
+	return vec, true
+}
+
+// Drain is the hypervisor ISR path: it reads the producer index from
+// memory, consumes every pending vector, and returns the OR of all their
+// bits (the set of contexts needing virtual interrupts) plus the number
+// of vectors processed.
+func (q *BitVectorQueue) Drain() (bits uint32, vectors int) {
+	pb, err := q.memory.Read(q.prodAddr(), 4)
+	if err != nil {
+		return 0, 0
+	}
+	prod := binary.LittleEndian.Uint32(pb)
+	for q.cons != prod {
+		vb, err := q.memory.Read(q.slotAddr(q.cons), 4)
+		if err != nil {
+			break
+		}
+		bits |= binary.LittleEndian.Uint32(vb)
+		q.cons++
+		vectors++
+	}
+	q.Drained.Add(uint64(vectors))
+	return bits, vectors
+}
+
+// Backlog returns the number of unconsumed vectors in the buffer.
+func (q *BitVectorQueue) Backlog() int { return int(q.prodShadow - q.cons) }

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cdna/internal/ether"
+	"cdna/internal/mem"
+	"cdna/internal/ring"
+)
+
+// NumContexts is the number of hardware contexts a CDNA NIC provides
+// (the RiceNIC implementation supports 32, §4).
+const NumContexts = 32
+
+// MailboxesPerContext is the number of mailbox locations at the base of
+// each context's 4 KB SRAM partition (§4).
+const MailboxesPerContext = 24
+
+// ContextPartitionBytes is the size of each context's PIO-accessible
+// SRAM partition; it equals the host page size so the hypervisor can map
+// one partition into one guest's address space (§4).
+const ContextPartitionBytes = mem.PageSize
+
+// Context is one hardware context on a CDNA NIC: an independent virtual
+// network interface with its own MAC address, mailboxes, and transmit
+// and receive descriptor rings (§3.1).
+type Context struct {
+	ID    int
+	Owner mem.DomID
+	MAC   ether.MAC
+
+	TxRing, RxRing *ring.Ring
+	TxSeq, RxSeq   *SeqChecker // NIC-side validators
+
+	Active  bool
+	Faulted bool
+}
+
+// FaultReason explains a context protection fault reported by the NIC.
+type FaultReason int
+
+// Fault reasons.
+const (
+	FaultSeqMismatch FaultReason = iota // stale or forged descriptor sequence number
+	FaultRingEmpty                      // producer index ran past published descriptors
+)
+
+func (f FaultReason) String() string {
+	switch f {
+	case FaultSeqMismatch:
+		return "sequence-number mismatch (stale or forged descriptor)"
+	case FaultRingEmpty:
+		return "producer index beyond published descriptors"
+	default:
+		return fmt.Sprintf("FaultReason(%d)", int(f))
+	}
+}
+
+// Fault is the guest-specific protection fault error a CDNA NIC reports
+// to the hypervisor (§3.3).
+type Fault struct {
+	ContextID int
+	Owner     mem.DomID
+	Reason    FaultReason
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("core: protection fault on context %d (dom %d): %s", f.ContextID, f.Owner, f.Reason)
+}
+
+// Context-manager errors.
+var (
+	ErrNoFreeContext = errors.New("core: no free hardware context")
+	ErrNotAssigned   = errors.New("core: context not assigned")
+)
+
+// ContextManager is the hypervisor-side allocator of NIC hardware
+// contexts (§3.1): it assigns a unique context to a guest (conceptually
+// mapping that context's mailbox partition into the guest's address
+// space), and can revoke a context at any time, shutting down its
+// pending operations.
+type ContextManager struct {
+	contexts [NumContexts]*Context
+	prot     *Protection
+
+	// OnRevoke, when set, is invoked after a context is deactivated so
+	// the NIC model can abort in-flight work.
+	OnRevoke func(*Context)
+}
+
+// NewContextManager creates a manager bound to the protection engine.
+func NewContextManager(prot *Protection) *ContextManager {
+	return &ContextManager{prot: prot}
+}
+
+// Assign allocates the lowest free context for dom with the given MAC
+// and rings. Rings are registered with the protection engine using a
+// sequence space of at least twice the ring size (the §3.3 sizing rule).
+func (cm *ContextManager) Assign(dom mem.DomID, mac ether.MAC, tx, rx *ring.Ring) (*Context, error) {
+	slot := -1
+	for i, c := range cm.contexts {
+		if c == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, ErrNoFreeContext
+	}
+	seqSpace := func(r *ring.Ring) uint32 {
+		s := uint32(2 * r.Entries)
+		// Round up to a power of two (entries already are).
+		return s
+	}
+	if err := cm.prot.RegisterRing(dom, tx, seqSpace(tx)); err != nil {
+		return nil, err
+	}
+	if err := cm.prot.RegisterRing(dom, rx, seqSpace(rx)); err != nil {
+		cm.prot.UnregisterRing(tx)
+		return nil, err
+	}
+	ctx := &Context{
+		ID: slot, Owner: dom, MAC: mac,
+		TxRing: tx, RxRing: rx,
+		TxSeq: NewSeqChecker(seqSpace(tx)), RxSeq: NewSeqChecker(seqSpace(rx)),
+		Active: true,
+	}
+	cm.contexts[slot] = ctx
+	return ctx, nil
+}
+
+// Revoke deactivates a context: pending protection state is released,
+// the NIC is notified to shut down the context's operations, and the
+// slot becomes reusable (§3.1).
+func (cm *ContextManager) Revoke(ctx *Context) error {
+	if ctx == nil || cm.contexts[ctx.ID] != ctx {
+		return ErrNotAssigned
+	}
+	ctx.Active = false
+	cm.prot.UnregisterRing(ctx.TxRing)
+	cm.prot.UnregisterRing(ctx.RxRing)
+	cm.contexts[ctx.ID] = nil
+	if cm.OnRevoke != nil {
+		cm.OnRevoke(ctx)
+	}
+	return nil
+}
+
+// HandleFault is the hypervisor's response to a NIC-reported protection
+// fault: mark the context faulted and revoke it.
+func (cm *ContextManager) HandleFault(f *Fault) {
+	if f.ContextID < 0 || f.ContextID >= NumContexts {
+		return
+	}
+	ctx := cm.contexts[f.ContextID]
+	if ctx == nil {
+		return
+	}
+	ctx.Faulted = true
+	cm.Revoke(ctx)
+}
+
+// Lookup returns the context in a slot (nil if free).
+func (cm *ContextManager) Lookup(id int) *Context {
+	if id < 0 || id >= NumContexts {
+		return nil
+	}
+	return cm.contexts[id]
+}
+
+// Assigned returns the number of active contexts.
+func (cm *ContextManager) Assigned() int {
+	n := 0
+	for _, c := range cm.contexts {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}

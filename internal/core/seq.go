@@ -1,0 +1,78 @@
+// Package core implements the CDNA architecture (paper §3): hardware
+// context management, DMA memory protection (ownership validation,
+// per-page reference counting, hypervisor-exclusive descriptor rings,
+// strictly increasing sequence numbers with stale-descriptor detection),
+// and the interrupt bit-vector delivery mechanism.
+//
+// The package is deliberately independent of any particular NIC or VMM:
+// the RiceNIC model (internal/ricenic) consumes the NIC-side pieces
+// (SeqChecker, BitVectorQueue, Context), and the hypervisor model
+// (internal/xen) consumes the VMM-side pieces (Protection,
+// ContextManager), mirroring the paper's §3.4 argument that the
+// mechanisms generalize.
+package core
+
+import "fmt"
+
+// SeqChecker is the NIC-side validator for descriptor sequence numbers
+// (§3.3). The hypervisor writes a strictly increasing sequence number
+// into every descriptor it enqueues; the NIC checks continuity modulo
+// the sequence space before using a descriptor. A stale descriptor —
+// one left in the ring from an earlier lap and re-exposed by a malicious
+// producer-index update — carries a sequence number exactly
+// ringEntries below the expected value, so any space of at least twice
+// the ring size makes staleness unambiguous.
+type SeqChecker struct {
+	next  uint32
+	space uint32
+}
+
+// NewSeqChecker creates a checker with the given sequence space (the
+// maximum sequence number + 1). Space must be a power of two so modular
+// comparison is exact.
+func NewSeqChecker(space uint32) *SeqChecker {
+	if space == 0 || space&(space-1) != 0 {
+		panic(fmt.Sprintf("core: sequence space %d must be a power of two", space))
+	}
+	return &SeqChecker{space: space}
+}
+
+// Space returns the sequence space size.
+func (s *SeqChecker) Space() uint32 { return s.space }
+
+// Expected returns the next sequence number the checker will accept.
+func (s *SeqChecker) Expected() uint32 { return s.next % s.space }
+
+// Check validates one descriptor's sequence number. On success the
+// expected value advances; on failure the checker state is unchanged and
+// the NIC must report a protection fault for the context.
+func (s *SeqChecker) Check(seq uint32) bool {
+	if seq%s.space != s.next%s.space {
+		return false
+	}
+	s.next++
+	return true
+}
+
+// Next returns the sequence number the hypervisor should assign to the
+// n-th descriptor it enqueues (free-running counter, wrapped to space).
+// This is the producer-side mirror of Check.
+type SeqAssigner struct {
+	next  uint32
+	space uint32
+}
+
+// NewSeqAssigner creates the hypervisor-side sequence source.
+func NewSeqAssigner(space uint32) *SeqAssigner {
+	if space == 0 || space&(space-1) != 0 {
+		panic(fmt.Sprintf("core: sequence space %d must be a power of two", space))
+	}
+	return &SeqAssigner{space: space}
+}
+
+// Assign returns the next sequence number and advances.
+func (s *SeqAssigner) Assign() uint32 {
+	v := s.next % s.space
+	s.next++
+	return v
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqCheckerAcceptsInOrder(t *testing.T) {
+	a := NewSeqAssigner(256)
+	c := NewSeqChecker(256)
+	for i := 0; i < 1000; i++ {
+		seq := a.Assign()
+		if !c.Check(seq) {
+			t.Fatalf("in-order seq %d rejected at step %d", seq, i)
+		}
+	}
+}
+
+func TestSeqCheckerRejectsStale(t *testing.T) {
+	c := NewSeqChecker(256)
+	for i := uint32(0); i < 10; i++ {
+		c.Check(i)
+	}
+	if c.Check(3) {
+		t.Fatal("stale sequence accepted")
+	}
+	// State unchanged after rejection: correct next value still works.
+	if !c.Check(10) {
+		t.Fatal("checker state corrupted by rejection")
+	}
+}
+
+func TestSeqCheckerWrapsModuloSpace(t *testing.T) {
+	a := NewSeqAssigner(16)
+	c := NewSeqChecker(16)
+	for i := 0; i < 100; i++ {
+		seq := a.Assign()
+		if seq >= 16 {
+			t.Fatalf("assigned seq %d outside space", seq)
+		}
+		if !c.Check(seq) {
+			t.Fatalf("wrapped seq rejected at step %d", i)
+		}
+	}
+}
+
+func TestSeqCheckerNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two space must panic")
+		}
+	}()
+	NewSeqChecker(100)
+}
+
+// TestSeqnumAliasingDetection verifies the paper's §3.3 sizing rule: a
+// stale descriptor has a sequence number exactly ringEntries below the
+// expected value, so a space of at least 2x the ring size always detects
+// it — while a space equal to the ring size aliases and lets the replay
+// through.
+func TestSeqnumAliasingDetection(t *testing.T) {
+	const entries = 64
+	replayOffset := uint32(entries) // stale descriptor: one full lap old
+
+	// Space = 2*entries: detected.
+	c := NewSeqChecker(2 * entries)
+	for i := uint32(0); i < 3*entries; i++ {
+		if !c.Check(i % (2 * entries)) {
+			t.Fatal("setup failed")
+		}
+	}
+	stale := (3*entries - replayOffset) % (2 * entries)
+	if c.Check(stale) {
+		t.Fatal("2x space failed to detect stale descriptor")
+	}
+
+	// Space = entries: the stale value aliases to the expected one.
+	c2 := NewSeqChecker(entries)
+	for i := uint32(0); i < 3*entries; i++ {
+		if !c2.Check(i % entries) {
+			t.Fatal("setup failed")
+		}
+	}
+	stale2 := (3*entries - replayOffset) % entries
+	if !c2.Check(stale2) {
+		t.Fatal("undersized space unexpectedly detected the replay — the test premise is wrong")
+	}
+}
+
+// Property: for any ring size (power of two) and any replay distance
+// 1..entries, a 2x sequence space detects the replay.
+func TestSeqnumAliasingProperty(t *testing.T) {
+	f := func(sizeExp uint8, dist uint16, laps uint8) bool {
+		entries := uint32(1) << (sizeExp%6 + 2) // 4..128
+		space := 2 * entries
+		d := uint32(dist)%entries + 1 // replay distance 1..entries
+		a := NewSeqAssigner(space)
+		c := NewSeqChecker(space)
+		steps := uint32(laps)%64 + d
+		for i := uint32(0); i < steps; i++ {
+			if !c.Check(a.Assign()) {
+				return false
+			}
+		}
+		// Replay the descriptor enqueued d steps ago.
+		staleSeq := (steps - d) % space
+		return !c.Check(staleSeq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignerCheckerStayInLockstep(t *testing.T) {
+	f := func(n uint16) bool {
+		a := NewSeqAssigner(128)
+		c := NewSeqChecker(128)
+		for i := 0; i < int(n%2000); i++ {
+			if !c.Check(a.Assign()) {
+				return false
+			}
+		}
+		return c.Expected() == a.next%128
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package ether
+
+import "cdna/internal/stats"
+
+// Bridge is the forwarding database and port logic of the software
+// Ethernet bridge that runs inside Xen's driver domain. It is pure
+// forwarding logic: CPU cost for traversing it is charged by the driver
+// domain code that invokes it, and the attached outputs are invoked
+// synchronously.
+//
+// Standard learning-bridge semantics: the source MAC of every frame is
+// learned on its ingress port; unicast frames to a known MAC go out that
+// port only; unknown unicast and broadcast flood to every port except
+// ingress.
+type Bridge struct {
+	outputs []Port
+	fdb     map[MAC]int
+
+	Forwarded stats.Counter
+	Flooded   stats.Counter
+}
+
+// NewBridge creates an empty bridge.
+func NewBridge() *Bridge {
+	return &Bridge{fdb: make(map[MAC]int)}
+}
+
+// AddPort attaches an output and returns its port number.
+func (b *Bridge) AddPort(out Port) int {
+	b.outputs = append(b.outputs, out)
+	return len(b.outputs) - 1
+}
+
+// NumPorts returns the number of attached ports.
+func (b *Bridge) NumPorts() int { return len(b.outputs) }
+
+// Lookup returns the learned port for a MAC, or -1.
+func (b *Bridge) Lookup(m MAC) int {
+	if p, ok := b.fdb[m]; ok {
+		return p
+	}
+	return -1
+}
+
+// Input processes a frame arriving on ingress port `in`: learns the
+// source and forwards or floods.
+func (b *Bridge) Input(in int, f *Frame) {
+	if !f.Src.IsBroadcast() {
+		b.fdb[f.Src] = in
+	}
+	if !f.Dst.IsBroadcast() {
+		if out, ok := b.fdb[f.Dst]; ok {
+			if out != in {
+				b.Forwarded.Inc()
+				b.outputs[out].Receive(f)
+			}
+			return
+		}
+	}
+	b.Flooded.Inc()
+	for i, out := range b.outputs {
+		if i != in {
+			out.Receive(f)
+		}
+	}
+}

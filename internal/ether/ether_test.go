@@ -1,0 +1,220 @@
+package ether
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cdna/internal/sim"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0x00, 0x00, 0x01, 0x00, 0x02}
+	if m.String() != "02:00:00:01:00:02" {
+		t.Fatalf("String = %s", m)
+	}
+}
+
+func TestMakeMACUnique(t *testing.T) {
+	seen := map[MAC]bool{}
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 32; i++ {
+			m := MakeMAC(g, i)
+			if seen[m] {
+				t.Fatalf("duplicate MAC %s", m)
+			}
+			if m.IsBroadcast() {
+				t.Fatalf("generated MAC %s is multicast", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestBroadcastDetection(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast must be broadcast")
+	}
+	if (MAC{0x02}).IsBroadcast() {
+		t.Fatal("locally administered unicast misdetected")
+	}
+}
+
+func TestWireBytesPadding(t *testing.T) {
+	small := &Frame{Size: 20}
+	if small.WireBytes() != MinFrame+WireOverhead {
+		t.Fatalf("small frame wire bytes = %d", small.WireBytes())
+	}
+	full := &Frame{Size: HeaderBytes + MTU}
+	if full.WireBytes() != 1514+WireOverhead {
+		t.Fatalf("full frame wire bytes = %d", full.WireBytes())
+	}
+}
+
+func TestMaxPayloadMbps(t *testing.T) {
+	// 1448B TCP payload in a 1514B frame on GbE: the classic ~941 Mb/s.
+	got := MaxPayloadMbps(1.0, 1514, 1448)
+	if math.Abs(got-941.5) > 1.0 {
+		t.Fatalf("MaxPayloadMbps = %v, want ~941.5", got)
+	}
+}
+
+func TestPipeSerialization(t *testing.T) {
+	eng := sim.New()
+	p := NewPipe(eng, 1.0, 0) // 1 Gb/s = 0.125 B/ns
+	var times []sim.Time
+	p.Connect(PortFunc(func(f *Frame) { times = append(times, eng.Now()) }))
+	f := &Frame{Size: 1514}
+	p.Send(f)
+	p.Send(f)
+	eng.Run(sim.Second)
+	slot := sim.Time(float64(1538) / 0.125)
+	if len(times) != 2 || times[0] != slot || times[1] != 2*slot {
+		t.Fatalf("delivery times = %v, want %v and %v", times, slot, 2*slot)
+	}
+}
+
+func TestPipePropagationDelay(t *testing.T) {
+	eng := sim.New()
+	p := NewPipe(eng, 1.0, 500*sim.Nanosecond)
+	var at sim.Time
+	p.Connect(PortFunc(func(f *Frame) { at = eng.Now() }))
+	p.Send(&Frame{Size: 1514})
+	eng.Run(sim.Second)
+	want := sim.Time(float64(1538)/0.125) + 500
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestPipeThroughputCeiling(t *testing.T) {
+	eng := sim.New()
+	p := NewPipe(eng, 1.0, 0)
+	delivered := 0
+	p.Connect(PortFunc(func(f *Frame) { delivered += f.Size - HeaderBytes - 52 }))
+	// Offer 2x line rate for 10ms; delivery is capped at line rate.
+	var send func()
+	n := 0
+	send = func() {
+		p.Send(&Frame{Size: 1514})
+		n++
+		if n < 2000 {
+			eng.After(6*sim.Microsecond, "offer", send)
+		}
+	}
+	eng.After(1, "start", send)
+	eng.Run(10 * sim.Millisecond)
+	mbps := float64(delivered) * 8 / 1e6 / 0.010
+	if mbps > 945 {
+		t.Fatalf("throughput %v Mb/s exceeds line rate ceiling", mbps)
+	}
+	if mbps < 900 {
+		t.Fatalf("throughput %v Mb/s too low for saturated pipe", mbps)
+	}
+}
+
+func TestPipeBacklogAndNextFree(t *testing.T) {
+	eng := sim.New()
+	p := NewPipe(eng, 1.0, 0)
+	p.Connect(PortFunc(func(f *Frame) {}))
+	if p.Backlog() != 0 || p.NextFree() != 0 {
+		t.Fatal("fresh pipe should be free")
+	}
+	p.Send(&Frame{Size: 1514})
+	if p.Backlog() == 0 {
+		t.Fatal("busy pipe must report backlog")
+	}
+	if p.NextFree() != eng.Now()+p.Backlog() {
+		t.Fatal("NextFree inconsistent with Backlog")
+	}
+}
+
+func TestBridgeLearningAndUnicast(t *testing.T) {
+	b := NewBridge()
+	var got [3][]*Frame
+	for i := 0; i < 3; i++ {
+		i := i
+		b.AddPort(PortFunc(func(f *Frame) { got[i] = append(got[i], f) }))
+	}
+	macA, macB := MakeMAC(1, 1), MakeMAC(1, 2)
+	// A (port 0) talks; B unknown -> flood to 1 and 2.
+	b.Input(0, &Frame{Src: macA, Dst: macB, Size: 100})
+	if len(got[0]) != 0 || len(got[1]) != 1 || len(got[2]) != 1 {
+		t.Fatalf("flood counts: %d %d %d", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if b.Lookup(macA) != 0 {
+		t.Fatal("source not learned")
+	}
+	// B replies from port 2: learned A -> unicast to port 0 only.
+	b.Input(2, &Frame{Src: macB, Dst: macA, Size: 100})
+	if len(got[0]) != 1 || len(got[1]) != 1 {
+		t.Fatalf("unicast after learning: %d %d", len(got[0]), len(got[1]))
+	}
+	// Now A->B is unicast to port 2 only.
+	b.Input(0, &Frame{Src: macA, Dst: macB, Size: 100})
+	if len(got[2]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("unicast to learned dst: %d %d", len(got[2]), len(got[1]))
+	}
+}
+
+func TestBridgeBroadcastFloods(t *testing.T) {
+	b := NewBridge()
+	counts := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		b.AddPort(PortFunc(func(f *Frame) { counts[i]++ }))
+	}
+	b.Input(1, &Frame{Src: MakeMAC(1, 1), Dst: Broadcast, Size: 64})
+	if counts[1] != 0 {
+		t.Fatal("frame echoed to ingress")
+	}
+	if counts[0] != 1 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("broadcast counts: %v", counts)
+	}
+}
+
+func TestBridgeHairpinSuppressed(t *testing.T) {
+	b := NewBridge()
+	delivered := 0
+	b.AddPort(PortFunc(func(f *Frame) { delivered++ }))
+	b.AddPort(PortFunc(func(f *Frame) { delivered++ }))
+	macA := MakeMAC(1, 1)
+	b.Input(0, &Frame{Src: macA, Dst: MakeMAC(1, 9), Size: 64}) // learn A@0, flood to 1
+	b.Input(0, &Frame{Src: MakeMAC(1, 3), Dst: macA, Size: 64}) // dst learned on ingress port: drop
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (hairpin suppressed)", delivered)
+	}
+}
+
+// Property: after the bridge has learned a unicast MAC, a frame to it is
+// delivered to exactly one port.
+func TestBridgeSingleDeliveryProperty(t *testing.T) {
+	f := func(srcIdx, dstIdx uint8, nPorts uint8) bool {
+		n := int(nPorts%6) + 2
+		b := NewBridge()
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			b.AddPort(PortFunc(func(f *Frame) { counts[i]++ }))
+		}
+		src := MakeMAC(1, int(srcIdx))
+		dst := MakeMAC(2, int(dstIdx))
+		inSrc, inDst := int(srcIdx)%n, int(dstIdx)%n
+		b.Input(inDst, &Frame{Src: dst, Dst: src, Size: 64}) // learn dst
+		for i := range counts {
+			counts[i] = 0
+		}
+		b.Input(inSrc, &Frame{Src: src, Dst: dst, Size: 64})
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if inSrc == inDst {
+			return total == 0 // hairpin
+		}
+		return total == 1 && counts[inDst] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

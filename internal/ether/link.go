@@ -1,0 +1,95 @@
+package ether
+
+import (
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Port consumes frames delivered by a Pipe.
+type Port interface {
+	Receive(f *Frame)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(f *Frame)
+
+// Receive implements Port.
+func (fn PortFunc) Receive(f *Frame) { fn(f) }
+
+// Pipe is one direction of a link: it serializes frames at the line rate
+// and delivers them to the destination port after a propagation delay.
+// Senders should pace themselves with Backlog/NextFree; the pipe itself
+// never drops.
+type Pipe struct {
+	eng        *sim.Engine
+	bytesPerNs float64
+	propDelay  sim.Time
+	dst        Port
+	busyUntil  sim.Time
+
+	Frames stats.Counter
+	Bytes  stats.Counter
+}
+
+// NewPipe creates a unidirectional pipe at rate gbps.
+func NewPipe(eng *sim.Engine, gbps float64, propDelay sim.Time) *Pipe {
+	return &Pipe{eng: eng, bytesPerNs: GbpsToBytesPerNs(gbps), propDelay: propDelay}
+}
+
+// Connect attaches the receiving port.
+func (p *Pipe) Connect(dst Port) { p.dst = dst }
+
+// Send serializes the frame onto the wire. Delivery happens when the
+// last bit (plus propagation) arrives.
+func (p *Pipe) Send(f *Frame) {
+	start := p.eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	txTime := sim.Time(float64(f.WireBytes()) / p.bytesPerNs)
+	p.busyUntil = start + txTime
+	p.Frames.Inc()
+	p.Bytes.Add(uint64(f.WireBytes()))
+	deliverAt := p.busyUntil + p.propDelay
+	p.eng.At(deliverAt, "ether.deliver", func() {
+		if p.dst != nil {
+			p.dst.Receive(f)
+		}
+	})
+}
+
+// Backlog returns how long until the wire is free.
+func (p *Pipe) Backlog() sim.Time {
+	if p.busyUntil <= p.eng.Now() {
+		return 0
+	}
+	return p.busyUntil - p.eng.Now()
+}
+
+// NextFree returns the absolute time the wire frees up (never in the
+// past).
+func (p *Pipe) NextFree() sim.Time {
+	if p.busyUntil < p.eng.Now() {
+		return p.eng.Now()
+	}
+	return p.busyUntil
+}
+
+// StartWindow resets windowed counters.
+func (p *Pipe) StartWindow() {
+	p.Frames.StartWindow()
+	p.Bytes.StartWindow()
+}
+
+// Duplex is a full-duplex link: A→B and B→A pipes.
+type Duplex struct {
+	AtoB, BtoA *Pipe
+}
+
+// NewDuplex builds a full-duplex link at rate gbps.
+func NewDuplex(eng *sim.Engine, gbps float64, propDelay sim.Time) *Duplex {
+	return &Duplex{
+		AtoB: NewPipe(eng, gbps, propDelay),
+		BtoA: NewPipe(eng, gbps, propDelay),
+	}
+}

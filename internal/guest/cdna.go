@@ -1,0 +1,307 @@
+package guest
+
+import (
+	"cdna/internal/core"
+	"cdna/internal/cpu"
+	"cdna/internal/ether"
+	"cdna/internal/mem"
+	"cdna/internal/ricenic"
+	"cdna/internal/ring"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+	"cdna/internal/xen"
+)
+
+// CDNADriver is the guest device driver for one hardware context on a
+// CDNA NIC (§3). It interacts with its context exactly as if it were an
+// independent physical NIC — building DMA descriptors and writing
+// producer indices into its mailbox partition via PIO — except that
+// descriptor enqueues go through the hypervisor for validation
+// (ModeHypercall), or directly when an IOMMU provides protection or
+// protection is disabled (§5.3, Table 4).
+type CDNADriver struct {
+	Dom   *xen.Domain
+	Mem   *mem.Memory
+	NIC   *ricenic.NIC
+	Ctx   *core.Context
+	Costs DriverCosts
+
+	// MaxBatch caps descriptors per enqueue call (0 = unlimited); the
+	// batching ablation sweeps it.
+	MaxBatch int
+
+	// Direct bypasses the enqueue hypercall (ModeIOMMU / ModeOff);
+	// DirectPerDesc is the guest-kernel cost of writing a descriptor
+	// itself.
+	Direct        bool
+	DirectPerDesc sim.Time
+	Prot          *core.Protection
+
+	txPool, rxPool []mem.PFN
+	txBufs, rxBufs map[uint32]mem.PFN
+	inflight       map[uint32]*ether.Frame
+
+	backlog                []*ether.Frame // qdisc: frames waiting for ring space
+	stagedTx               []stagedPkt
+	stagedRx               int
+	enqTx                  bool
+	enqRx                  bool
+	lastTxCons, lastRxCons uint32
+
+	rxHandler func(*ether.Frame)
+
+	TxDropped   stats.Counter
+	EnqueueErrs stats.Counter
+}
+
+type stagedPkt struct {
+	desc  ring.Desc
+	frame *ether.Frame
+	pfn   mem.PFN
+}
+
+// NewCDNADriver binds a driver to an assigned context. The rings were
+// created in guest memory when the hypervisor assigned the context.
+func NewCDNADriver(dom *xen.Domain, m *mem.Memory, n *ricenic.NIC, ctx *core.Context, costs DriverCosts, prot *core.Protection, direct bool, directPerDesc sim.Time) *CDNADriver {
+	d := &CDNADriver{
+		Dom: dom, Mem: m, NIC: n, Ctx: ctx, Costs: costs,
+		Direct: direct, DirectPerDesc: directPerDesc, Prot: prot,
+		txBufs: make(map[uint32]mem.PFN), rxBufs: make(map[uint32]mem.PFN),
+		inflight: make(map[uint32]*ether.Frame),
+	}
+	d.txPool = m.Alloc(dom.ID, PoolPages)
+	d.rxPool = m.Alloc(dom.ID, PoolPages)
+	n.AttachContext(ctx, func(idx uint32) *ether.Frame { return d.inflight[idx] })
+	return d
+}
+
+// MAC implements NetDevice: the context's unique Ethernet address.
+func (d *CDNADriver) MAC() ether.MAC { return d.Ctx.MAC }
+
+// SetRxHandler implements NetDevice.
+func (d *CDNADriver) SetRxHandler(h func(*ether.Frame)) { d.rxHandler = h }
+
+// Start posts the initial receive buffers through the protection path.
+func (d *CDNADriver) Start() {
+	n := RingEntries - 1
+	if n > len(d.rxPool) {
+		n = len(d.rxPool)
+	}
+	d.stagedRx = n
+	d.flushRx()
+}
+
+// StartXmit implements NetDevice.
+func (d *CDNADriver) StartXmit(f *ether.Frame) {
+	d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.TxPerPkt, f.Size), "cdna.tx", func() {
+		if len(d.backlog) >= qdiscLimit {
+			d.TxDropped.Inc()
+			return
+		}
+		d.backlog = append(d.backlog, f)
+		d.reapTx()
+		d.stageFromBacklog()
+		d.scheduleTxEnqueue()
+	})
+}
+
+// stageFromBacklog moves backlog frames into the staged batch while
+// buffer pages and ring space allow.
+func (d *CDNADriver) stageFromBacklog() {
+	for len(d.backlog) > 0 && len(d.txPool) > 0 &&
+		len(d.stagedTx)+d.Ctx.TxRing.Avail() < RingEntries-1 {
+		f := d.backlog[0]
+		d.backlog = d.backlog[1:]
+		pfn := d.txPool[len(d.txPool)-1]
+		d.txPool = d.txPool[:len(d.txPool)-1]
+		d.stagedTx = append(d.stagedTx, stagedPkt{
+			desc:  ring.Desc{Addr: pfn.Base(), Len: uint16(f.Size), Flags: ring.FlagTx},
+			frame: f,
+			pfn:   pfn,
+		})
+	}
+}
+
+func (d *CDNADriver) scheduleTxEnqueue() {
+	if d.enqTx {
+		return
+	}
+	d.enqTx = true
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.txbatch", func() {
+		d.enqTx = false
+		batch := d.stagedTx
+		d.stagedTx = nil
+		if d.MaxBatch > 0 && len(batch) > d.MaxBatch {
+			d.stagedTx = batch[d.MaxBatch:]
+			batch = batch[:d.MaxBatch]
+			d.scheduleTxEnqueue()
+		}
+		if len(batch) == 0 {
+			return
+		}
+		descs := make([]ring.Desc, len(batch))
+		for i, s := range batch {
+			descs[i] = s.desc
+		}
+		done := func(n int, err error) {
+			if err != nil {
+				d.EnqueueErrs.Add(uint64(len(batch)))
+				for _, s := range batch {
+					d.txPool = append(d.txPool, s.pfn)
+				}
+				return
+			}
+			base := d.Ctx.TxRing.Prod() - uint32(n)
+			for i, s := range batch {
+				idx := base + uint32(i)
+				d.inflight[idx] = s.frame
+				d.txBufs[idx] = s.pfn
+			}
+			d.kickTx()
+		}
+		if d.Direct {
+			d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(descs))*d.DirectPerDesc, "cdna.direct", func() {
+				n, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
+				done(n, err)
+			})
+			return
+		}
+		d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, done)
+	})
+}
+
+func (d *CDNADriver) kickTx() {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.pio", func() {
+		d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod())
+	})
+}
+
+// reapTx recycles transmit buffers the NIC has finished with (the
+// consumer index it wrote back has passed them).
+func (d *CDNADriver) reapTx() {
+	for d.lastTxCons != d.Ctx.TxRing.Cons() {
+		idx := d.lastTxCons
+		if pfn, ok := d.txBufs[idx]; ok {
+			d.txPool = append(d.txPool, pfn)
+			delete(d.txBufs, idx)
+		}
+		delete(d.inflight, idx)
+		d.lastTxCons++
+	}
+}
+
+// OnVirq is the driver's virtual-interrupt handler (§3.2): invoked when
+// the hypervisor decodes this context's bit from a NIC interrupt bit
+// vector.
+func (d *CDNADriver) OnVirq() {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.IrqFixed, "cdna.virq", func() {
+		d.reapTx()
+		if len(d.backlog) > 0 {
+			d.stageFromBacklog()
+			d.scheduleTxEnqueue()
+		}
+		comps := d.NIC.DrainRx(d.Ctx.ID)
+		for _, c := range comps {
+			f := c.Frame
+			d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.RxPerPkt, f.Size), "cdna.rx", func() {
+				if d.rxHandler != nil {
+					d.rxHandler(f)
+				}
+			})
+		}
+		// Recycle consumed rx buffers and repost the same count.
+		for d.lastRxCons != d.Ctx.RxRing.Cons() {
+			idx := d.lastRxCons
+			if pfn, ok := d.rxBufs[idx]; ok {
+				d.rxPool = append(d.rxPool, pfn)
+				delete(d.rxBufs, idx)
+			}
+			d.lastRxCons++
+		}
+		if len(comps) > 0 {
+			d.stagedRx += len(comps)
+			d.flushRx()
+		}
+	})
+}
+
+// flushRx posts stagedRx receive buffers in one batched enqueue.
+func (d *CDNADriver) flushRx() {
+	if d.enqRx {
+		return
+	}
+	d.enqRx = true
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.rxbatch", func() {
+		d.enqRx = false
+		n := d.stagedRx
+		if n > len(d.rxPool) {
+			n = len(d.rxPool)
+		}
+		if d.MaxBatch > 0 && n > d.MaxBatch {
+			n = d.MaxBatch
+		}
+		if n <= 0 {
+			return
+		}
+		d.stagedRx -= n
+		if d.stagedRx > 0 {
+			d.flushRx()
+		}
+		pfns := make([]mem.PFN, n)
+		descs := make([]ring.Desc, n)
+		for i := 0; i < n; i++ {
+			pfn := d.rxPool[len(d.rxPool)-1]
+			d.rxPool = d.rxPool[:len(d.rxPool)-1]
+			pfns[i] = pfn
+			descs[i] = ring.Desc{Addr: pfn.Base(), Len: ether.HeaderBytes + ether.MTU + 86, Flags: ring.FlagValid}
+		}
+		done := func(cnt int, err error) {
+			if err != nil {
+				d.EnqueueErrs.Add(uint64(n))
+				d.rxPool = append(d.rxPool, pfns...)
+				return
+			}
+			base := d.Ctx.RxRing.Prod() - uint32(cnt)
+			for i := 0; i < cnt; i++ {
+				d.rxBufs[base+uint32(i)] = pfns[i]
+			}
+			d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
+				d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
+			})
+		}
+		if d.Direct {
+			d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(n)*d.DirectPerDesc, "cdna.rxdirect", func() {
+				cnt, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.RxRing, descs)
+				done(cnt, err)
+			})
+			return
+		}
+		d.Dom.CDNAEnqueue(d.Ctx.RxRing, descs, done)
+	})
+}
+
+// --- Misbehaving-driver entry points (fault-injection tests and the
+// protection example; §3.3's threat model) ---
+
+// AttackForeignEnqueue attempts to enqueue a descriptor pointing at
+// another domain's memory; the result arrives on cb.
+func (d *CDNADriver) AttackForeignEnqueue(victim mem.Addr, cb func(error)) {
+	descs := []ring.Desc{{Addr: victim, Len: 1514, Flags: ring.FlagTx}}
+	if d.Direct {
+		d.Dom.VCPU.Exec(cpu.CatKernel, d.DirectPerDesc, "attack.direct", func() {
+			_, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
+			cb(err)
+		})
+		return
+	}
+	d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, func(_ int, err error) { cb(err) })
+}
+
+// AttackStaleProducer forges a producer-index mailbox write `extra`
+// slots past the last valid descriptor, exposing stale ring contents —
+// the replay the sequence numbers must catch.
+func (d *CDNADriver) AttackStaleProducer(extra uint32) {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "attack.pio", func() {
+		d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod()+extra)
+	})
+}

@@ -1,0 +1,136 @@
+// Package guest models the operating system inside a domain: a TCP-like
+// network stack with calibrated per-packet costs, the benchmark
+// application's user-time charges, and the three device drivers the
+// evaluation needs — the native driver for a conventional NIC (used by
+// native Linux and by Xen's driver domain), the paravirtual front-end
+// (its back-end half lives in internal/backend), and the CDNA guest
+// driver (§3).
+package guest
+
+import (
+	"cdna/internal/cpu"
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+	"cdna/internal/transport"
+)
+
+// SmallFrame is the frame-size threshold (bytes) under which drivers
+// charge ScaleSmall of their per-packet cost: pure acks involve no
+// payload copy/remap work.
+const SmallFrame = 200
+
+// ScaleCost halves a per-packet driver cost for small (ack-sized)
+// frames.
+func ScaleCost(t sim.Time, frameSize int) sim.Time {
+	if frameSize < SmallFrame {
+		return t / 2
+	}
+	return t
+}
+
+// qdiscLimit bounds a driver's transmit backlog (Linux's default txqueuelen
+// is 1000 per device; the driver domain aggregates many guests, so the
+// shared-device limit is generous).
+const qdiscLimit = 4096
+
+// NetDevice is the driver-side contract the stack binds to.
+type NetDevice interface {
+	MAC() ether.MAC
+	// StartXmit queues a frame for transmission; the driver charges its
+	// own CPU costs.
+	StartXmit(f *ether.Frame)
+	// SetRxHandler installs the stack's receive upcall, invoked in the
+	// owning domain's context after driver per-packet costs.
+	SetRxHandler(h func(f *ether.Frame))
+}
+
+// StackCosts are the network-stack CPU costs per wire packet.
+type StackCosts struct {
+	TxData      sim.Time // kernel: segment a data packet down to the driver
+	RxData      sim.Time // kernel: deliver a data packet up to the socket
+	TxAck       sim.Time // kernel: generate a pure ack
+	RxAck       sim.Time // kernel: process a received ack
+	UserPerData sim.Time // user: application copy per data packet
+	UserBatch   int      // data packets per user-time charge
+}
+
+// Stack is a guest OS network stack bound to one or more devices.
+type Stack struct {
+	Dom   *cpu.Domain
+	Costs StackCosts
+
+	devs      []NetDevice
+	userAcc   int
+	Delivered stats.Counter // data packets handed to transport
+}
+
+// NewStack creates a stack on the domain's vCPU.
+func NewStack(dom *cpu.Domain, costs StackCosts) *Stack {
+	if costs.UserBatch <= 0 {
+		costs.UserBatch = 16
+	}
+	return &Stack{Dom: dom, Costs: costs}
+}
+
+// AttachDevice binds a device's receive path into the stack.
+func (s *Stack) AttachDevice(dev NetDevice) {
+	s.devs = append(s.devs, dev)
+	dev.SetRxHandler(s.deliver)
+}
+
+// Devices returns the attached devices.
+func (s *Stack) Devices() []NetDevice { return s.devs }
+
+// chargeUser batches application time so the task count stays sane.
+func (s *Stack) chargeUser() {
+	s.userAcc++
+	if s.userAcc >= s.Costs.UserBatch {
+		n := s.userAcc
+		s.userAcc = 0
+		s.Dom.Exec(cpu.CatUser, sim.Time(n)*s.Costs.UserPerData, "app.copy", nil)
+	}
+}
+
+// Sender returns a transport send function that pushes segments out
+// through dev toward dstMAC, charging stack transmit costs.
+func (s *Stack) Sender(dev NetDevice, dstMAC ether.MAC) func(*transport.Segment) {
+	return func(seg *transport.Segment) {
+		cost := s.Costs.TxData
+		name := "stack.tx"
+		if seg.Ack {
+			cost = s.Costs.TxAck
+			name = "stack.txack"
+		}
+		s.Dom.Exec(cpu.CatKernel, cost, name, func() {
+			if !seg.Ack {
+				s.chargeUser()
+			}
+			dev.StartXmit(&ether.Frame{
+				Src: dev.MAC(), Dst: dstMAC,
+				Size: seg.FrameBytes(), Payload: seg,
+			})
+		})
+	}
+}
+
+// deliver is the receive upcall from a driver.
+func (s *Stack) deliver(f *ether.Frame) {
+	seg, ok := f.Payload.(*transport.Segment)
+	if !ok {
+		return // opaque/garbage frame (corruption demos): dropped by the stack
+	}
+	cost := s.Costs.RxData
+	name := "stack.rx"
+	if seg.Ack {
+		cost = s.Costs.RxAck
+		name = "stack.rxack"
+	}
+	s.Dom.Exec(cpu.CatKernel, cost, name, func() {
+		if !seg.Ack {
+			s.chargeUser()
+			s.Delivered.Inc()
+		}
+		transport.Dispatch(seg)
+	})
+}

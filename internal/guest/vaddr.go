@@ -1,0 +1,119 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+
+	"cdna/internal/mem"
+	"cdna/internal/ring"
+)
+
+// VAddr is a guest virtual address.
+type VAddr uint64
+
+// AddrSpace is a minimal guest virtual address space: a page-granular
+// map from virtual to physical frames. It backs the small translation
+// library the paper describes in §3.4: "a small library translates the
+// driver's virtual addresses to physical addresses within the guest's
+// driver before making a hypercall request to enqueue a DMA descriptor.
+// For VMMs that use virtual addresses, this library would do nothing."
+type AddrSpace struct {
+	dom   mem.DomID
+	m     *mem.Memory
+	table map[uint64]mem.PFN // VPN -> PFN
+	next  VAddr
+}
+
+// Errors from translation.
+var (
+	ErrUnmapped = errors.New("guest: virtual address not mapped")
+)
+
+// NewAddrSpace creates an empty address space for dom.
+func NewAddrSpace(m *mem.Memory, dom mem.DomID) *AddrSpace {
+	return &AddrSpace{dom: dom, m: m, table: make(map[uint64]mem.PFN), next: 0x400000}
+}
+
+// MapPage installs a translation for one page and returns its virtual
+// base address.
+func (as *AddrSpace) MapPage(pfn mem.PFN) VAddr {
+	va := as.next
+	as.next += mem.PageSize
+	as.table[uint64(va)>>mem.PageShift] = pfn
+	return va
+}
+
+// Alloc allocates n fresh physical pages, maps them contiguously in the
+// virtual space, and returns the virtual base.
+func (as *AddrSpace) Alloc(n int) VAddr {
+	pfns := as.m.Alloc(as.dom, n)
+	base := as.MapPage(pfns[0])
+	for _, pfn := range pfns[1:] {
+		as.MapPage(pfn)
+	}
+	return base
+}
+
+// Translate resolves one virtual address to a physical address.
+func (as *AddrSpace) Translate(va VAddr) (mem.Addr, error) {
+	pfn, ok := as.table[uint64(va)>>mem.PageShift]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrUnmapped, uint64(va))
+	}
+	return pfn.Base() + mem.Addr(uint64(va)&(mem.PageSize-1)), nil
+}
+
+// VDesc is a DMA descriptor expressed in guest virtual addresses, the
+// form a driver would naturally hold before the translation library
+// runs.
+type VDesc struct {
+	VAddr VAddr
+	Len   uint16
+	Flags uint16
+}
+
+// TranslateDescs converts virtual-address descriptors to the physical
+// descriptors the CDNA enqueue hypercall takes, splitting any buffer
+// whose virtual range maps to discontiguous physical pages. This is the
+// §3.4 library: it runs entirely inside the guest driver, before the
+// hypercall.
+func (as *AddrSpace) TranslateDescs(vdescs []VDesc) ([]ring.Desc, error) {
+	out := make([]ring.Desc, 0, len(vdescs))
+	for _, vd := range vdescs {
+		if vd.Len == 0 {
+			return nil, errors.New("guest: zero-length virtual descriptor")
+		}
+		va := vd.VAddr
+		remaining := int(vd.Len)
+		for remaining > 0 {
+			pa, err := as.Translate(va)
+			if err != nil {
+				return nil, err
+			}
+			chunk := mem.PageSize - pa.Offset()
+			if chunk > remaining {
+				chunk = remaining
+			}
+			// Extend the chunk across physically contiguous pages so a
+			// well-behaved allocation stays a single descriptor.
+			for chunk < remaining {
+				nextPA, err := as.Translate(va + VAddr(chunk))
+				if err != nil {
+					return nil, err
+				}
+				if nextPA != pa+mem.Addr(chunk) {
+					break
+				}
+				ext := mem.PageSize
+				if ext > remaining-chunk {
+					ext = remaining - chunk
+				}
+				chunk += ext
+			}
+			out = append(out, ring.Desc{Addr: pa, Len: uint16(chunk), Flags: vd.Flags})
+			va += VAddr(chunk)
+			remaining -= chunk
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package guest
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cdna/internal/core"
+	"cdna/internal/mem"
+	"cdna/internal/ring"
+)
+
+func TestAddrSpaceTranslate(t *testing.T) {
+	m := mem.New()
+	as := NewAddrSpace(m, mem.Dom0+1)
+	pfn := m.AllocOne(mem.Dom0 + 1)
+	va := as.MapPage(pfn)
+	pa, err := as.Translate(va + 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pfn.Base()+123 {
+		t.Fatalf("pa = %#x, want %#x", pa, pfn.Base()+123)
+	}
+	if _, err := as.Translate(0xdeadbeef); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped err = %v", err)
+	}
+}
+
+func TestTranslateDescsSinglePage(t *testing.T) {
+	m := mem.New()
+	as := NewAddrSpace(m, mem.Dom0+1)
+	va := as.Alloc(1)
+	descs, err := as.TranslateDescs([]VDesc{{VAddr: va + 100, Len: 1514, Flags: ring.FlagTx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 || descs[0].Len != 1514 || descs[0].Flags != ring.FlagTx {
+		t.Fatalf("descs = %+v", descs)
+	}
+}
+
+func TestTranslateDescsContiguousPagesMerge(t *testing.T) {
+	m := mem.New()
+	as := NewAddrSpace(m, mem.Dom0+1)
+	// Fresh allocations are physically contiguous in this allocator, so
+	// a buffer spanning the page boundary stays one descriptor.
+	va := as.Alloc(2)
+	descs, err := as.TranslateDescs([]VDesc{{VAddr: va + mem.PageSize - 100, Len: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 || descs[0].Len != 300 {
+		t.Fatalf("contiguous span split: %+v", descs)
+	}
+}
+
+func TestTranslateDescsDiscontiguousSplit(t *testing.T) {
+	m := mem.New()
+	as := NewAddrSpace(m, mem.Dom0+1)
+	// Map two physically discontiguous pages virtually adjacent.
+	pfns := m.Alloc(mem.Dom0+1, 3)
+	va := as.MapPage(pfns[0])
+	as.MapPage(pfns[2]) // skip pfns[1]: discontiguous
+	descs, err := as.TranslateDescs([]VDesc{{VAddr: va + mem.PageSize - 100, Len: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 2 {
+		t.Fatalf("discontiguous buffer must split: %+v", descs)
+	}
+	if int(descs[0].Len)+int(descs[1].Len) != 300 {
+		t.Fatalf("split lost bytes: %+v", descs)
+	}
+	if descs[0].Addr != pfns[0].Base()+mem.PageSize-100 || descs[1].Addr != pfns[2].Base() {
+		t.Fatalf("split addresses wrong: %+v", descs)
+	}
+}
+
+func TestTranslateDescsUnmappedAndZero(t *testing.T) {
+	m := mem.New()
+	as := NewAddrSpace(m, mem.Dom0+1)
+	if _, err := as.TranslateDescs([]VDesc{{VAddr: 0x999000, Len: 10}}); err == nil {
+		t.Fatal("unmapped translation accepted")
+	}
+	va := as.Alloc(1)
+	if _, err := as.TranslateDescs([]VDesc{{VAddr: va, Len: 0}}); err == nil {
+		t.Fatal("zero-length descriptor accepted")
+	}
+}
+
+// TestTranslatedDescsPassProtection: the §3.4 pipeline end to end —
+// virtual descriptors translated in the guest, then validated and
+// enqueued by the hypervisor.
+func TestTranslatedDescsPassProtection(t *testing.T) {
+	m := mem.New()
+	const dom = mem.Dom0 + 1
+	as := NewAddrSpace(m, dom)
+	prot := core.NewProtection(m, core.ModeHypercall)
+	r, err := ring.New("tx", ring.DefaultLayout, m.AllocOne(dom).Base(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prot.RegisterRing(dom, r, 128); err != nil {
+		t.Fatal(err)
+	}
+	va := as.Alloc(2)
+	descs, err := as.TranslateDescs([]VDesc{{VAddr: va + 200, Len: 1514, Flags: ring.FlagTx}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := prot.Enqueue(dom, r, descs)
+	if err != nil || n != len(descs) {
+		t.Fatalf("Enqueue = %d, %v", n, err)
+	}
+}
+
+// Property: translation conserves length and never crosses an unmapped
+// boundary.
+func TestTranslateDescsProperty(t *testing.T) {
+	f := func(off uint16, length uint16, pages uint8) bool {
+		m := mem.New()
+		as := NewAddrSpace(m, mem.Dom0+1)
+		n := int(pages%4) + 2
+		va := as.Alloc(n)
+		o := int(off) % mem.PageSize
+		l := int(length)%(mem.PageSize*(n-1)) + 1
+		descs, err := as.TranslateDescs([]VDesc{{VAddr: va + VAddr(o), Len: uint16(min(l, 65535))}})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, d := range descs {
+			total += int(d.Len)
+		}
+		return total == min(l, 65535)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

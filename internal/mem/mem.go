@@ -1,0 +1,354 @@
+// Package mem models host physical memory as 4 KB pages with per-page
+// ownership, reference counting, and byte-level contents. It implements
+// the memory-safety substrate the CDNA protection mechanisms (paper §3.3)
+// rely on:
+//
+//   - every page has an owning domain; ownership can be transferred
+//     ("page flipping", used by Xen's front-end/back-end path);
+//   - pages carry a reference count; a freed page is not returned to the
+//     allocator while its refcount is non-zero, which is how the
+//     hypervisor prevents reallocation during an in-flight DMA;
+//   - pages can be marked hypervisor-exclusive for writing, which is how
+//     the hypervisor takes exclusive write access to the CDNA descriptor
+//     rings during driver initialization.
+//
+// CPU writes go through WriteAs and are permission-checked. Device (DMA)
+// accesses go through Read/Write with no checks — exactly like real
+// hardware without an IOMMU, which is the attack surface CDNA's
+// descriptor validation exists to close.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DomID identifies a domain for ownership purposes.
+type DomID int
+
+// Reserved domain IDs.
+const (
+	DomInvalid DomID = -1
+	DomHyp     DomID = 0 // the hypervisor itself
+	Dom0       DomID = 1 // the driver domain
+	// Guest domains are Dom0+1, Dom0+2, ...
+)
+
+// PageSize is the host page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// PFN returns the frame containing the address.
+func (a Addr) PFN() PFN { return PFN(a >> PageShift) }
+
+// Offset returns the in-page offset of the address.
+func (a Addr) Offset() int { return int(a & (PageSize - 1)) }
+
+// Base returns the first address of the frame.
+func (p PFN) Base() Addr { return Addr(p) << PageShift }
+
+// Errors returned by memory operations.
+var (
+	ErrNotOwner     = errors.New("mem: caller does not own page")
+	ErrNoPage       = errors.New("mem: no such page")
+	ErrPageBusy     = errors.New("mem: page has outstanding references")
+	ErrHypExclusive = errors.New("mem: page is hypervisor-exclusive for writing")
+	ErrZeroRef      = errors.New("mem: refcount underflow")
+	ErrFreed        = errors.New("mem: page already freed")
+)
+
+type page struct {
+	owner   DomID
+	ref     int
+	freed   bool // owner freed it; returns to pool when ref drops to 0
+	hypOnly bool // only the hypervisor may CPU-write this page
+	data    []byte
+}
+
+// Memory is the machine's physical memory.
+type Memory struct {
+	pages   map[PFN]*page
+	freeQ   []PFN
+	nextPFN PFN
+
+	// DeviceWrites counts DMA writes per owning domain; diagnostics for
+	// the protection-off corruption demo.
+	DeviceWrites map[DomID]uint64
+}
+
+// New returns an empty physical memory.
+func New() *Memory {
+	return &Memory{
+		pages:        make(map[PFN]*page),
+		nextPFN:      1, // PFN 0 is never allocated; Addr 0 stays invalid
+		DeviceWrites: make(map[DomID]uint64),
+	}
+}
+
+// Alloc allocates n pages owned by dom and returns their frame numbers.
+func (m *Memory) Alloc(dom DomID, n int) []PFN {
+	out := make([]PFN, 0, n)
+	for i := 0; i < n; i++ {
+		var pfn PFN
+		if len(m.freeQ) > 0 {
+			pfn = m.freeQ[0]
+			m.freeQ = m.freeQ[1:]
+			pg := m.pages[pfn]
+			pg.owner = dom
+			pg.freed = false
+			pg.hypOnly = false
+			for j := range pg.data {
+				pg.data[j] = 0
+			}
+		} else {
+			pfn = m.nextPFN
+			m.nextPFN++
+			m.pages[pfn] = &page{owner: dom}
+		}
+		out = append(out, pfn)
+	}
+	return out
+}
+
+// AllocOne allocates a single page.
+func (m *Memory) AllocOne(dom DomID) PFN { return m.Alloc(dom, 1)[0] }
+
+// Free releases a page back to the allocator. The caller must own the
+// page. If the page has outstanding references (an in-flight DMA), the
+// page is marked freed but is not reallocated until the last reference
+// is dropped — the §3.3 reallocation-delay guarantee.
+func (m *Memory) Free(dom DomID, pfn PFN) error {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return ErrNoPage
+	}
+	if pg.freed {
+		return ErrFreed
+	}
+	if pg.owner != dom && dom != DomHyp {
+		return ErrNotOwner
+	}
+	pg.freed = true
+	pg.owner = DomInvalid
+	if pg.ref == 0 {
+		m.freeQ = append(m.freeQ, pfn)
+	}
+	return nil
+}
+
+// Owner returns the owning domain, or DomInvalid for unknown/freed pages.
+func (m *Memory) Owner(pfn PFN) DomID {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return DomInvalid
+	}
+	return pg.owner
+}
+
+// Get increments the page's DMA reference count (hypervisor pins the page
+// for an enqueued descriptor).
+func (m *Memory) Get(pfn PFN) error {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return ErrNoPage
+	}
+	pg.ref++
+	return nil
+}
+
+// Put decrements the reference count. When a freed page's count reaches
+// zero it finally returns to the allocator.
+func (m *Memory) Put(pfn PFN) error {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return ErrNoPage
+	}
+	if pg.ref == 0 {
+		return ErrZeroRef
+	}
+	pg.ref--
+	if pg.ref == 0 && pg.freed {
+		m.freeQ = append(m.freeQ, pfn)
+	}
+	return nil
+}
+
+// Refs returns the current reference count.
+func (m *Memory) Refs(pfn PFN) int {
+	if pg, ok := m.pages[pfn]; ok {
+		return pg.ref
+	}
+	return 0
+}
+
+// Transfer moves ownership of a page from one domain to another (the page
+// flip used by the Xen network path). It fails while references are
+// outstanding, because the pinned page may be a DMA target.
+func (m *Memory) Transfer(pfn PFN, from, to DomID) error {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return ErrNoPage
+	}
+	if pg.owner != from {
+		return ErrNotOwner
+	}
+	if pg.ref != 0 {
+		return ErrPageBusy
+	}
+	pg.owner = to
+	return nil
+}
+
+// SetHypExclusive marks or clears hypervisor-exclusive write access on a
+// page (descriptor-ring protection, §3.3).
+func (m *Memory) SetHypExclusive(pfn PFN, on bool) error {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		return ErrNoPage
+	}
+	pg.hypOnly = on
+	return nil
+}
+
+// HypExclusive reports whether the page is hypervisor-exclusive.
+func (m *Memory) HypExclusive(pfn PFN) bool {
+	pg, ok := m.pages[pfn]
+	return ok && pg.hypOnly
+}
+
+// RangeOwned reports whether every byte of [addr, addr+n) lies in pages
+// owned by dom. It is the core ownership check of descriptor validation.
+func (m *Memory) RangeOwned(dom DomID, addr Addr, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	first, last := addr.PFN(), Addr(uint64(addr)+uint64(n)-1).PFN()
+	for pfn := first; pfn <= last; pfn++ {
+		pg, ok := m.pages[pfn]
+		if !ok || pg.owner != dom || pg.freed {
+			return false
+		}
+	}
+	return true
+}
+
+// RangePFNs returns the frames spanned by [addr, addr+n).
+func RangePFNs(addr Addr, n int) []PFN {
+	if n <= 0 {
+		return nil
+	}
+	first, last := addr.PFN(), Addr(uint64(addr)+uint64(n)-1).PFN()
+	out := make([]PFN, 0, last-first+1)
+	for pfn := first; pfn <= last; pfn++ {
+		out = append(out, pfn)
+	}
+	return out
+}
+
+func (m *Memory) pageFor(a Addr) (*page, error) {
+	pg, ok := m.pages[a.PFN()]
+	if !ok {
+		return nil, fmt.Errorf("%w: pfn %d", ErrNoPage, a.PFN())
+	}
+	return pg, nil
+}
+
+// Write stores bytes at addr with no permission checks: this is the
+// device/DMA path (hardware without an IOMMU can write anywhere).
+func (m *Memory) Write(addr Addr, b []byte) error {
+	return m.writeRaw(addr, b, true)
+}
+
+func (m *Memory) writeRaw(addr Addr, b []byte, device bool) error {
+	for len(b) > 0 {
+		pg, err := m.pageFor(addr)
+		if err != nil {
+			return err
+		}
+		if pg.data == nil {
+			pg.data = make([]byte, PageSize)
+		}
+		off := addr.Offset()
+		n := copy(pg.data[off:], b)
+		if device {
+			m.DeviceWrites[pg.owner] += uint64(n)
+		}
+		b = b[n:]
+		addr += Addr(n)
+	}
+	return nil
+}
+
+// WriteAs stores bytes at addr on behalf of a CPU domain, enforcing
+// ownership and hypervisor-exclusive protection. The hypervisor may write
+// anywhere.
+func (m *Memory) WriteAs(dom DomID, addr Addr, b []byte) error {
+	// Permission check over the whole range first, so partial writes
+	// cannot leak through.
+	first, last := addr.PFN(), Addr(uint64(addr)+uint64(len(b))-1).PFN()
+	if len(b) == 0 {
+		last = first
+	}
+	for pfn := first; pfn <= last; pfn++ {
+		pg, ok := m.pages[pfn]
+		if !ok {
+			return ErrNoPage
+		}
+		if dom != DomHyp {
+			if pg.owner != dom {
+				return ErrNotOwner
+			}
+			if pg.hypOnly {
+				return ErrHypExclusive
+			}
+		}
+	}
+	return m.writeRaw(addr, b, false)
+}
+
+// Read copies n bytes starting at addr (device path, unchecked).
+func (m *Memory) Read(addr Addr, n int) ([]byte, error) {
+	out := make([]byte, n)
+	dst := out
+	for len(dst) > 0 {
+		pg, err := m.pageFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		off := addr.Offset()
+		var c int
+		if pg.data == nil {
+			c = PageSize - off
+			if c > len(dst) {
+				c = len(dst)
+			}
+			for i := 0; i < c; i++ {
+				dst[i] = 0
+			}
+		} else {
+			c = copy(dst, pg.data[off:])
+		}
+		dst = dst[c:]
+		addr += Addr(c)
+	}
+	return out, nil
+}
+
+// Pages returns how many live (not freed) pages dom owns.
+func (m *Memory) Pages(dom DomID) int {
+	n := 0
+	for _, pg := range m.pages {
+		if pg.owner == dom && !pg.freed {
+			n++
+		}
+	}
+	return n
+}

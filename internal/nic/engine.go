@@ -1,0 +1,406 @@
+package nic
+
+import (
+	"cdna/internal/bus"
+	"cdna/internal/ether"
+	"cdna/internal/mem"
+	"cdna/internal/ring"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Params configures the DMA/packet engine.
+type Params struct {
+	ProcTx     sim.Time // processing per transmitted packet
+	ProcRx     sim.Time // processing per received packet
+	FetchBatch int      // descriptors fetched per DMA read
+	RxPrefetch int      // receive descriptors to keep fetched ahead
+	TxWindow   int      // frames the engine keeps queued on the wire ahead
+	// RxBufBytes is the per-queue on-NIC receive packet buffer (the
+	// RiceNIC provides 128 KB per context, §4): frames arriving while
+	// descriptors are published but not yet fetched wait here instead
+	// of being dropped. 0 disables buffering (drop immediately).
+	RxBufBytes int
+}
+
+// DefaultParams returns a conventional-ASIC parameterization.
+func DefaultParams() Params {
+	return Params{
+		ProcTx:     300 * sim.Nanosecond,
+		ProcRx:     400 * sim.Nanosecond,
+		FetchBatch: 16,
+		RxPrefetch: 64,
+		TxWindow:   3,
+		RxBufBytes: 128 << 10,
+	}
+}
+
+// Hooks are the device-specific policies layered on the generic engine.
+type Hooks struct {
+	// CheckTxSeq/CheckRxSeq validate a descriptor's sequence number for
+	// queue qid (nil = no checking, the conventional-NIC case). A false
+	// return freezes the queue and reports a fault.
+	CheckTxSeq func(qid int, d ring.Desc) bool
+	CheckRxSeq func(qid int, d ring.Desc) bool
+	// OnFault reports a protection fault on a queue.
+	OnFault func(qid int, tx bool, d ring.Desc)
+	// LookupTx maps a tx descriptor (by free-running ring index) to the
+	// frame the driver associated with it; nil results transmit an
+	// opaque frame of the descriptor's length (the stale-descriptor /
+	// corrupted case).
+	LookupTx func(qid int, idx uint32) *ether.Frame
+	// RxQueueFor demultiplexes an incoming frame to a queue (-1 drops).
+	RxQueueFor func(dst ether.MAC) int
+	// OnRxDelivered records a received frame's completion (the data is
+	// now in host memory; the driver sees it at its next interrupt).
+	OnRxDelivered func(qid int, f *ether.Frame, d ring.Desc)
+	// OnCompletion is called for every finished tx or rx descriptor;
+	// devices use it to accumulate interrupt state (bit vectors).
+	OnCompletion func(qid int, tx bool)
+}
+
+type txEntry struct {
+	idx  uint32
+	desc ring.Desc
+}
+
+type queue struct {
+	id     int
+	tx, rx *ring.Ring
+	active bool
+
+	// NIC-visible producer indices (mailbox values).
+	txProd, rxProd uint32
+	// Next free-running index to fetch.
+	txFetch, rxFetch uint32
+
+	txFifo     []txEntry
+	rxFifo     []txEntry
+	txFetching bool
+	rxFetching bool
+	txConsumed uint32 // free-running count of tx descriptors completed
+	rxConsumed uint32
+
+	// On-NIC receive packet buffer: frames waiting for a descriptor
+	// fetch to complete (§4's per-context buffering).
+	rxHeld      []*ether.Frame
+	rxHeldBytes int
+}
+
+// Engine is the generic multi-queue NIC data engine.
+type Engine struct {
+	Eng    *sim.Engine
+	Bus    *bus.Bus
+	Mem    *mem.Memory
+	Out    *ether.Pipe
+	Proc   *Server
+	Params Params
+	Hooks  Hooks
+
+	queues  []*queue
+	rrNext  int
+	pumping bool
+
+	TxPackets  stats.Counter
+	RxPackets  stats.Counter
+	RxDrops    stats.Counter // no posted buffer or no matching queue
+	RxBuffered stats.Counter // frames absorbed by the on-NIC buffer
+	Faults     stats.Counter
+}
+
+// NewEngine creates the data engine. Hooks must be set before traffic
+// flows.
+func NewEngine(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) *Engine {
+	return &Engine{Eng: eng, Bus: b, Mem: m, Out: out, Proc: NewServer(eng), Params: p}
+}
+
+// AddQueue registers a queue pair over the given rings and returns its
+// queue id.
+func (e *Engine) AddQueue(tx, rx *ring.Ring) int {
+	q := &queue{id: len(e.queues), tx: tx, rx: rx, active: true}
+	e.queues = append(e.queues, q)
+	return q.id
+}
+
+// DetachQueue shuts down a queue (context revocation): pending work is
+// discarded and future mailbox writes and frames are ignored.
+func (e *Engine) DetachQueue(qid int) {
+	if qid < 0 || qid >= len(e.queues) {
+		return
+	}
+	q := e.queues[qid]
+	q.active = false
+	q.txFifo = nil
+	q.rxFifo = nil
+	q.rxHeld = nil
+	q.rxHeldBytes = 0
+}
+
+// QueueActive reports whether the queue is serving.
+func (e *Engine) QueueActive(qid int) bool {
+	return qid >= 0 && qid < len(e.queues) && e.queues[qid].active
+}
+
+// KickTx is the tx mailbox write: the NIC learns the new producer index
+// and begins fetching/transmitting. The value is trusted, exactly as the
+// paper describes — validation happens via sequence numbers.
+func (e *Engine) KickTx(qid int, prod uint32) {
+	q := e.queues[qid]
+	if !q.active {
+		return
+	}
+	q.txProd = prod
+	e.fetchTx(q)
+	e.pump()
+}
+
+// KickRx is the rx mailbox write (new receive buffers posted).
+func (e *Engine) KickRx(qid int, prod uint32) {
+	q := e.queues[qid]
+	if !q.active {
+		return
+	}
+	q.rxProd = prod
+	e.fetchRx(q)
+}
+
+// fetchTx issues a descriptor DMA read when there is something to fetch.
+func (e *Engine) fetchTx(q *queue) {
+	if q.txFetching || !q.active {
+		return
+	}
+	n := int(q.txProd - q.txFetch)
+	if n <= 0 {
+		return
+	}
+	if n > e.Params.FetchBatch {
+		n = e.Params.FetchBatch
+	}
+	q.txFetching = true
+	start := q.txFetch
+	e.Bus.DMA(n*q.tx.Layout.Size, "txdesc", func() {
+		q.txFetching = false
+		if !q.active {
+			return
+		}
+		for i := 0; i < n; i++ {
+			idx := start + uint32(i)
+			d, err := q.tx.ReadDesc(e.Mem, idx)
+			if err != nil {
+				return
+			}
+			if e.Hooks.CheckTxSeq != nil && !e.Hooks.CheckTxSeq(q.id, d) {
+				e.fault(q, true, d)
+				return
+			}
+			q.txFifo = append(q.txFifo, txEntry{idx: idx, desc: d})
+			q.txFetch = idx + 1
+		}
+		e.fetchTx(q) // keep fetching if more were published
+		e.pump()
+	})
+}
+
+// fetchRx prefetches receive descriptors.
+func (e *Engine) fetchRx(q *queue) {
+	if q.rxFetching || !q.active {
+		return
+	}
+	have := len(q.rxFifo)
+	if have >= e.Params.RxPrefetch {
+		return
+	}
+	n := int(q.rxProd - q.rxFetch)
+	if n <= 0 {
+		return
+	}
+	if n > e.Params.FetchBatch {
+		n = e.Params.FetchBatch
+	}
+	q.rxFetching = true
+	start := q.rxFetch
+	e.Bus.DMA(n*q.rx.Layout.Size, "rxdesc", func() {
+		q.rxFetching = false
+		if !q.active {
+			return
+		}
+		for i := 0; i < n; i++ {
+			idx := start + uint32(i)
+			d, err := q.rx.ReadDesc(e.Mem, idx)
+			if err != nil {
+				return
+			}
+			if e.Hooks.CheckRxSeq != nil && !e.Hooks.CheckRxSeq(q.id, d) {
+				e.fault(q, false, d)
+				return
+			}
+			q.rxFifo = append(q.rxFifo, txEntry{idx: idx, desc: d})
+			q.rxFetch = idx + 1
+		}
+		// Buffered frames drain now that descriptors are available.
+		for len(q.rxHeld) > 0 && len(q.rxFifo) > 0 {
+			f := q.rxHeld[0]
+			q.rxHeld = q.rxHeld[1:]
+			q.rxHeldBytes -= f.Size
+			e.deliverRx(q, f)
+		}
+		e.fetchRx(q)
+	})
+}
+
+func (e *Engine) fault(q *queue, tx bool, d ring.Desc) {
+	e.Faults.Inc()
+	if e.Hooks.OnFault != nil {
+		e.Hooks.OnFault(q.id, tx, d)
+	}
+	e.DetachQueue(q.id)
+}
+
+// pump is the transmit service loop: round-robin across queues with
+// fetched descriptors ("the NIC simply services all of the hardware
+// contexts fairly and interleaves the network traffic", §3.1), pacing
+// against the wire.
+func (e *Engine) pump() {
+	if e.pumping {
+		return
+	}
+	e.pumping = true
+	e.pumpStep()
+}
+
+func (e *Engine) pumpStep() {
+	// Pace against the wire: keep at most TxWindow frames serialized
+	// ahead, and resume as soon as the backlog falls back under the
+	// threshold (not when the wire drains — that would leave bubbles).
+	slot := sim.Time(float64(1538) * 8) // ~one full frame at 1 Gb/s, in ns
+	if e.Out != nil {
+		limit := sim.Time(e.Params.TxWindow) * slot
+		if bl := e.Out.Backlog(); bl > limit {
+			e.Eng.After(bl-limit, "nic.pace", e.pumpStep)
+			return
+		}
+	}
+	// Round-robin scan for a queue with transmittable work.
+	n := len(e.queues)
+	for i := 0; i < n; i++ {
+		q := e.queues[(e.rrNext+i)%n]
+		if !q.active || len(q.txFifo) == 0 {
+			continue
+		}
+		e.rrNext = (e.rrNext + i + 1) % n
+		entry := q.txFifo[0]
+		q.txFifo = q.txFifo[1:]
+		if len(q.txFifo) < e.Params.FetchBatch {
+			e.fetchTx(q)
+		}
+		e.Proc.Do(e.Params.ProcTx, "tx", func() {
+			// DMA the payload out of host memory, then transmit.
+			e.Bus.DMA(int(entry.desc.Len), "txdata", func() {
+				var f *ether.Frame
+				if e.Hooks.LookupTx != nil {
+					f = e.Hooks.LookupTx(q.id, entry.idx)
+				}
+				if f == nil {
+					// Stale or forged descriptor: the NIC transmits
+					// whatever bytes the memory held.
+					f = &ether.Frame{Size: int(entry.desc.Len)}
+				}
+				if e.Out != nil {
+					e.Out.Send(f)
+				}
+				e.TxPackets.Inc()
+				e.completeTx(q)
+				e.pumpStep()
+			})
+		})
+		return
+	}
+	e.pumping = false
+}
+
+func (e *Engine) completeTx(q *queue) {
+	if q.tx.Avail() > 0 {
+		q.tx.Consume(1) // host-visible consumer index writeback
+	}
+	q.txConsumed++
+	if e.Hooks.OnCompletion != nil {
+		e.Hooks.OnCompletion(q.id, true)
+	}
+}
+
+// Receive implements ether.Port: a frame arrived from the wire.
+func (e *Engine) Receive(f *ether.Frame) {
+	qid := 0
+	if e.Hooks.RxQueueFor != nil {
+		qid = e.Hooks.RxQueueFor(f.Dst)
+	}
+	if qid < 0 || qid >= len(e.queues) || !e.queues[qid].active {
+		e.RxDrops.Inc()
+		return
+	}
+	q := e.queues[qid]
+	if len(q.rxFifo) == 0 {
+		// No fetched descriptor. If more are published (or a fetch is in
+		// flight) and the on-NIC packet buffer has room, hold the frame;
+		// otherwise tail-drop (§2.2 semantics).
+		fetchable := q.rxFetching || int(q.rxProd-q.rxFetch) > 0
+		if fetchable && q.rxHeldBytes+f.Size <= e.Params.RxBufBytes {
+			q.rxHeld = append(q.rxHeld, f)
+			q.rxHeldBytes += f.Size
+			e.RxBuffered.Inc()
+			e.fetchRx(q)
+			return
+		}
+		e.RxDrops.Inc()
+		e.fetchRx(q)
+		return
+	}
+	e.deliverRx(q, f)
+}
+
+// deliverRx consumes one fetched descriptor for frame f: NIC processing,
+// payload DMA into the host buffer, consumer-index writeback, and the
+// completion hook.
+func (e *Engine) deliverRx(q *queue, f *ether.Frame) {
+	entry := q.rxFifo[0]
+	q.rxFifo = q.rxFifo[1:]
+	if len(q.rxFifo) < e.Params.RxPrefetch/2 {
+		e.fetchRx(q)
+	}
+	e.Proc.Do(e.Params.ProcRx, "rx", func() {
+		size := f.Size
+		if size > int(entry.desc.Len) {
+			size = int(entry.desc.Len)
+		}
+		e.Bus.DMA(size, "rxdata", func() {
+			if !q.active {
+				return
+			}
+			if q.rx.Avail() > 0 {
+				q.rx.Consume(1)
+			}
+			q.rxConsumed++
+			e.RxPackets.Inc()
+			if e.Hooks.OnRxDelivered != nil {
+				e.Hooks.OnRxDelivered(q.id, f, entry.desc)
+			}
+			if e.Hooks.OnCompletion != nil {
+				e.Hooks.OnCompletion(q.id, false)
+			}
+		})
+	})
+}
+
+// TxBacklog returns fetched-but-untransmitted descriptors on a queue.
+func (e *Engine) TxBacklog(qid int) int { return len(e.queues[qid].txFifo) }
+
+// RxPosted returns fetched receive buffers ready for arrivals.
+func (e *Engine) RxPosted(qid int) int { return len(e.queues[qid].rxFifo) }
+
+// StartWindow resets windowed counters.
+func (e *Engine) StartWindow() {
+	e.TxPackets.StartWindow()
+	e.RxPackets.StartWindow()
+	e.RxDrops.StartWindow()
+	e.Faults.StartWindow()
+}

@@ -1,0 +1,71 @@
+// Package ricenic models the CDNA-modified RiceNIC (§4): an FPGA-based
+// Gigabit NIC with 32 hardware contexts, each exposing a page-sized SRAM
+// partition with 24 mailboxes, a two-level mailbox event bit-vector
+// hierarchy maintained in hardware, per-context transmit/receive
+// descriptor rings with sequence-number validation, MAC-based receive
+// demultiplexing, fair transmit interleaving across contexts, and
+// interrupt delivery via DMA'd bit vectors.
+package ricenic
+
+import "math/bits"
+
+// NumMailboxes matches the paper's 24 mailbox locations per context.
+const NumMailboxes = 24
+
+// Mailbox assignments used by the CDNA driver.
+const (
+	MboxTxProd = 0 // transmit producer index
+	MboxRxProd = 1 // receive producer index
+)
+
+// MailboxHW is the hardware mailbox-event unit (§4): a snooper on the
+// SRAM bus that records PIO mailbox writes in a two-level bit-vector
+// hierarchy held in the processor's scratchpad. The first level says
+// which contexts have events; the second says which mailboxes within a
+// context. Values are stored in the (modeled) SRAM partitions.
+type MailboxHW struct {
+	level1 uint32
+	level2 [32]uint32
+	values [32][NumMailboxes]uint32
+}
+
+// Write records a PIO store to a context's mailbox. Repeated writes to
+// the same mailbox before the firmware services it simply overwrite the
+// value (producer indices are cumulative, so nothing is lost).
+func (h *MailboxHW) Write(ctx, mbox int, val uint32) {
+	if ctx < 0 || ctx >= 32 || mbox < 0 || mbox >= NumMailboxes {
+		return
+	}
+	h.values[ctx][mbox] = val
+	h.level2[ctx] |= 1 << uint(mbox)
+	h.level1 |= 1 << uint(ctx)
+}
+
+// Pending reports whether any mailbox event awaits service.
+func (h *MailboxHW) Pending() bool { return h.level1 != 0 }
+
+// DecodeNext pops the next mailbox event in (context, mailbox) order by
+// walking the two bit-vector levels, exactly the firmware's decode loop.
+func (h *MailboxHW) DecodeNext() (ctx, mbox int, val uint32, ok bool) {
+	if h.level1 == 0 {
+		return 0, 0, 0, false
+	}
+	ctx = bits.TrailingZeros32(h.level1)
+	mbox = bits.TrailingZeros32(h.level2[ctx])
+	val = h.values[ctx][mbox]
+	h.level2[ctx] &^= 1 << uint(mbox)
+	if h.level2[ctx] == 0 {
+		h.level1 &^= 1 << uint(ctx)
+	}
+	return ctx, mbox, val, true
+}
+
+// ClearContext drops all pending events for a context (used by the
+// event-clear message path and on revocation).
+func (h *MailboxHW) ClearContext(ctx int) {
+	if ctx < 0 || ctx >= 32 {
+		return
+	}
+	h.level2[ctx] = 0
+	h.level1 &^= 1 << uint(ctx)
+}

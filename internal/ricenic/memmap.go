@@ -1,0 +1,78 @@
+package ricenic
+
+import (
+	"fmt"
+
+	"cdna/internal/core"
+)
+
+// Memory map of the CDNA-modified RiceNIC (§4).
+//
+// The board carries 2 MB of SRAM reachable by host PIO. The low 128 KB
+// is divided into 32 page-sized partitions, one per hardware context;
+// only this SRAM can be memory-mapped into a host address space, so a
+// guest's reach is exactly its own 4 KB partition. The low 24 words of
+// each partition are the mailboxes; the rest is general-purpose shared
+// memory between the guest driver and the NIC.
+//
+// Beyond the PIO window, each context uses 128 KB of on-board memory for
+// metadata (descriptor-ring shadows) and the NIC buffers transmit and
+// receive packet data in two globally shared 128 KB-per-context pools —
+// 12 MB in total for 32 contexts, which is the paper's argument that a
+// commodity NIC could afford CDNA.
+const (
+	SRAMBytes          = 2 << 20
+	PartitionBytes     = core.ContextPartitionBytes // 4 KB, one host page
+	PartitionedBytes   = 32 * PartitionBytes        // 128 KB of SRAM partitions
+	MetadataPerContext = 128 << 10
+	TxBufferPerContext = 128 << 10
+	RxBufferPerContext = 128 << 10
+)
+
+// TotalContextMemory returns the on-board memory needed for n contexts
+// (the paper's "only 12 MB ... to support 32 contexts").
+func TotalContextMemory(n int) int {
+	return n * (MetadataPerContext + TxBufferPerContext + RxBufferPerContext)
+}
+
+// PIOAddr is an offset into the NIC's PCI memory-mapped SRAM window.
+type PIOAddr uint32
+
+// MailboxPIOAddr returns the PIO address of a context's mailbox.
+func MailboxPIOAddr(ctx, mbox int) PIOAddr {
+	return PIOAddr(ctx*PartitionBytes + mbox*4)
+}
+
+// DecodePIO classifies a PIO write address: which context partition it
+// falls in, and whether it hits a mailbox word (mbox >= 0) or the
+// partition's general-purpose shared memory (mbox == -1). Addresses
+// outside the partitioned region are invalid — nothing else on the
+// board is PIO-reachable.
+func DecodePIO(addr PIOAddr) (ctx, mbox int, err error) {
+	if addr >= PartitionedBytes {
+		return 0, 0, fmt.Errorf("ricenic: PIO address %#x outside the partitioned SRAM window", uint32(addr))
+	}
+	ctx = int(addr / PartitionBytes)
+	off := int(addr % PartitionBytes)
+	if off%4 == 0 && off/4 < NumMailboxes {
+		return ctx, off / 4, nil
+	}
+	return ctx, -1, nil
+}
+
+// PIOWrite is the address-decoded PIO path: the hardware snoops the
+// SRAM bus, so a write to any mailbox word generates a mailbox event,
+// while writes to the rest of the partition are plain shared-memory
+// stores. The hypervisor maps one partition per guest, so a guest
+// cannot form an address targeting another context (§3.1); the model
+// still decodes defensively.
+func (n *NIC) PIOWrite(addr PIOAddr, val uint32) error {
+	ctx, mbox, err := DecodePIO(addr)
+	if err != nil {
+		return err
+	}
+	if mbox >= 0 {
+		n.MailboxWrite(ctx, mbox, val)
+	}
+	return nil
+}

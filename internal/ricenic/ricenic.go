@@ -1,0 +1,307 @@
+package ricenic
+
+import (
+	"cdna/internal/bus"
+	"cdna/internal/core"
+	"cdna/internal/ether"
+	"cdna/internal/mem"
+	"cdna/internal/nic"
+	"cdna/internal/ring"
+	"cdna/internal/sim"
+)
+
+// Params configures the device.
+type Params struct {
+	Engine          nic.Params
+	MboxDecode      sim.Time // firmware cost to service one mailbox event
+	CoalesceDelay   sim.Time // interrupt coalescing timer, transmit completions
+	RxCoalesceDelay sim.Time // interrupt coalescing timer, receive completions
+	CoalescePkts    int      // transmit-completion threshold
+	RxCoalescePkts  int      // receive-completion threshold
+	BitVecEntries   int
+	// SeqCheck enables descriptor sequence validation (§3.3). Disabled
+	// only for the protection-off configuration of Table 4.
+	SeqCheck bool
+	// DirectPerContextIRQ is the §3.2 ablation: instead of one physical
+	// interrupt per posted bit vector, the NIC raises one per context
+	// with updates, modeling hardware that interrupts guests directly.
+	DirectPerContextIRQ bool
+}
+
+// DefaultParams models the RiceNIC firmware on one 300 MHz PowerPC: it
+// comfortably saturates the Gigabit link, as the paper reports.
+func DefaultParams() Params {
+	return Params{
+		Engine: nic.Params{
+			ProcTx:     1500 * sim.Nanosecond,
+			ProcRx:     1700 * sim.Nanosecond,
+			FetchBatch: 16,
+			RxPrefetch: 64,
+			TxWindow:   3,
+			RxBufBytes: 128 << 10,
+		},
+		MboxDecode:      800 * sim.Nanosecond,
+		CoalesceDelay:   70 * sim.Microsecond,
+		RxCoalesceDelay: 140 * sim.Microsecond,
+		CoalescePkts:    32,
+		BitVecEntries:   64,
+		SeqCheck:        true,
+	}
+}
+
+// RxCompletion is a received-frame record the guest driver reads at its
+// next virtual interrupt.
+type RxCompletion struct {
+	Frame *ether.Frame
+	Desc  ring.Desc
+}
+
+type devContext struct {
+	ctx    *core.Context
+	qid    int
+	lookup func(idx uint32) *ether.Frame
+	rxDone []RxCompletion
+}
+
+// NIC is the CDNA-capable device.
+type NIC struct {
+	Name   string
+	Params Params
+	E      *nic.Engine
+	Coal   *nic.Coalescer // transmit-completion coalescer
+	RxCoal *nic.Coalescer // receive-completion coalescer
+	Mbox   MailboxHW
+	BitVec *core.BitVectorQueue
+
+	eng *sim.Engine
+	bus *bus.Bus
+
+	raiseIRQ func()
+	onFault  func(*core.Fault)
+
+	contexts   map[int]*devContext // context ID -> device state
+	byQueue    map[int]*devContext // engine qid -> device state
+	macTable   map[ether.MAC]*devContext
+	decoding   bool
+	promiscCtx int // context receiving unmatched frames (-1 = drop)
+}
+
+// SetPromiscuous routes frames whose destination MAC matches no context
+// to the given context — how the driver domain uses a single RiceNIC
+// context to bridge all guest traffic in the software-virtualization
+// configuration (Xen/RiceNIC rows of Tables 2-3).
+func (n *NIC) SetPromiscuous(ctxID int) { n.promiscCtx = ctxID }
+
+// New creates the NIC. The interrupt bit-vector queue lives in
+// hypervisor memory and is allocated here (the hypervisor tells the NIC
+// where during initialization).
+func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) (*NIC, error) {
+	n := &NIC{
+		Name: "ricenic", Params: p, eng: eng, bus: b,
+		contexts:   make(map[int]*devContext),
+		byQueue:    make(map[int]*devContext),
+		macTable:   make(map[ether.MAC]*devContext),
+		promiscCtx: -1,
+	}
+	bvPages := (core.BitVectorBytes(p.BitVecEntries) + mem.PageSize - 1) / mem.PageSize
+	base := m.Alloc(mem.DomHyp, bvPages)[0].Base()
+	bv, err := core.NewBitVectorQueue(m, base, p.BitVecEntries)
+	if err != nil {
+		return nil, err
+	}
+	n.BitVec = bv
+	n.E = nic.NewEngine(eng, b, m, out, p.Engine)
+	n.Coal = nic.NewCoalescer(eng, p.CoalesceDelay, p.CoalescePkts, n.fireInterrupt)
+	rxDelay := p.RxCoalesceDelay
+	if rxDelay == 0 {
+		rxDelay = p.CoalesceDelay
+	}
+	rxPkts := p.RxCoalescePkts
+	if rxPkts == 0 {
+		rxPkts = p.CoalescePkts
+	}
+	n.RxCoal = nic.NewCoalescer(eng, rxDelay, rxPkts, n.fireInterrupt)
+	n.E.Hooks = nic.Hooks{
+		CheckTxSeq: n.checkSeq(true),
+		CheckRxSeq: n.checkSeq(false),
+		OnFault:    n.engineFault,
+		LookupTx: func(qid int, idx uint32) *ether.Frame {
+			if dc, ok := n.byQueue[qid]; ok && dc.lookup != nil {
+				return dc.lookup(idx)
+			}
+			return nil
+		},
+		RxQueueFor: func(dst ether.MAC) int {
+			if dc, ok := n.macTable[dst]; ok {
+				return dc.qid
+			}
+			if n.promiscCtx >= 0 {
+				if dc, ok := n.contexts[n.promiscCtx]; ok {
+					return dc.qid
+				}
+			}
+			return -1
+		},
+		OnRxDelivered: func(qid int, f *ether.Frame, d ring.Desc) {
+			if dc, ok := n.byQueue[qid]; ok {
+				dc.rxDone = append(dc.rxDone, RxCompletion{Frame: f, Desc: d})
+			}
+		},
+		OnCompletion: func(qid int, tx bool) {
+			if dc, ok := n.byQueue[qid]; ok {
+				n.BitVec.Accumulate(dc.ctx.ID)
+				if tx {
+					n.Coal.Event()
+				} else {
+					n.RxCoal.Event()
+				}
+			}
+		},
+	}
+	return n, nil
+}
+
+func (n *NIC) checkSeq(tx bool) func(int, ring.Desc) bool {
+	if !n.Params.SeqCheck {
+		return nil
+	}
+	return func(qid int, d ring.Desc) bool {
+		dc, ok := n.byQueue[qid]
+		if !ok {
+			return false
+		}
+		if tx {
+			return dc.ctx.TxSeq.Check(d.Seq)
+		}
+		return dc.ctx.RxSeq.Check(d.Seq)
+	}
+}
+
+func (n *NIC) engineFault(qid int, tx bool, d ring.Desc) {
+	dc, ok := n.byQueue[qid]
+	if !ok {
+		return
+	}
+	reason := core.FaultSeqMismatch
+	f := &core.Fault{ContextID: dc.ctx.ID, Owner: dc.ctx.Owner, Reason: reason}
+	if n.onFault != nil {
+		n.onFault(f)
+	}
+}
+
+// fireInterrupt posts the interrupt bit vector via DMA and raises the
+// physical interrupt (§3.2).
+func (n *NIC) fireInterrupt() {
+	vec, ok := n.BitVec.Post()
+	if !ok {
+		// Buffer full: bits remain accumulated; the host ISR will drain
+		// and the next completion retries.
+		return
+	}
+	n.bus.DMA(core.PostBytes, "ricenic.bitvec", func() {
+		if n.raiseIRQ == nil {
+			return
+		}
+		if !n.Params.DirectPerContextIRQ {
+			n.raiseIRQ()
+			return
+		}
+		// Ablation: one physical interrupt per context with updates.
+		for c := 0; c < 32; c++ {
+			if vec&(1<<uint(c)) != 0 {
+				n.raiseIRQ()
+			}
+		}
+	})
+}
+
+// SetHost installs the hypervisor-facing callbacks: the physical
+// interrupt line and the protection-fault report channel.
+func (n *NIC) SetHost(raiseIRQ func(), onFault func(*core.Fault)) {
+	n.raiseIRQ = raiseIRQ
+	n.onFault = onFault
+}
+
+// AttachContext activates a hardware context previously assigned by the
+// hypervisor's ContextManager and installs the guest driver's tx frame
+// lookup.
+func (n *NIC) AttachContext(ctx *core.Context, lookup func(idx uint32) *ether.Frame) {
+	qid := n.E.AddQueue(ctx.TxRing, ctx.RxRing)
+	dc := &devContext{ctx: ctx, qid: qid, lookup: lookup}
+	n.contexts[ctx.ID] = dc
+	n.byQueue[qid] = dc
+	n.macTable[ctx.MAC] = dc
+}
+
+// DetachContext shuts down all pending operations for a context (§3.1
+// revocation).
+func (n *NIC) DetachContext(ctxID int) {
+	dc, ok := n.contexts[ctxID]
+	if !ok {
+		return
+	}
+	n.E.DetachQueue(dc.qid)
+	n.Mbox.ClearContext(ctxID)
+	delete(n.macTable, dc.ctx.MAC)
+	delete(n.contexts, ctxID)
+	delete(n.byQueue, dc.qid)
+}
+
+// MailboxWrite is the guest's PIO into its context partition. The
+// hardware records the event; the firmware decodes it asynchronously.
+// PIO CPU cost is charged by the driver.
+func (n *NIC) MailboxWrite(ctxID, mbox int, val uint32) {
+	n.Mbox.Write(ctxID, mbox, val)
+	n.decodeEvents()
+}
+
+func (n *NIC) decodeEvents() {
+	if n.decoding || !n.Mbox.Pending() {
+		return
+	}
+	n.decoding = true
+	n.E.Proc.Do(n.Params.MboxDecode, "mboxdecode", func() {
+		n.decoding = false
+		ctx, mbox, val, ok := n.Mbox.DecodeNext()
+		if ok {
+			n.handleMailbox(ctx, mbox, val)
+		}
+		n.decodeEvents()
+	})
+}
+
+func (n *NIC) handleMailbox(ctxID, mbox int, val uint32) {
+	dc, ok := n.contexts[ctxID]
+	if !ok {
+		return // stale event for a revoked context
+	}
+	switch mbox {
+	case MboxTxProd:
+		n.E.KickTx(dc.qid, val)
+	case MboxRxProd:
+		n.E.KickRx(dc.qid, val)
+	}
+}
+
+// DrainRx hands the guest driver its completed receive frames.
+func (n *NIC) DrainRx(ctxID int) []RxCompletion {
+	dc, ok := n.contexts[ctxID]
+	if !ok {
+		return nil
+	}
+	out := dc.rxDone
+	dc.rxDone = nil
+	return out
+}
+
+// RxPending returns queued, undrained receive completions for a context.
+func (n *NIC) RxPending(ctxID int) int {
+	if dc, ok := n.contexts[ctxID]; ok {
+		return len(dc.rxDone)
+	}
+	return 0
+}
+
+// Receive implements ether.Port: MAC demultiplexing happens in
+// Hooks.RxQueueFor.
+func (n *NIC) Receive(f *ether.Frame) { n.E.Receive(f) }

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30, "c", func() { order = append(order, 3) })
+	e.After(10, "a", func() { order = append(order, 1) })
+	e.After(20, "b", func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(50, "tie", func() { order = append(order, i) })
+	}
+	e.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineRunBoundaryExclusive(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(100, "edge", func() { fired = true })
+	e.Run(100)
+	if fired {
+		t.Fatal("event at the until-boundary must not fire")
+	}
+	e.Run(101)
+	if !fired {
+		t.Fatal("event should fire once the window passes it")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.After(10, "x", func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() should be true after Cancel")
+	}
+	e.Run(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineReschedulingFromCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(10, "tick", tick)
+		}
+	}
+	e.After(10, "tick", tick)
+	e.Run(Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != Second {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.After(100, "later", func() {})
+	e.Run(200)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(50, "past", func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestEngineStep(t *testing.T) {
+	e := New()
+	n := 0
+	e.After(10, "a", func() { n++ })
+	e.After(20, "b", func() { n++ })
+	if !e.Step() || n != 1 || e.Now() != 10 {
+		t.Fatalf("first Step: n=%d now=%v", n, e.Now())
+	}
+	if !e.Step() || n != 2 || e.Now() != 20 {
+		t.Fatalf("second Step: n=%d now=%v", n, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := New()
+	a := e.After(10, "a", func() {})
+	e.After(20, "b", func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		var stamps []Time
+		rng := NewRNG(42)
+		var gen func()
+		gen = func() {
+			stamps = append(stamps, e.Now())
+			if len(stamps) < 50 {
+				e.After(Time(rng.Intn(1000)+1), "gen", gen)
+			}
+		}
+		e.After(1, "gen", gen)
+		e.Run(Second)
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timestamp %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(11)
+	d := 1000 * Microsecond
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.1)
+		if j < Time(float64(d)*0.9) || j > Time(float64(d)*1.1) {
+			t.Fatalf("jitter out of bounds: %v", j)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package transport implements the reliable windowed byte streams the
+// benchmark program drives over the simulated network — the synthetic
+// stand-in for the paper's TCP connections (§5.1). It is a go-back-N
+// protocol with cumulative acknowledgements, a fixed window, and timeout
+// retransmission. Throughput therefore emerges from the interaction of
+// CPU capacity, link serialization, window backpressure and interrupt
+// batching, exactly the dynamics the paper measures; nothing in this
+// package hard-codes a rate.
+package transport
+
+import (
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// TCPIPOverhead is the bytes of L3+L4 headers per segment (IP + TCP with
+// timestamps), so a 1448-byte payload yields the classic 1514-byte
+// Ethernet frame.
+const TCPIPOverhead = 52
+
+// DefaultSegSize is the per-segment payload (1448 bytes, the standard
+// MSS with TCP timestamps on a 1500-byte MTU).
+const DefaultSegSize = 1448
+
+// Segment is one transport PDU; it rides in ether.Frame.Payload.
+type Segment struct {
+	Conn   *Conn
+	Seq    uint32 // data sequence number (in segments)
+	Len    int    // payload bytes (0 for a pure ack)
+	Ack    bool
+	AckSeq uint32   // cumulative: next expected data seq
+	SentAt sim.Time // transmit timestamp for latency measurement
+}
+
+// FrameBytes returns the Ethernet frame size for this segment.
+func (s *Segment) FrameBytes() int {
+	return ether.HeaderBytes + TCPIPOverhead + s.Len
+}
+
+// Dispatch routes a received segment to its connection endpoint. Hosts
+// call this after their receive path has delivered the frame payload.
+func Dispatch(s *Segment) {
+	if s.Ack {
+		s.Conn.OnAck(s)
+	} else {
+		s.Conn.OnData(s)
+	}
+}
+
+// Conn is one unidirectional data connection (data flows sender →
+// receiver; acks flow back). The two endpoints live on different hosts;
+// each attaches its transmit path.
+type Conn struct {
+	ID       int
+	SegSize  int
+	Window   int // max unacknowledged segments in flight
+	AckEvery int
+
+	eng *sim.Engine
+	// RTO is the retransmission timeout (default 3ms; the benchmark
+	// harness raises it to TCP-like values for long queueing paths).
+	RTO sim.Time
+
+	// Sender state.
+	sendData func(*Segment)
+	sndNext  uint32 // next seq to transmit
+	sndUna   uint32 // oldest unacknowledged seq
+	cwnd     int    // slow-start congestion window (segments)
+	started  bool
+	rtoEvent *sim.Event
+
+	// Receiver state.
+	sendAck func(*Segment)
+	rcvNext uint32
+	unacked int
+
+	// Metrics.
+	Delivered   stats.ByteMeter // in-order payload bytes at the receiver
+	Retransmits stats.Counter
+	DupDrops    stats.Counter // out-of-order/duplicate segments discarded
+	AcksSent    stats.Counter
+	// Latency samples end-to-end segment delay (send to in-order
+	// delivery) in microseconds.
+	Latency stats.Distribution
+}
+
+// NewConn creates a connection. Window is in segments; ackEvery is the
+// delayed-ack threshold (2, like TCP's default).
+func NewConn(eng *sim.Engine, id, segSize, window int) *Conn {
+	return &Conn{
+		ID: id, SegSize: segSize, Window: window, AckEvery: 2,
+		eng: eng, RTO: 3 * sim.Millisecond,
+	}
+}
+
+// AttachSender installs the sender host's transmit function.
+func (c *Conn) AttachSender(send func(*Segment)) { c.sendData = send }
+
+// AttachReceiver installs the receiver host's ack-transmit function.
+func (c *Conn) AttachReceiver(sendAck func(*Segment)) { c.sendAck = sendAck }
+
+// Start begins pumping data (the stream is infinite; the benchmark
+// measures a window of it). The sender slow-starts: the effective window
+// begins at InitialCwnd segments and grows by one per acknowledgement up
+// to Window, so connection startup does not flood downstream queues.
+func (c *Conn) Start() {
+	c.started = true
+	if c.cwnd == 0 {
+		c.cwnd = InitialCwnd
+	}
+	c.Pump()
+}
+
+// InitialCwnd is the slow-start initial window in segments.
+const InitialCwnd = 4
+
+// effWindow returns the current effective send window.
+func (c *Conn) effWindow() int {
+	if c.cwnd > 0 && c.cwnd < c.Window {
+		return c.cwnd
+	}
+	return c.Window
+}
+
+// InFlight returns the number of unacknowledged segments.
+func (c *Conn) InFlight() int { return int(c.sndNext - c.sndUna) }
+
+// Pump transmits while the window allows. The host's send function is
+// responsible for backpressure-free queuing (the window bounds how much
+// can ever be queued at once).
+func (c *Conn) Pump() {
+	if !c.started || c.sendData == nil {
+		return
+	}
+	for c.InFlight() < c.effWindow() {
+		seg := &Segment{Conn: c, Seq: c.sndNext, Len: c.SegSize, SentAt: c.eng.Now()}
+		c.sndNext++
+		c.sendData(seg)
+	}
+	c.armRTO()
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoEvent != nil {
+		c.rtoEvent.Cancel()
+	}
+	una := c.sndUna
+	c.rtoEvent = c.eng.After(c.RTO, "transport.rto", func() {
+		if c.sndUna == una && c.InFlight() > 0 {
+			// No progress: go-back-N rewind, restart slow start, resend.
+			c.Retransmits.Add(uint64(c.InFlight()))
+			c.sndNext = c.sndUna
+			c.cwnd = InitialCwnd
+			c.Pump()
+			return
+		}
+		c.armRTO()
+	})
+}
+
+// OnAck processes a cumulative acknowledgement at the sender.
+func (c *Conn) OnAck(s *Segment) {
+	if int32(s.AckSeq-c.sndUna) > 0 {
+		if c.cwnd < c.Window {
+			c.cwnd++
+		}
+		c.sndUna = s.AckSeq
+		if int32(c.sndNext-c.sndUna) < 0 {
+			// Ack beyond what we sent (can only happen after a rewind
+			// raced an in-flight delivery): resync.
+			c.sndNext = c.sndUna
+		}
+		c.Pump()
+	}
+}
+
+// OnData processes a data segment at the receiver: in-order data is
+// delivered and (per delayed-ack policy) acknowledged; anything else is
+// dropped and the current cumulative ack is repeated so the sender can
+// recover.
+func (c *Conn) OnData(s *Segment) {
+	if s.Seq == c.rcvNext {
+		c.rcvNext++
+		c.Delivered.Add(uint64(s.Len))
+		c.Latency.Observe(float64(c.eng.Now()-s.SentAt) / 1000)
+		c.unacked++
+		if c.unacked >= c.AckEvery {
+			c.emitAck()
+		}
+		return
+	}
+	// Out of order (a drop upstream) or duplicate: discard, re-ack.
+	c.DupDrops.Inc()
+	c.emitAck()
+}
+
+func (c *Conn) emitAck() {
+	c.unacked = 0
+	if c.sendAck == nil {
+		return
+	}
+	c.AcksSent.Inc()
+	c.sendAck(&Segment{Conn: c, Ack: true, AckSeq: c.rcvNext})
+}
+
+// StartWindow resets the connection's windowed metrics.
+func (c *Conn) StartWindow() {
+	c.Delivered.StartWindow()
+	c.Retransmits.StartWindow()
+	c.DupDrops.StartWindow()
+	c.AcksSent.StartWindow()
+}
+
+// Group aggregates connections for measurement.
+type Group struct {
+	Conns []*Conn
+}
+
+// Add appends a connection.
+func (g *Group) Add(c *Conn) { g.Conns = append(g.Conns, c) }
+
+// StartWindow resets all member metrics.
+func (g *Group) StartWindow() {
+	for _, c := range g.Conns {
+		c.StartWindow()
+	}
+}
+
+// DeliveredMbps returns aggregate goodput over dur.
+func (g *Group) DeliveredMbps(dur sim.Time) float64 {
+	total := 0.0
+	for _, c := range g.Conns {
+		total += c.Delivered.Mbps(dur)
+	}
+	return total
+}
+
+// DeliveredBytes returns aggregate windowed payload bytes.
+func (g *Group) DeliveredBytes() uint64 {
+	var total uint64
+	for _, c := range g.Conns {
+		total += c.Delivered.Window()
+	}
+	return total
+}
+
+// Retransmits returns aggregate windowed retransmissions.
+func (g *Group) Retransmits() uint64 {
+	var total uint64
+	for _, c := range g.Conns {
+		total += c.Retransmits.Window()
+	}
+	return total
+}
+
+// LatencyQuantile returns the q-quantile of end-to-end segment latency
+// in microseconds, pooled across connections.
+func (g *Group) LatencyQuantile(q float64) float64 {
+	var pool stats.Distribution
+	for _, c := range g.Conns {
+		n := c.Latency.Count()
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			if n > 0 {
+				pool.Observe(c.Latency.Quantile(p))
+			}
+		}
+	}
+	return pool.Quantile(q)
+}
+
+// FairnessIndex returns Jain's fairness index over per-connection
+// windowed goodput (1.0 = perfectly balanced, as the paper's benchmark
+// tool enforces).
+func (g *Group) FairnessIndex() float64 {
+	if len(g.Conns) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, c := range g.Conns {
+		v := float64(c.Delivered.Window())
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	n := float64(len(g.Conns))
+	return sum * sum / (n * sumSq)
+}
