@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test check smoke tables paper clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: everything must build, vet and pass.
+check: build vet test
+
+# smoke runs a tiny campaign grid end-to-end through cdnasweep:
+# two architectures x two directions with very short windows.
+smoke:
+	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx,rx \
+		-warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+
+# tables regenerates the paper's tables with short windows.
+tables:
+	$(GO) run ./cmd/cdnatables -quick
+
+# paper reproduces the full evaluation as one parallel campaign.
+paper:
+	$(GO) run ./cmd/cdnasweep -preset paper -json results.json -csv results.csv
+
+clean:
+	rm -f results.json results.csv

@@ -35,54 +35,29 @@ func main() {
 	trace := flag.Int("trace", 0, "print the last N simulator events")
 	flag.Parse()
 
-	var m bench.Mode
-	switch *mode {
-	case "native":
-		m = bench.ModeNative
-	case "xen":
-		m = bench.ModeXen
-	case "cdna":
-		m = bench.ModeCDNA
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	m, err := bench.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 	k := bench.NICIntel
 	if m == bench.ModeCDNA {
 		k = bench.NICRice
 	}
-	switch *nic {
-	case "":
-	case "intel":
-		k = bench.NICIntel
-	case "ricenic":
-		k = bench.NICRice
-	default:
-		fmt.Fprintf(os.Stderr, "unknown nic %q\n", *nic)
+	if *nic != "" {
+		if k, err = bench.ParseNICKind(*nic); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
+	d, err := bench.ParseDirection(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
-	var d bench.Direction
-	switch *dir {
-	case "tx":
-		d = bench.Tx
-	case "rx":
-		d = bench.Rx
-	case "both":
-		d = bench.Both
-	default:
-		fmt.Fprintf(os.Stderr, "unknown direction %q\n", *dir)
-		os.Exit(2)
-	}
-	var p core.Mode
-	switch *protection {
-	case "hypercall":
-		p = core.ModeHypercall
-	case "iommu":
-		p = core.ModeIOMMU
-	case "off":
-		p = core.ModeOff
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protection %q\n", *protection)
+	p, err := core.ParseMode(*protection)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 
@@ -100,7 +75,6 @@ func main() {
 	cfg.Warmup = sim.Time(*warmup * float64(sim.Second))
 
 	var res bench.Result
-	var err error
 	if *trace > 0 {
 		var machine *bench.Machine
 		machine, res, err = bench.RunTraced(cfg, *trace)

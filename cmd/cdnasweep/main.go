@@ -1,0 +1,211 @@
+// Command cdnasweep runs a whole experiment campaign — a grid of
+// configurations — in parallel across a worker pool and emits the full
+// machine-readable result set as JSON (and optionally CSV). One
+// invocation with -preset paper reproduces every table and figure of
+// the evaluation; EXPERIMENTS.md documents the output schema.
+//
+// Examples:
+//
+//	cdnasweep -preset tables -workers 8 -json results.json
+//	cdnasweep -preset paper -quick -csv results.csv
+//	cdnasweep -modes xen,cdna -dirs tx,rx -guests 1,2,4,8
+//	cdnasweep -modes cdna -dirs tx -protections hypercall,iommu,off
+//	cdnasweep -spec grid.json -workers 4
+//
+// The -modes/-nics/-dirs/... axis flags define one cross-product grid;
+// -spec reads one or more grids from a JSON file (the same schema
+// campaign.Grid marshals to); -preset selects a canned campaign. A
+// failing grid point is reported in its record and on stderr but never
+// aborts the sweep; the exit status is 1 if any point failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdna/internal/bench"
+	"cdna/internal/campaign"
+	"cdna/internal/core"
+	"cdna/internal/sim"
+)
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cdnasweep: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// splitList parses a comma-separated axis flag with a per-item parser.
+func splitList[T any](name, s string, parse func(string) (T, error)) []T {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var vals []T
+	for _, tok := range strings.Split(s, ",") {
+		v, err := parse(strings.TrimSpace(tok))
+		if err != nil {
+			fatal("-%s: %v", name, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func presetGrids(name string) []campaign.Grid {
+	switch name {
+	case "table1":
+		return campaign.Table1Grids()
+	case "tables":
+		return campaign.Tables234Grids()
+	case "figures":
+		return campaign.FigureGrids()
+	case "ablations":
+		return campaign.AblationGrids()
+	case "paper":
+		return campaign.PaperGrids()
+	}
+	fatal("unknown preset %q (want table1 | tables | figures | ablations | paper)", name)
+	return nil
+}
+
+func main() {
+	preset := flag.String("preset", "", "canned campaign: table1 | tables | figures | ablations | paper")
+	spec := flag.String("spec", "", "JSON grid spec file (a campaign.Grid object or array)")
+
+	modes := flag.String("modes", "", "comma list: native | xen | cdna")
+	nics := flag.String("nics", "", "comma list: intel | ricenic (Xen only; native/CDNA fix their NIC)")
+	dirs := flag.String("dirs", "", "comma list: tx | rx | both")
+	guests := flag.String("guests", "", "comma list of guest counts")
+	nicCounts := flag.String("niccounts", "", "comma list of physical NIC counts")
+	protections := flag.String("protections", "", "comma list: hypercall | iommu | off")
+	batches := flag.String("batches", "", "comma list of max descriptors per enqueue (A2; 0 = unlimited)")
+	irqs := flag.String("irqs", "", "comma list of bools: direct per-context IRQ delivery (A1)")
+	coalesce := flag.String("coalesce", "", "comma list of tx coalescing thresholds (A5; 0 = default)")
+	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
+	window := flag.Int("window", 0, "transport window in segments (0 = default)")
+
+	quick := flag.Bool("quick", false, "short measurement windows")
+	duration := flag.Float64("duration", 0, "measurement window in simulated seconds (overrides -quick)")
+	warmup := flag.Float64("warmup", 0, "warmup in simulated seconds (overrides -quick)")
+	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "-", "JSON output path (- = stdout, empty = none)")
+	csvPath := flag.String("csv", "", "CSV output path (- = stdout)")
+	progress := flag.Bool("progress", true, "report per-experiment completion on stderr")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal("unexpected arguments %q", flag.Args())
+	}
+
+	// Axis flags define an ad-hoc grid; they cannot constrain a canned
+	// preset or a spec file, so reject the combination instead of
+	// silently ignoring them.
+	axisFlags := map[string]bool{
+		"modes": true, "nics": true, "dirs": true, "guests": true,
+		"niccounts": true, "protections": true, "batches": true,
+		"irqs": true, "coalesce": true, "conns": true, "window": true,
+	}
+	if *preset != "" || *spec != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if axisFlags[f.Name] {
+				fatal("-%s cannot be combined with -preset/-spec (axis flags define their own grid)", f.Name)
+			}
+		})
+	}
+
+	var grids []campaign.Grid
+	switch {
+	case *preset != "" && *spec != "":
+		fatal("-preset and -spec are mutually exclusive")
+	case *preset != "":
+		grids = presetGrids(*preset)
+	case *spec != "":
+		f, err := os.Open(*spec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		grids, err = campaign.ReadGrids(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		g := campaign.Grid{
+			Modes:             splitList("modes", *modes, bench.ParseMode),
+			NICs:              splitList("nics", *nics, bench.ParseNICKind),
+			Dirs:              splitList("dirs", *dirs, bench.ParseDirection),
+			Guests:            splitList("guests", *guests, strconv.Atoi),
+			NICCounts:         splitList("niccounts", *nicCounts, strconv.Atoi),
+			Protections:       splitList("protections", *protections, core.ParseMode),
+			MaxEnqueueBatches: splitList("batches", *batches, strconv.Atoi),
+			IRQDeliveries:     splitList("irqs", *irqs, strconv.ParseBool),
+			TxCoalesce:        splitList("coalesce", *coalesce, strconv.Atoi),
+			Conns:             *conns,
+			Window:            *window,
+		}
+		if len(g.Dirs) == 0 {
+			g.Dirs = []bench.Direction{bench.Tx}
+		}
+		grids = []campaign.Grid{g}
+	}
+
+	cfgs := campaign.Expand(grids...)
+	if len(cfgs) == 0 {
+		fatal("grid expands to zero experiments")
+	}
+	wu, du := sim.Time(0), sim.Time(0)
+	if *quick {
+		o := bench.Quick()
+		wu, du = o.Warmup, o.Duration
+	}
+	if *warmup > 0 {
+		wu = sim.Time(*warmup * float64(sim.Second))
+	}
+	if *duration > 0 {
+		du = sim.Time(*duration * float64(sim.Second))
+	}
+	campaign.Apply(cfgs, wu, du)
+
+	opt := campaign.Options{Workers: *workers}
+	if *progress {
+		opt.Progress = func(done, total int, out bench.Outcome) {
+			status := fmt.Sprintf("%7.0f Mb/s", out.Result.Mbps)
+			if out.Err != nil {
+				status = "FAILED: " + out.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-32s %s\n", done, total, out.Config.Name(), status)
+		}
+	}
+	start := time.Now()
+	outs := campaign.Run(cfgs, opt)
+	if *progress {
+		fmt.Fprintf(os.Stderr, "%d experiments in %.1fs wall clock\n", len(outs), time.Since(start).Seconds())
+	}
+
+	emit := func(path string, write func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f := os.Stdout
+		if path != "-" {
+			var err error
+			f, err = os.Create(path)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer f.Close()
+		}
+		if err := write(f); err != nil {
+			fatal("%v", err)
+		}
+	}
+	emit(*jsonPath, func(f *os.File) error { return campaign.WriteJSON(f, outs) })
+	emit(*csvPath, func(f *os.File) error { return campaign.WriteCSV(f, outs) })
+
+	if err := campaign.Check(outs); err != nil {
+		fmt.Fprintf(os.Stderr, "cdnasweep: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -9,15 +9,23 @@
 //	cdnatables -table 2     # only Table 2
 //	cdnatables -figure 3    # only Figure 3
 //	cdnatables -ablations   # only the ablation studies
+//	cdnatables -workers 1   # sequential (default: all cores)
+//	cdnatables -csvdir out  # also write each table as out/<slug>.csv
+//
+// Each table's experiments run in parallel through the campaign worker
+// pool; results are deterministic regardless of worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"cdna/internal/bench"
+	"cdna/internal/campaign"
 	"cdna/internal/stats"
 )
 
@@ -26,12 +34,22 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (1-4)")
 	figure := flag.Int("figure", 0, "run only this figure (3-4)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
+	workers := flag.Int("workers", 0, "concurrent experiments per table (0 = GOMAXPROCS)")
+	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	opts := bench.Full()
 	if *quick {
 		opts = bench.Quick()
 	}
+	opts.Runner = campaign.Runner(*workers)
 
 	type job struct {
 		title string
@@ -116,5 +134,36 @@ func main() {
 		}
 		fmt.Print(t.String())
 		fmt.Printf("(completed in %.1fs wall clock)\n\n", time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, j.title, t); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeCSV stores a table as <dir>/<slug>.csv, slugging the part of
+// the title before the colon ("Table 2: ..." -> table-2.csv).
+func writeCSV(dir, title string, t *stats.Table) error {
+	slug, _, _ := strings.Cut(title, ":")
+	slug = strings.ToLower(strings.TrimSpace(slug))
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r == ' ':
+			return '-'
+		}
+		return -1
+	}, slug)
+	f, err := os.Create(filepath.Join(dir, slug+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,3 @@
+module cdna
+
+go 1.24

@@ -8,37 +8,55 @@ import (
 	"cdna/internal/stats"
 )
 
-// Config describes one experiment.
+// Config describes one experiment. The JSON form (used by
+// internal/campaign's records and cmd/cdnasweep's grid specs) carries
+// everything except the calibration, which is always reconstructed from
+// Default() so that result files stay small and stable.
 type Config struct {
-	Mode       Mode
-	NIC        NICKind
-	Guests     int
-	NICs       int
-	Dir        Direction
-	Protection core.Mode // CDNA only
+	Mode       Mode      `json:"mode"`
+	NIC        NICKind   `json:"nic"`
+	Guests     int       `json:"guests"`
+	NICs       int       `json:"nics"`
+	Dir        Direction `json:"dir"`
+	Protection core.Mode `json:"protection"` // CDNA only
 
-	ConnsPerGuestPerNIC int
-	Window              int
+	ConnsPerGuestPerNIC int `json:"conns_per_guest_per_nic"`
+	Window              int `json:"window"`
 
 	// MaxEnqueueBatch caps descriptors per CDNA enqueue (ablation A2;
 	// 0 = unlimited).
-	MaxEnqueueBatch int
+	MaxEnqueueBatch int `json:"max_enqueue_batch,omitempty"`
 	// DirectPerContextIRQ switches the CDNA NIC to one physical
 	// interrupt per context (ablation A1).
-	DirectPerContextIRQ bool
+	DirectPerContextIRQ bool `json:"direct_per_context_irq,omitempty"`
 	// TxCoalescePkts overrides the CDNA NIC's transmit interrupt
 	// coalescing threshold (ablation A5; 0 = calibrated default).
-	TxCoalescePkts int
+	TxCoalescePkts int `json:"tx_coalesce_pkts,omitempty"`
 
-	Warmup   sim.Time
-	Duration sim.Time
+	Warmup   sim.Time `json:"warmup_ns"`
+	Duration sim.Time `json:"duration_ns"`
 
-	Cal Calibration
+	Cal Calibration `json:"-"`
 }
 
-// Name returns a compact identifier for logs and tables.
+// Name returns a compact identifier for logs and tables. Non-default
+// variants (protection, the ablation knobs) append suffixes so that
+// every point of a campaign grid has a distinct name.
 func (c Config) Name() string {
-	return fmt.Sprintf("%v/%v/%dg/%dnic/%v", c.Mode, c.NIC, c.Guests, c.NICs, c.Dir)
+	name := fmt.Sprintf("%v/%v/%dg/%dnic/%v", c.Mode, c.NIC, c.Guests, c.NICs, c.Dir)
+	if c.Mode == ModeCDNA && c.Protection != core.ModeHypercall {
+		name += "/prot=" + c.Protection.String()
+	}
+	if c.MaxEnqueueBatch > 0 {
+		name += fmt.Sprintf("/batch=%d", c.MaxEnqueueBatch)
+	}
+	if c.DirectPerContextIRQ {
+		name += "/directirq"
+	}
+	if c.TxCoalescePkts > 0 {
+		name += fmt.Sprintf("/coal=%d", c.TxCoalescePkts)
+	}
+	return name
 }
 
 // DefaultConfig returns the standard 2-NIC single-guest setup of
@@ -60,6 +78,12 @@ func DefaultConfig(mode Mode, nic NICKind, dir Direction) Config {
 	return cfg
 }
 
+// BalancedConns returns the default connections per guest per NIC for
+// a guest count: a fixed total per NIC balanced over the guests, as the
+// paper's benchmark tool does (§5.1). Campaign grids use it to record
+// the effective connection count explicitly in each configuration.
+func BalancedConns(guests int) int { return connsFor(guests) }
+
 // connsFor balances a fixed total connection count per NIC over the
 // guests, as the paper's benchmark tool does (§5.1).
 func connsFor(guests int) int {
@@ -72,31 +96,56 @@ func connsFor(guests int) int {
 }
 
 // Result is one experiment's measurements, matching the columns of
-// Tables 2–4.
+// Tables 2–4. The JSON field names are the machine-readable schema
+// documented in EXPERIMENTS.md and emitted by cmd/cdnasweep.
 type Result struct {
-	Config Config
+	Config Config `json:"config"`
 
-	Mbps    float64
-	Profile stats.Profile
+	Mbps    float64       `json:"mbps"`
+	Profile stats.Profile `json:"profile"`
 
-	DriverIntrPerSec float64 // interrupts delivered to the driver domain
-	GuestIntrPerSec  float64 // interrupts delivered to guests (aggregate)
+	DriverIntrPerSec float64 `json:"driver_intr_per_sec"` // interrupts delivered to the driver domain
+	GuestIntrPerSec  float64 `json:"guest_intr_per_sec"`  // interrupts delivered to guests (aggregate)
 
-	PktPerSec     float64
-	PhysIRQPerSec float64 // physical interrupts fielded by the hypervisor
-	LatencyP50us  float64 // median end-to-end segment latency
-	LatencyP90us  float64
-	Drops         uint64 // NIC-level receive drops
-	Retransmits   uint64
-	Fairness      float64
-	Faults        uint64 // CDNA protection faults (should be 0 under load)
-	Events        uint64 // simulator events executed (diagnostics)
+	PktPerSec     float64 `json:"pkt_per_sec"`
+	PhysIRQPerSec float64 `json:"phys_irq_per_sec"` // physical interrupts fielded by the hypervisor
+	LatencyP50us  float64 `json:"latency_p50_us"`   // median end-to-end segment latency
+	LatencyP90us  float64 `json:"latency_p90_us"`
+	Drops         uint64  `json:"drops"` // NIC-level receive drops
+	Retransmits   uint64  `json:"retransmits"`
+	Fairness      float64 `json:"fairness"`
+	Faults        uint64  `json:"faults"` // CDNA protection faults (should be 0 under load)
+	Events        uint64  `json:"events"` // simulator events executed (diagnostics)
 }
 
 // String formats the result as a row like the paper's tables.
 func (r Result) String() string {
 	return fmt.Sprintf("%-28s %7.0f Mb/s | %s | drv %5.0f/s gst %6.0f/s",
 		r.Config.Name(), r.Mbps, r.Profile, r.DriverIntrPerSec, r.GuestIntrPerSec)
+}
+
+// Validate rejects configurations the simulator cannot run
+// meaningfully: they would divide by zero while balancing connections
+// or produce NaN/Inf rates that poison result encoding. Run calls it,
+// so a campaign records a clean error for such grid points instead of
+// a panic.
+func (c Config) Validate() error {
+	if c.Guests < 1 {
+		return fmt.Errorf("bench: config needs at least one guest (got %d)", c.Guests)
+	}
+	if c.NICs < 1 {
+		return fmt.Errorf("bench: config needs at least one NIC (got %d)", c.NICs)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("bench: config needs a positive transport window (got %d)", c.Window)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("bench: config needs a positive measurement duration (got %v)", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("bench: config needs a non-negative warmup (got %v)", c.Warmup)
+	}
+	return nil
 }
 
 // Run builds the machine, runs warmup plus the measurement window, and
@@ -113,6 +162,9 @@ func RunTraced(cfg Config, traceN int) (*Machine, Result, error) {
 }
 
 func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Result{}, err
+	}
 	if cfg.ConnsPerGuestPerNIC <= 0 {
 		cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
 	}

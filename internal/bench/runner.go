@@ -1,0 +1,43 @@
+package bench
+
+import "fmt"
+
+// Outcome is the terminal state of one experiment in a batch: its
+// configuration and either a result or the error that stopped it.
+type Outcome struct {
+	Config Config `json:"config"`
+	Result Result `json:"result"`
+	Err    error  `json:"-"`
+}
+
+// Runner executes a batch of experiment configurations and returns one
+// Outcome per configuration, in input order. The package's own RunAll
+// executes them sequentially; internal/campaign provides a parallel
+// worker-pool implementation. Every table and figure in this package
+// funnels its experiments through a Runner, so a single injection point
+// parallelizes the whole evaluation.
+type Runner func(cfgs []Config) []Outcome
+
+// RunCaptured runs one experiment, converting any panic into an error
+// so that a malformed configuration cannot abort a sweep.
+func RunCaptured(cfg Config) (out Outcome) {
+	out.Config = cfg
+	defer func() {
+		if r := recover(); r != nil {
+			out.Err = fmt.Errorf("bench: experiment %s panicked: %v", cfg.Name(), r)
+		}
+	}()
+	out.Result, out.Err = Run(cfg)
+	return out
+}
+
+// RunAll is the sequential Runner: experiments execute one at a time in
+// order, and per-experiment failures are captured rather than aborting
+// the batch.
+func RunAll(cfgs []Config) []Outcome {
+	outs := make([]Outcome, len(cfgs))
+	for i, cfg := range cfgs {
+		outs[i] = RunCaptured(cfg)
+	}
+	return outs
+}

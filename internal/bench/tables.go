@@ -8,11 +8,16 @@ import (
 	"cdna/internal/stats"
 )
 
-// Opts controls experiment length. Quick() is for tests and benchmarks;
-// Full() is what cmd/cdnatables and EXPERIMENTS.md use.
+// Opts controls experiment length and execution. Quick() is for tests
+// and benchmarks; Full() is what cmd/cdnatables and EXPERIMENTS.md use.
 type Opts struct {
 	Warmup   sim.Time
 	Duration sim.Time
+
+	// Runner executes the experiment batches behind every table and
+	// figure; nil means the sequential RunAll. cmd/cdnatables injects
+	// campaign.Runner here to fan a table's rows across CPU cores.
+	Runner Runner
 }
 
 // Full returns publication-length windows.
@@ -25,6 +30,28 @@ func (o Opts) apply(cfg Config) Config {
 	cfg.Warmup = o.Warmup
 	cfg.Duration = o.Duration
 	return cfg
+}
+
+// runBatch applies the measurement windows to every configuration, runs
+// the batch through the configured Runner, and unwraps the results. The
+// table generators fail on the first error, as before the Runner split.
+func (o Opts) runBatch(cfgs []Config) ([]Result, error) {
+	run := o.Runner
+	if run == nil {
+		run = RunAll
+	}
+	for i := range cfgs {
+		cfgs[i] = o.apply(cfgs[i])
+	}
+	outs := run(cfgs)
+	results := make([]Result, len(outs))
+	for i, out := range outs {
+		if out.Err != nil {
+			return nil, fmt.Errorf("%s: %w", out.Config.Name(), out.Err)
+		}
+		results[i] = out.Result
+	}
+	return results, nil
 }
 
 func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
@@ -40,35 +67,39 @@ func profileCells(r Result) []string {
 
 var profileHeader = []string{"Hyp", "DrvOS", "DrvUsr", "GstOS", "GstUsr", "Idle", "DrvIntr/s", "GstIntr/s"}
 
+// labelled pairs a table row label with its configuration.
+type labelled struct {
+	label string
+	cfg   Config
+}
+
+func runLabelled(o Opts, rows []labelled) ([]Result, error) {
+	cfgs := make([]Config, len(rows))
+	for i, row := range rows {
+		cfgs[i] = row.cfg
+	}
+	return o.runBatch(cfgs)
+}
+
 // Table1 reproduces Table 1: native Linux vs a Xen guest, transmit and
 // receive (native uses the paper's six-NIC rig; Xen the two-NIC one).
 func Table1(o Opts) (*stats.Table, []Result, error) {
-	rows := []struct {
-		label string
-		cfg   Config
-	}{}
+	var rows []labelled
 	for _, dir := range []Direction{Tx, Rx} {
 		ncfg := DefaultConfig(ModeNative, NICIntel, dir)
 		ncfg.NICs = 6
 		ncfg.ConnsPerGuestPerNIC = 6
-		rows = append(rows, struct {
-			label string
-			cfg   Config
-		}{fmt.Sprintf("Native Linux %v", dir), ncfg})
-		rows = append(rows, struct {
-			label string
-			cfg   Config
-		}{fmt.Sprintf("Xen Guest %v", dir), DefaultConfig(ModeXen, NICIntel, dir)})
+		rows = append(rows,
+			labelled{fmt.Sprintf("Native Linux %v", dir), ncfg},
+			labelled{fmt.Sprintf("Xen Guest %v", dir), DefaultConfig(ModeXen, NICIntel, dir)})
+	}
+	results, err := runLabelled(o, rows)
+	if err != nil {
+		return nil, nil, err
 	}
 	t := &stats.Table{Header: []string{"System", "Direction", "Mb/s"}}
-	var results []Result
-	for _, row := range rows {
-		res, err := Run(o.apply(row.cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-		t.AddRow(row.label, row.cfg.Dir.String(), fmt.Sprintf("%.0f", res.Mbps))
+	for i, row := range rows {
+		t.AddRow(row.label, row.cfg.Dir.String(), fmt.Sprintf("%.0f", results[i].Mbps))
 	}
 	return t, results, nil
 }
@@ -76,23 +107,18 @@ func Table1(o Opts) (*stats.Table, []Result, error) {
 // table23 runs Table 2 (transmit) or Table 3 (receive): single guest,
 // two NICs, three I/O architectures.
 func table23(o Opts, dir Direction) (*stats.Table, []Result, error) {
-	rows := []struct {
-		label string
-		cfg   Config
-	}{
+	rows := []labelled{
 		{"Xen / Intel", DefaultConfig(ModeXen, NICIntel, dir)},
 		{"Xen / RiceNIC", DefaultConfig(ModeXen, NICRice, dir)},
 		{"CDNA / RiceNIC", DefaultConfig(ModeCDNA, NICRice, dir)},
 	}
+	results, err := runLabelled(o, rows)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: append([]string{"System", "Mb/s"}, profileHeader...)}
-	var results []Result
-	for _, row := range rows {
-		res, err := Run(o.apply(row.cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", res.Mbps)}, profileCells(res)...)...)
+	for i, row := range rows {
+		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", results[i].Mbps)}, profileCells(results[i])...)...)
 	}
 	return t, results, nil
 }
@@ -106,7 +132,8 @@ func Table3(o Opts) (*stats.Table, []Result, error) { return table23(o, Rx) }
 // Table4 reproduces Table 4: CDNA transmit and receive with DMA memory
 // protection enabled and disabled.
 func Table4(o Opts) (*stats.Table, []Result, error) {
-	rows := []struct {
+	var rows []labelled
+	for _, spec := range []struct {
 		label string
 		dir   Direction
 		prot  core.Mode
@@ -115,18 +142,18 @@ func Table4(o Opts) (*stats.Table, []Result, error) {
 		{"CDNA (Transmit) / Disabled", Tx, core.ModeOff},
 		{"CDNA (Receive) / Enabled", Rx, core.ModeHypercall},
 		{"CDNA (Receive) / Disabled", Rx, core.ModeOff},
+	} {
+		cfg := DefaultConfig(ModeCDNA, NICRice, spec.dir)
+		cfg.Protection = spec.prot
+		rows = append(rows, labelled{spec.label, cfg})
+	}
+	results, err := runLabelled(o, rows)
+	if err != nil {
+		return nil, nil, err
 	}
 	t := &stats.Table{Header: append([]string{"System / Protection", "Mb/s"}, profileHeader...)}
-	var results []Result
-	for _, row := range rows {
-		cfg := DefaultConfig(ModeCDNA, NICRice, row.dir)
-		cfg.Protection = row.prot
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", res.Mbps)}, profileCells(res)...)...)
+	for i, row := range rows {
+		t.AddRow(append([]string{row.label, fmt.Sprintf("%.0f", results[i].Mbps)}, profileCells(results[i])...)...)
 	}
 	return t, results, nil
 }
@@ -142,25 +169,28 @@ type FigurePoint struct {
 }
 
 // figure runs Figure 3 (transmit) or Figure 4 (receive): aggregate
-// throughput and CDNA idle time versus the number of guests.
+// throughput and CDNA idle time versus the number of guests. The Xen
+// and CDNA samples of every point go into one batch, so a parallel
+// Runner overlaps the whole curve.
 func figure(o Opts, dir Direction, guests []int) (*stats.Table, []FigurePoint, error) {
-	t := &stats.Table{Header: []string{"Guests", "Xen Mb/s", "Xen idle", "CDNA Mb/s", "CDNA idle"}}
-	var pts []FigurePoint
+	var cfgs []Config
 	for _, g := range guests {
 		xcfg := DefaultConfig(ModeXen, NICIntel, dir)
 		xcfg.Guests = g
 		xcfg.ConnsPerGuestPerNIC = connsFor(g)
-		xres, err := Run(o.apply(xcfg))
-		if err != nil {
-			return nil, nil, err
-		}
 		ccfg := DefaultConfig(ModeCDNA, NICRice, dir)
 		ccfg.Guests = g
 		ccfg.ConnsPerGuestPerNIC = connsFor(g)
-		cres, err := Run(o.apply(ccfg))
-		if err != nil {
-			return nil, nil, err
-		}
+		cfgs = append(cfgs, xcfg, ccfg)
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Guests", "Xen Mb/s", "Xen idle", "CDNA Mb/s", "CDNA idle"}}
+	var pts []FigurePoint
+	for i, g := range guests {
+		xres, cres := results[2*i], results[2*i+1]
 		pts = append(pts, FigurePoint{Guests: g, Xen: xres, CDNA: cres})
 		t.AddRow(fmt.Sprintf("%d", g),
 			fmt.Sprintf("%.0f", xres.Mbps), fmtPct(xres.Profile.Idle),
@@ -183,20 +213,22 @@ func Figure4(o Opts, guests []int) (*stats.Table, []FigurePoint, error) {
 // hypercall (§3.3's batching): smaller batches pay the hypercall base
 // cost more often, growing hypervisor time.
 func AblationBatching(o Opts, batches []int) (*stats.Table, []Result, error) {
+	cfgs := make([]Config, len(batches))
+	for i, b := range batches {
+		cfgs[i] = DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfgs[i].MaxEnqueueBatch = b
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: []string{"MaxBatch", "Mb/s", "Hyp", "Idle"}}
-	var results []Result
-	for _, b := range batches {
-		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
-		cfg.MaxEnqueueBatch = b
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	for i, b := range batches {
 		label := fmt.Sprintf("%d", b)
 		if b <= 0 {
 			label = "unlimited"
 		}
+		res := results[i]
 		t.AddRow(label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp), fmtPct(res.Profile.Idle))
 	}
 	return t, results, nil
@@ -206,22 +238,25 @@ func AblationBatching(o Opts, batches []int) (*stats.Table, []Result, error) {
 // raising a separate physical interrupt per context (§3.2 argues the
 // latter creates a much higher interrupt load).
 func AblationInterrupts(o Opts, guests int) (*stats.Table, []Result, error) {
+	deliveries := []bool{false, true}
+	cfgs := make([]Config, len(deliveries))
+	for i, direct := range deliveries {
+		cfgs[i] = DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfgs[i].Guests = guests
+		cfgs[i].ConnsPerGuestPerNIC = connsFor(guests)
+		cfgs[i].DirectPerContextIRQ = direct
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: []string{"Delivery", "Mb/s", "Hyp", "Idle", "PhysIRQ/s"}}
-	var results []Result
-	for _, direct := range []bool{false, true} {
-		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
-		cfg.Guests = guests
-		cfg.ConnsPerGuestPerNIC = connsFor(guests)
-		cfg.DirectPerContextIRQ = direct
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	for i, direct := range deliveries {
 		label := "bit vector"
 		if direct {
 			label = "per-context IRQ"
 		}
+		res := results[i]
 		t.AddRow(label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp),
 			fmtPct(res.Profile.Idle), fmt.Sprintf("%.0f", res.PhysIRQPerSec))
 	}
@@ -234,16 +269,18 @@ func AblationInterrupts(o Opts, guests int) (*stats.Table, []Result, error) {
 // time in per-interrupt fixed costs; looser coalescing adds latency but
 // returns CPU.
 func AblationCoalescing(o Opts, thresholds []int) (*stats.Table, []Result, error) {
+	cfgs := make([]Config, len(thresholds))
+	for i, th := range thresholds {
+		cfgs[i] = DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfgs[i].TxCoalescePkts = th
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: []string{"TxCoalescePkts", "Mb/s", "Idle", "GstIntr/s"}}
-	var results []Result
-	for _, th := range thresholds {
-		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
-		cfg.TxCoalescePkts = th
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	for i, th := range thresholds {
+		res := results[i]
 		t.AddRow(fmt.Sprintf("%d", th), fmt.Sprintf("%.0f", res.Mbps),
 			fmtPct(res.Profile.Idle), fmt.Sprintf("%.0f", res.GuestIntrPerSec))
 	}
@@ -254,20 +291,17 @@ func AblationCoalescing(o Opts, thresholds []int) (*stats.Table, []Result, error
 // unidirectional evaluation — comparing Xen and CDNA when every guest
 // both transmits and receives at once.
 func ExtensionDuplex(o Opts) (*stats.Table, []Result, error) {
-	t := &stats.Table{Header: []string{"System", "Mb/s (agg)", "Idle", "p50 lat (us)", "p90 lat (us)"}}
-	var results []Result
-	for _, row := range []struct {
-		label string
-		cfg   Config
-	}{
+	rows := []labelled{
 		{"Xen / Intel", DefaultConfig(ModeXen, NICIntel, Both)},
 		{"CDNA / RiceNIC", DefaultConfig(ModeCDNA, NICRice, Both)},
-	} {
-		res, err := Run(o.apply(row.cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	}
+	results, err := runLabelled(o, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"System", "Mb/s (agg)", "Idle", "p50 lat (us)", "p90 lat (us)"}}
+	for i, row := range rows {
+		res := results[i]
 		t.AddRow(row.label, fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Idle),
 			fmt.Sprintf("%.0f", res.LatencyP50us), fmt.Sprintf("%.0f", res.LatencyP90us))
 	}
@@ -281,19 +315,20 @@ func ExtensionDuplex(o Opts) (*stats.Table, []Result, error) {
 // CPU saturates the curve must bend over exactly as the conjecture
 // predicts.
 func ExtensionMoreNICs(o Opts, guests []int) (*stats.Table, []Result, error) {
+	cfgs := make([]Config, len(guests))
+	for i, g := range guests {
+		cfgs[i] = DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfgs[i].NICs = 4
+		cfgs[i].Guests = g
+		cfgs[i].ConnsPerGuestPerNIC = connsFor(g)
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: []string{"Guests", "CDNA 4-NIC Mb/s", "Idle"}}
-	var results []Result
-	for _, g := range guests {
-		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
-		cfg.NICs = 4
-		cfg.Guests = g
-		cfg.ConnsPerGuestPerNIC = connsFor(g)
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
-		t.AddRow(fmt.Sprintf("%d", g), fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Idle))
+	for i, g := range guests {
+		t.AddRow(fmt.Sprintf("%d", g), fmt.Sprintf("%.0f", results[i].Mbps), fmtPct(results[i].Profile.Idle))
 	}
 	return t, results, nil
 }
@@ -301,16 +336,19 @@ func ExtensionMoreNICs(o Opts, guests []int) (*stats.Table, []Result, error) {
 // AblationIOMMU reproduces §5.3's discussion: protection by hypercall,
 // by a context-aware IOMMU (guest enqueues directly), and disabled.
 func AblationIOMMU(o Opts) (*stats.Table, []Result, error) {
+	modes := []core.Mode{core.ModeHypercall, core.ModeIOMMU, core.ModeOff}
+	cfgs := make([]Config, len(modes))
+	for i, mode := range modes {
+		cfgs[i] = DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfgs[i].Protection = mode
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := &stats.Table{Header: []string{"Protection", "Mb/s", "Hyp", "Idle"}}
-	var results []Result
-	for _, mode := range []core.Mode{core.ModeHypercall, core.ModeIOMMU, core.ModeOff} {
-		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
-		cfg.Protection = mode
-		res, err := Run(o.apply(cfg))
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	for i, mode := range modes {
+		res := results[i]
 		t.AddRow(mode.String(), fmt.Sprintf("%.0f", res.Mbps), fmtPct(res.Profile.Hyp), fmtPct(res.Profile.Idle))
 	}
 	return t, results, nil

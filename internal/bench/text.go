@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file gives the experiment enums a stable text form so that
+// configurations round-trip through JSON (internal/campaign), CSV, and
+// command-line flags (cmd/cdnasim, cmd/cdnasweep) with one parser.
+// The canonical tokens are the short lowercase spellings used on the
+// command line; parsing also accepts the String() forms. Out-of-range
+// values (e.g. from a failed experiment's record) encode as their
+// decimal value so that every record stays serializable, while unknown
+// word tokens are still rejected.
+
+// ParseMode parses an I/O architecture name: native | xen | cdna.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "native":
+		return ModeNative, nil
+	case "xen":
+		return ModeXen, nil
+	case "cdna":
+		return ModeCDNA, nil
+	}
+	return 0, fmt.Errorf("bench: unknown mode %q (want native | xen | cdna)", s)
+}
+
+// MarshalText encodes the mode as its canonical token.
+func (m Mode) MarshalText() ([]byte, error) {
+	switch m {
+	case ModeNative:
+		return []byte("native"), nil
+	case ModeXen:
+		return []byte("xen"), nil
+	case ModeCDNA:
+		return []byte("cdna"), nil
+	}
+	return []byte(strconv.Itoa(int(m))), nil
+}
+
+// UnmarshalText decodes a mode token, accepting the decimal form
+// MarshalText falls back to for out-of-range values so that failed
+// experiments' records stay round-trippable.
+func (m *Mode) UnmarshalText(b []byte) error {
+	if n, err := strconv.Atoi(string(b)); err == nil {
+		*m = Mode(n)
+		return nil
+	}
+	v, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseNICKind parses a NIC model name: intel | ricenic.
+func ParseNICKind(s string) (NICKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "intel":
+		return NICIntel, nil
+	case "ricenic", "rice":
+		return NICRice, nil
+	}
+	return 0, fmt.Errorf("bench: unknown NIC %q (want intel | ricenic)", s)
+}
+
+// MarshalText encodes the NIC kind as its canonical token.
+func (k NICKind) MarshalText() ([]byte, error) {
+	switch k {
+	case NICIntel:
+		return []byte("intel"), nil
+	case NICRice:
+		return []byte("ricenic"), nil
+	}
+	return []byte(strconv.Itoa(int(k))), nil
+}
+
+// UnmarshalText decodes a NIC kind token (or its decimal fallback
+// form; see Mode.UnmarshalText).
+func (k *NICKind) UnmarshalText(b []byte) error {
+	if n, err := strconv.Atoi(string(b)); err == nil {
+		*k = NICKind(n)
+		return nil
+	}
+	v, err := ParseNICKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseDirection parses a traffic direction: tx | rx | both.
+func ParseDirection(s string) (Direction, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tx", "transmit":
+		return Tx, nil
+	case "rx", "receive":
+		return Rx, nil
+	case "both", "duplex":
+		return Both, nil
+	}
+	return 0, fmt.Errorf("bench: unknown direction %q (want tx | rx | both)", s)
+}
+
+// MarshalText encodes the direction as its canonical token.
+func (d Direction) MarshalText() ([]byte, error) {
+	switch d {
+	case Tx:
+		return []byte("tx"), nil
+	case Rx:
+		return []byte("rx"), nil
+	case Both:
+		return []byte("both"), nil
+	}
+	return []byte(strconv.Itoa(int(d))), nil
+}
+
+// UnmarshalText decodes a direction token (or its decimal fallback
+// form; see Mode.UnmarshalText).
+func (d *Direction) UnmarshalText(b []byte) error {
+	if n, err := strconv.Atoi(string(b)); err == nil {
+		*d = Direction(n)
+		return nil
+	}
+	v, err := ParseDirection(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}

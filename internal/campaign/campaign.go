@@ -1,0 +1,113 @@
+// Package campaign runs experiment campaigns: whole grids of
+// independent bench configurations fanned out across a worker pool.
+//
+// Every experiment owns a private single-goroutine sim.Engine with an
+// explicitly seeded RNG and no shared mutable state, so a campaign is
+// embarrassingly parallel and — crucially — deterministic: the same
+// grid produces byte-identical per-config results whether it runs on
+// one worker or on every core (campaign_test.go enforces this). One
+// failing configuration is captured in its Outcome instead of aborting
+// the sweep.
+//
+// The package is the engine behind cmd/cdnasweep (grid in, JSON/CSV
+// out) and supplies the parallel bench.Runner that cmd/cdnatables
+// injects to regenerate the paper's tables concurrently.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"cdna/internal/bench"
+)
+
+// Options controls campaign execution.
+type Options struct {
+	// Workers is the number of concurrent experiments; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	// Progress, when non-nil, is called once per finished experiment
+	// with the completion count so far and the experiment's outcome.
+	// Calls are serialized; completion order is nondeterministic under
+	// parallelism, but outcomes land in input order regardless.
+	Progress func(done, total int, out bench.Outcome)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every configuration of the campaign and returns one
+// outcome per configuration, in input order. Errors (including panics
+// from malformed configurations) are captured per experiment; the rest
+// of the sweep always completes.
+func Run(cfgs []bench.Config, opt Options) []bench.Outcome {
+	outs := make([]bench.Outcome, len(cfgs))
+	workers := opt.workers()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			outs[i] = bench.RunCaptured(cfg)
+			report(opt, i+1, len(cfgs), outs[i])
+		}
+		return outs
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out := bench.RunCaptured(cfgs[i])
+				outs[i] = out
+				mu.Lock()
+				done++
+				report(opt, done, len(cfgs), out)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return outs
+}
+
+func report(opt Options, done, total int, out bench.Outcome) {
+	if opt.Progress != nil {
+		opt.Progress(done, total, out)
+	}
+}
+
+// Runner adapts a worker count into a bench.Runner, the injection point
+// bench's table generators expose. bench.Table2(opts) with
+// opts.Runner = campaign.Runner(0) runs that table's rows across all
+// cores.
+func Runner(workers int) bench.Runner {
+	return func(cfgs []bench.Config) []bench.Outcome {
+		return Run(cfgs, Options{Workers: workers})
+	}
+}
+
+// Errs collects the errors of failed experiments, preserving order.
+func Errs(outs []bench.Outcome) []error {
+	var errs []error
+	for _, out := range outs {
+		if out.Err != nil {
+			errs = append(errs, out.Err)
+		}
+	}
+	return errs
+}

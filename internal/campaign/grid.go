@@ -1,0 +1,244 @@
+package campaign
+
+import (
+	"cdna/internal/bench"
+	"cdna/internal/core"
+	"cdna/internal/sim"
+)
+
+// Grid is a declarative experiment space: the cross-product of every
+// populated axis. Empty axes collapse to the single default value, so a
+// zero Grid expands to one default CDNA transmit experiment. Grids
+// marshal to/from JSON with enum axes as strings ("xen", "ricenic",
+// "tx", "hypercall", ...), which is the cmd/cdnasweep -spec file
+// format.
+type Grid struct {
+	Modes       []bench.Mode      `json:"modes,omitempty"`
+	NICs        []bench.NICKind   `json:"nics,omitempty"`
+	Dirs        []bench.Direction `json:"dirs,omitempty"`
+	Guests      []int             `json:"guests,omitempty"`
+	NICCounts   []int             `json:"nic_counts,omitempty"`
+	Protections []core.Mode       `json:"protections,omitempty"`
+
+	// Ablation axes (CDNA only; see bench.Config).
+	MaxEnqueueBatches []int  `json:"max_enqueue_batches,omitempty"` // A2
+	IRQDeliveries     []bool `json:"irq_deliveries,omitempty"`      // A1: DirectPerContextIRQ
+	TxCoalesce        []int  `json:"tx_coalesce_pkts,omitempty"`    // A5
+
+	// Scalar overrides applied to every point (0 = bench default).
+	Conns  int `json:"conns_per_guest_per_nic,omitempty"`
+	Window int `json:"window,omitempty"`
+
+	Warmup   sim.Time `json:"warmup_ns,omitempty"`
+	Duration sim.Time `json:"duration_ns,omitempty"`
+}
+
+func modesOr(v []bench.Mode) []bench.Mode {
+	if len(v) == 0 {
+		return []bench.Mode{bench.ModeCDNA}
+	}
+	return v
+}
+
+func intsOr(v []int, def int) []int {
+	if len(v) == 0 {
+		return []int{def}
+	}
+	return v
+}
+
+func boolsOr(v []bool) []bool {
+	if len(v) == 0 {
+		return []bool{false}
+	}
+	return v
+}
+
+func dirsOr(v []bench.Direction) []bench.Direction {
+	if len(v) == 0 {
+		return []bench.Direction{bench.Tx}
+	}
+	return v
+}
+
+// nicsFor returns the NIC axis for one mode: only Xen supports both
+// device models; native always drives the Intel NIC and CDNA always
+// the RiceNIC, so their NIC axis collapses.
+func (g Grid) nicsFor(m bench.Mode) []bench.NICKind {
+	switch m {
+	case bench.ModeNative:
+		return []bench.NICKind{bench.NICIntel}
+	case bench.ModeCDNA:
+		return []bench.NICKind{bench.NICRice}
+	}
+	if len(g.NICs) == 0 {
+		return []bench.NICKind{bench.NICIntel}
+	}
+	return g.NICs
+}
+
+// protectionsFor collapses the protection axis for non-CDNA modes,
+// where it is ignored by the builder.
+func (g Grid) protectionsFor(m bench.Mode) []core.Mode {
+	if m != bench.ModeCDNA || len(g.Protections) == 0 {
+		return []core.Mode{core.ModeHypercall}
+	}
+	return g.Protections
+}
+
+// Points expands the grid into its cross-product of configurations.
+// Axes that a mode ignores collapse to one value (protection and the
+// ablation axes are CDNA-only; native has no guest axis), so the
+// expansion never contains two configurations the simulator would treat
+// identically. Expansion order is deterministic: the rightmost axis
+// varies fastest.
+func (g Grid) Points() []bench.Config {
+	var cfgs []bench.Config
+	seen := make(map[bench.Config]bool)
+	for _, mode := range modesOr(g.Modes) {
+		guests := intsOr(g.Guests, 1)
+		batches, irqs, coals := intsOr(g.MaxEnqueueBatches, 0), boolsOr(g.IRQDeliveries), intsOr(g.TxCoalesce, 0)
+		if mode != bench.ModeCDNA {
+			batches, irqs, coals = []int{0}, []bool{false}, []int{0}
+		}
+		if mode == bench.ModeNative {
+			// Native mode has no VMM: the host OS is the only "guest".
+			guests = []int{1}
+		}
+		for _, nic := range g.nicsFor(mode) {
+			for _, dir := range dirsOr(g.Dirs) {
+				for _, gs := range guests {
+					for _, nn := range intsOr(g.NICCounts, 2) {
+						for _, prot := range g.protectionsFor(mode) {
+							for _, batch := range batches {
+								for _, irq := range irqs {
+									for _, coal := range coals {
+										cfg := bench.DefaultConfig(mode, nic, dir)
+										cfg.Guests = gs
+										cfg.NICs = nn
+										cfg.Protection = prot
+										cfg.MaxEnqueueBatch = batch
+										cfg.DirectPerContextIRQ = irq
+										cfg.TxCoalescePkts = coal
+										cfg.ConnsPerGuestPerNIC = g.Conns
+										// Invalid guest counts stay as-is here and fail
+										// Config.Validate with a per-point error record.
+										if g.Conns <= 0 && gs >= 1 {
+											cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
+										}
+										if g.Window > 0 {
+											cfg.Window = g.Window
+										}
+										if g.Warmup > 0 {
+											cfg.Warmup = g.Warmup
+										}
+										if g.Duration > 0 {
+											cfg.Duration = g.Duration
+										}
+										key := cfg
+										key.Cal = bench.Calibration{}
+										if !seen[key] {
+											seen[key] = true
+											cfgs = append(cfgs, cfg)
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// Expand concatenates the expansions of several grids, deduplicating
+// across them while preserving first-occurrence order. Presets compose
+// this way: the full paper is Expand(PaperGrids()...).
+func Expand(grids ...Grid) []bench.Config {
+	var cfgs []bench.Config
+	seen := make(map[bench.Config]bool)
+	for _, g := range grids {
+		for _, cfg := range g.Points() {
+			key := cfg
+			key.Cal = bench.Calibration{}
+			if !seen[key] {
+				seen[key] = true
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}
+
+// Apply sets the measurement windows on every configuration; zero
+// fields are left at each configuration's current value.
+func Apply(cfgs []bench.Config, warmup, duration sim.Time) []bench.Config {
+	for i := range cfgs {
+		if warmup > 0 {
+			cfgs[i].Warmup = warmup
+		}
+		if duration > 0 {
+			cfgs[i].Duration = duration
+		}
+	}
+	return cfgs
+}
+
+var (
+	bothDirs = []bench.Direction{bench.Tx, bench.Rx}
+	xenOnly  = []bench.Mode{bench.ModeXen}
+	cdnaOnly = []bench.Mode{bench.ModeCDNA}
+)
+
+// Table1Grids is Table 1: native Linux on the six-NIC rig and a Xen
+// guest on the two-NIC rig, transmit and receive.
+func Table1Grids() []Grid {
+	return []Grid{
+		{Modes: []bench.Mode{bench.ModeNative}, Dirs: bothDirs, NICCounts: []int{6}, Conns: 6},
+		{Modes: xenOnly, NICs: []bench.NICKind{bench.NICIntel}, Dirs: bothDirs},
+	}
+}
+
+// Tables234Grids is the full Tables 2–4 grid: the three I/O
+// architectures (Xen/Intel, Xen/RiceNIC, CDNA/RiceNIC) in both
+// directions, plus CDNA with protection disabled (Table 4).
+func Tables234Grids() []Grid {
+	return []Grid{
+		{Modes: xenOnly, NICs: []bench.NICKind{bench.NICIntel, bench.NICRice}, Dirs: bothDirs},
+		{Modes: cdnaOnly, Dirs: bothDirs, Protections: []core.Mode{core.ModeHypercall, core.ModeOff}},
+	}
+}
+
+// FigureGrids is Figures 3 and 4: Xen/Intel vs CDNA/RiceNIC scaling
+// over the guest-count axis, both directions.
+func FigureGrids() []Grid {
+	return []Grid{
+		{Modes: []bench.Mode{bench.ModeXen, bench.ModeCDNA}, NICs: []bench.NICKind{bench.NICIntel}, Dirs: bothDirs, Guests: bench.FigureGuests},
+	}
+}
+
+// AblationGrids covers the ablation studies cmd/cdnatables runs: A1
+// (interrupt delivery, 8 guests), A2 (enqueue batching), A4 (protection
+// mechanism) and A5 (transmit coalescing), all CDNA transmit.
+func AblationGrids() []Grid {
+	tx := []bench.Direction{bench.Tx}
+	return []Grid{
+		{Modes: cdnaOnly, Dirs: tx, Guests: []int{8}, IRQDeliveries: []bool{false, true}},
+		{Modes: cdnaOnly, Dirs: tx, MaxEnqueueBatches: []int{1, 2, 4, 8, 16, 0}},
+		{Modes: cdnaOnly, Dirs: tx, Protections: []core.Mode{core.ModeHypercall, core.ModeIOMMU, core.ModeOff}},
+		{Modes: cdnaOnly, Dirs: tx, TxCoalesce: []int{2, 4, 8, 12, 24, 48}},
+	}
+}
+
+// PaperGrids is the whole evaluation: Tables 1–4, Figures 3–4, and the
+// ablations, as one deduplicated campaign.
+func PaperGrids() []Grid {
+	var grids []Grid
+	grids = append(grids, Table1Grids()...)
+	grids = append(grids, Tables234Grids()...)
+	grids = append(grids, FigureGrids()...)
+	grids = append(grids, AblationGrids()...)
+	return grids
+}

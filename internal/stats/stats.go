@@ -5,7 +5,9 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -61,13 +63,14 @@ func (m *ByteMeter) Mbps(dur sim.Time) float64 {
 
 // Profile is the paper's execution profile: fraction of CPU time in each
 // of the six categories over a measurement window. Fractions sum to ~1.
+// The JSON names are part of the result schema cmd/cdnasweep emits.
 type Profile struct {
-	Hyp        float64
-	DriverOS   float64
-	DriverUser float64
-	GuestOS    float64
-	GuestUser  float64
-	Idle       float64
+	Hyp        float64 `json:"hyp"`
+	DriverOS   float64 `json:"driver_os"`
+	DriverUser float64 `json:"driver_user"`
+	GuestOS    float64 `json:"guest_os"`
+	GuestUser  float64 `json:"guest_user"`
+	Idle       float64 `json:"idle"`
 }
 
 // Busy returns the non-idle fraction.
@@ -129,6 +132,20 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// WriteCSV writes the table as RFC 4180 CSV (header row first), the
+// machine-readable companion to String() for spreadsheet import.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Distribution collects samples and reports quantiles; used for latency

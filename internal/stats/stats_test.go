@@ -78,6 +78,26 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableWriteCSV(t *testing.T) {
+	tb := Table{Header: []string{"System", "Mb/s"}}
+	tb.AddRow("Xen, with commas", "1602")
+	tb.AddRow("CDNA", "1867")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "System,Mb/s" {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	if lines[1] != `"Xen, with commas",1602` {
+		t.Fatalf("comma cell not quoted: %q", lines[1])
+	}
+}
+
 func TestDistribution(t *testing.T) {
 	var d Distribution
 	if d.Mean() != 0 || d.Quantile(0.5) != 0 {
