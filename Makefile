@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check smoke tables paper clean
+.PHONY: all build vet test check smoke tables paper bench clean
 
 all: check
 
@@ -30,5 +30,11 @@ tables:
 paper:
 	$(GO) run ./cmd/cdnasweep -preset paper -json results.json -csv results.csv
 
+# bench measures the simulator itself (event-core micro-benchmarks +
+# one end-to-end run) and records the perf trajectory in BENCH_sim.json.
+# See EXPERIMENTS.md for how to read it.
+bench:
+	$(GO) run ./cmd/cdnabench -out BENCH_sim.json
+
 clean:
-	rm -f results.json results.csv
+	rm -f results.json results.csv BENCH_sim.json

@@ -15,7 +15,18 @@ import (
 
 	"cdna/internal/bench"
 	"cdna/internal/core"
+	"cdna/internal/sim/simbench"
 )
+
+// tableOpts picks the measurement windows for the full-system
+// benchmarks: full-length windows by default, bench.Quick() under
+// `go test -short` so CI benchmark smoke runs finish in seconds.
+func tableOpts() bench.Opts {
+	if testing.Short() {
+		return bench.Quick()
+	}
+	return bench.Full()
+}
 
 func reportRow(b *testing.B, name string, r bench.Result) {
 	b.ReportMetric(r.Mbps, name+":Mb/s")
@@ -23,7 +34,7 @@ func reportRow(b *testing.B, name string, r bench.Result) {
 
 func BenchmarkTable1NativeVsXen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.Table1(bench.Quick())
+		_, results, err := bench.Table1(tableOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +47,7 @@ func BenchmarkTable1NativeVsXen(b *testing.B) {
 
 func BenchmarkTable2Transmit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.Table2(bench.Quick())
+		_, results, err := bench.Table2(tableOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +60,7 @@ func BenchmarkTable2Transmit(b *testing.B) {
 
 func BenchmarkTable3Receive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.Table3(bench.Quick())
+		_, results, err := bench.Table3(tableOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +73,7 @@ func BenchmarkTable3Receive(b *testing.B) {
 
 func BenchmarkTable4Protection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.Table4(bench.Quick())
+		_, results, err := bench.Table4(tableOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +88,7 @@ func BenchmarkTable4Protection(b *testing.B) {
 func figureBench(b *testing.B, fig func(bench.Opts, []int) (t any, pts []bench.FigurePoint, err error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		_, pts, err := fig(bench.Quick(), []int{1, 8, 24})
+		_, pts, err := fig(tableOpts(), []int{1, 8, 24})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +115,7 @@ func BenchmarkFigure4ReceiveScaling(b *testing.B) {
 
 func BenchmarkAblationInterrupts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.AblationInterrupts(bench.Quick(), 8)
+		_, results, err := bench.AblationInterrupts(tableOpts(), 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +126,7 @@ func BenchmarkAblationInterrupts(b *testing.B) {
 
 func BenchmarkAblationBatching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.AblationBatching(bench.Quick(), []int{1, 8, 0})
+		_, results, err := bench.AblationBatching(tableOpts(), []int{1, 8, 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +137,7 @@ func BenchmarkAblationBatching(b *testing.B) {
 
 func BenchmarkAblationIOMMU(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.AblationIOMMU(bench.Quick())
+		_, results, err := bench.AblationIOMMU(tableOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,8 +147,10 @@ func BenchmarkAblationIOMMU(b *testing.B) {
 }
 
 // BenchmarkSingleRun measures the simulator itself: events per wall
-// second for the standard CDNA transmit configuration.
+// second for the standard CDNA transmit configuration — the end-to-end
+// companion to the internal/sim micro-benchmarks in BENCH_sim.json.
 func BenchmarkSingleRun(b *testing.B) {
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		cfg := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
 		cfg.Protection = core.ModeHypercall
@@ -147,6 +160,14 @@ func BenchmarkSingleRun(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.Events), "events/run")
+		events += res.Events
 	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
+
+// BenchmarkEngineScheduleFire is the foundation-layer hot loop measured
+// at the repository root so `go test -bench .` covers both altitudes;
+// the body is shared with internal/sim and cmd/cdnabench via
+// internal/sim/simbench.
+func BenchmarkEngineScheduleFire(b *testing.B) { simbench.ScheduleFire(b) }

@@ -1,0 +1,45 @@
+package cdna
+
+// The determinism contract that pins the zero-allocation event-core
+// refactor: the rendered evaluation tables must be byte-identical from
+// run to run, sequentially and under the parallel campaign pool. Event
+// pooling, timer re-arming, and the FIFO callback pattern all preserve
+// the engine's (time, sequence) execution order exactly; this test is
+// the tripwire if a future change does not.
+
+import (
+	"testing"
+
+	"cdna/internal/bench"
+	"cdna/internal/campaign"
+	"cdna/internal/sim"
+)
+
+func renderTable1(t *testing.T, runner bench.Runner) string {
+	t.Helper()
+	opts := bench.Quick()
+	if testing.Short() {
+		opts = bench.Opts{Warmup: 20 * sim.Millisecond, Duration: 60 * sim.Millisecond}
+	}
+	opts.Runner = runner
+	tbl, _, err := bench.Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.String()
+}
+
+func TestTable1GoldenDeterminism(t *testing.T) {
+	first := renderTable1(t, nil)
+	second := renderTable1(t, nil)
+	if first != second {
+		t.Fatalf("sequential reruns differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	pooled := renderTable1(t, campaign.Runner(4))
+	if pooled != first {
+		t.Fatalf("campaign-pool run differs from sequential:\n--- sequential ---\n%s\n--- pooled ---\n%s", first, pooled)
+	}
+	if len(first) == 0 {
+		t.Fatal("rendered table is empty")
+	}
+}

@@ -54,6 +54,13 @@ type Netfront struct {
 	vif       *Vif
 	rxHandler func(*ether.Frame)
 	notifyQd  bool
+
+	// Per-packet frames queued into guest tasks (FIFO order) and the
+	// task callbacks bound once when the vif is created.
+	txIn sim.FIFO[*ether.Frame]
+	rxUp sim.FIFO[*ether.Frame]
+
+	txInFn, rxUpFn, virqFn, notifyFn func()
 }
 
 // MAC implements guest.NetDevice.
@@ -65,10 +72,14 @@ func (f *Netfront) SetRxHandler(h func(*ether.Frame)) { f.rxHandler = h }
 // StartXmit implements guest.NetDevice: the packet is granted to the
 // back end over the shared ring, with a batched notification.
 func (f *Netfront) StartXmit(frame *ether.Frame) {
-	f.Dom.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(f.Costs.TxPerPkt, frame.Size), "netfront.tx", func() {
-		f.vif.txQ = append(f.vif.txQ, frame)
-		f.scheduleNotify()
-	})
+	f.txIn.Push(frame)
+	f.Dom.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(f.Costs.TxPerPkt, frame.Size), "netfront.tx", f.txInFn)
+}
+
+func (f *Netfront) txInTask() {
+	frame := f.txIn.Pop()
+	f.vif.txQ = append(f.vif.txQ, frame)
+	f.scheduleNotify()
 }
 
 func (f *Netfront) scheduleNotify() {
@@ -76,27 +87,34 @@ func (f *Netfront) scheduleNotify() {
 		return
 	}
 	f.notifyQd = true
-	f.Dom.VCPU.Exec(cpu.CatKernel, f.Costs.NotifyFixed, "netfront.notify", func() {
-		f.notifyQd = false
-		f.vif.toBack.NotifyFromGuest(f.Dom)
-	})
+	f.Dom.VCPU.Exec(cpu.CatKernel, f.Costs.NotifyFixed, "netfront.notify", f.notifyFn)
+}
+
+func (f *Netfront) notifyTask() {
+	f.notifyQd = false
+	f.vif.toBack.NotifyFromGuest(f.Dom)
 }
 
 // onVirq handles the back end's notification: received packets are
 // pulled off the shared ring and delivered up the stack.
 func (f *Netfront) onVirq() {
-	f.Dom.VCPU.Exec(cpu.CatKernel, f.Costs.IrqFixed, "netfront.virq", func() {
-		frames := f.vif.rxQ
-		f.vif.rxQ = nil
-		for _, fr := range frames {
-			fr := fr
-			f.Dom.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(f.Costs.RxPerPkt, fr.Size), "netfront.rx", func() {
-				if f.rxHandler != nil {
-					f.rxHandler(fr)
-				}
-			})
-		}
-	})
+	f.Dom.VCPU.Exec(cpu.CatKernel, f.Costs.IrqFixed, "netfront.virq", f.virqFn)
+}
+
+func (f *Netfront) virqTask() {
+	frames := f.vif.rxQ
+	f.vif.rxQ = f.vif.rxQ[:0]
+	for _, fr := range frames {
+		f.rxUp.Push(fr)
+		f.Dom.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(f.Costs.RxPerPkt, fr.Size), "netfront.rx", f.rxUpFn)
+	}
+}
+
+func (f *Netfront) rxUpTask() {
+	fr := f.rxUp.Pop()
+	if f.rxHandler != nil {
+		f.rxHandler(fr)
+	}
 }
 
 // Vif is one guest's virtual interface: the shared rings between a
@@ -113,6 +131,13 @@ type Vif struct {
 	toFront  *xen.EventChannel
 	notifyQd bool
 	visiting bool
+
+	// Per-packet frames moving through driver-domain tasks (FIFO) and
+	// the callbacks bound once in AddVif.
+	txOut sim.FIFO[*ether.Frame] // toward the bridge/wire
+	rxOut sim.FIFO[*ether.Frame] // toward this guest
+
+	visitFn, notifyFn, txOutFn, rxOutFn func()
 }
 
 // Netback is the driver domain's back-end driver plus bridge for one
@@ -128,6 +153,11 @@ type Netback struct {
 
 	vifs []*Vif
 
+	// Frames arriving from the physical driver, queued into the bridge
+	// traversal task; wireInFn is bound once in NewNetback.
+	wireIn   sim.FIFO[*ether.Frame]
+	wireInFn func()
+
 	PktsToWire   stats.Counter
 	PktsToGuests stats.Counter
 }
@@ -135,6 +165,7 @@ type Netback struct {
 // NewNetback creates the back end bridged onto the physical device.
 func NewNetback(hyp *xen.Hypervisor, dom0 *xen.Domain, phys guest.NetDevice, costs BackCosts) *Netback {
 	nb := &Netback{Dom0: dom0, Hyp: hyp, Costs: costs, Bridge: ether.NewBridge(), phys: phys}
+	nb.wireInFn = nb.wireInTask
 	nb.physPort = nb.Bridge.AddPort(ether.PortFunc(func(f *ether.Frame) {
 		nb.PktsToWire.Inc()
 		phys.StartXmit(f)
@@ -146,10 +177,20 @@ func NewNetback(hyp *xen.Hypervisor, dom0 *xen.Domain, phys guest.NetDevice, cos
 
 // AddVif connects a guest's netfront and returns it. The MAC is the
 // guest's virtual interface address; the bridge learns it from traffic.
+// The per-vif packet callbacks are bound here, once, so the per-packet
+// paths below never allocate a capturing closure.
 func (nb *Netback) AddVif(gdom *xen.Domain, mac ether.MAC, fc FrontCosts) *Netfront {
 	front := &Netfront{Dom: gdom, Costs: fc, mac: mac}
+	front.txInFn = front.txInTask
+	front.rxUpFn = front.rxUpTask
+	front.virqFn = front.virqTask
+	front.notifyFn = front.notifyTask
 	vif := &Vif{Front: front, back: nb}
 	front.vif = vif
+	vif.visitFn = func() { nb.visitTask(vif) }
+	vif.notifyFn = func() { nb.frontNotifyTask(vif) }
+	vif.txOutFn = func() { nb.txOutTask(vif) }
+	vif.rxOutFn = func() { nb.rxOutTask(vif) }
 	vif.port = nb.Bridge.AddPort(ether.PortFunc(func(f *ether.Frame) {
 		nb.deliverToGuest(vif, f)
 	}))
@@ -168,45 +209,54 @@ func (nb *Netback) serveVif(v *Vif) {
 		return
 	}
 	v.visiting = true
-	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.VisitFixed, "netback.visit", func() {
-		v.visiting = false
-		budget := nb.Costs.Budget
-		if budget <= 0 {
-			budget = 16
-		}
-		n := len(v.txQ)
-		if n > budget {
-			n = budget
-		}
-		frames := v.txQ[:n]
-		v.txQ = v.txQ[n:]
-		for _, f := range frames {
-			f := f
-			nb.Dom0.VCPU.Exec(cpu.CatHyp, nb.Costs.FlipPerPkt, "netback.flip", nil)
-			nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.TxPerPkt, f.Size)+nb.Costs.BridgePerPkt, "netback.tx", func() {
-				nb.Bridge.Input(v.port, f)
-			})
-		}
-		if len(frames) > 0 {
-			// Transmit-completion notification back to the guest: the
-			// back end interrupts the front end whenever it generates
-			// new work for it (§5.2's discussion of guest interrupt
-			// rates), so the front end can clean its shared ring.
-			nb.scheduleFrontNotify(v)
-		}
-		if len(v.txQ) > 0 {
-			// Budget exhausted: reschedule the remainder.
-			nb.serveVif(v)
-		}
-	})
+	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.VisitFixed, "netback.visit", v.visitFn)
+}
+
+func (nb *Netback) visitTask(v *Vif) {
+	v.visiting = false
+	budget := nb.Costs.Budget
+	if budget <= 0 {
+		budget = 16
+	}
+	n := len(v.txQ)
+	if n > budget {
+		n = budget
+	}
+	frames := v.txQ[:n]
+	v.txQ = v.txQ[n:]
+	for _, f := range frames {
+		v.txOut.Push(f)
+		nb.Dom0.VCPU.Exec(cpu.CatHyp, nb.Costs.FlipPerPkt, "netback.flip", nil)
+		nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.TxPerPkt, f.Size)+nb.Costs.BridgePerPkt, "netback.tx", v.txOutFn)
+	}
+	if len(frames) > 0 {
+		// Transmit-completion notification back to the guest: the
+		// back end interrupts the front end whenever it generates
+		// new work for it (§5.2's discussion of guest interrupt
+		// rates), so the front end can clean its shared ring.
+		nb.scheduleFrontNotify(v)
+	}
+	if len(v.txQ) > 0 {
+		// Budget exhausted: reschedule the remainder.
+		nb.serveVif(v)
+	}
+}
+
+func (nb *Netback) txOutTask(v *Vif) {
+	f := v.txOut.Pop()
+	nb.Bridge.Input(v.port, f)
 }
 
 // fromWire is the physical driver's receive upcall: bridge the frame
 // toward whichever guest owns the destination MAC.
 func (nb *Netback) fromWire(f *ether.Frame) {
-	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.BridgePerPkt, "netback.bridge", func() {
-		nb.Bridge.Input(nb.physPort, f)
-	})
+	nb.wireIn.Push(f)
+	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.BridgePerPkt, "netback.bridge", nb.wireInFn)
+}
+
+func (nb *Netback) wireInTask() {
+	f := nb.wireIn.Pop()
+	nb.Bridge.Input(nb.physPort, f)
 }
 
 // deliverToGuest remaps the packet into the guest and notifies it
@@ -219,11 +269,15 @@ func (nb *Netback) deliverToGuest(v *Vif, f *ether.Frame) {
 	if f.Size < guest.SmallFrame {
 		flip = nb.Costs.FlipPerPkt / 2
 	}
+	v.rxOut.Push(f)
 	nb.Dom0.VCPU.Exec(cpu.CatHyp, flip, "netback.rxflip", nil)
-	nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.RxPerPkt, f.Size), "netback.rx", func() {
-		v.rxQ = append(v.rxQ, f)
-		nb.scheduleFrontNotify(v)
-	})
+	nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.RxPerPkt, f.Size), "netback.rx", v.rxOutFn)
+}
+
+func (nb *Netback) rxOutTask(v *Vif) {
+	f := v.rxOut.Pop()
+	v.rxQ = append(v.rxQ, f)
+	nb.scheduleFrontNotify(v)
 }
 
 func (nb *Netback) scheduleFrontNotify(v *Vif) {
@@ -231,8 +285,10 @@ func (nb *Netback) scheduleFrontNotify(v *Vif) {
 		return
 	}
 	v.notifyQd = true
-	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.NotifyFixed, "netback.notify", func() {
-		v.notifyQd = false
-		v.toFront.NotifyFromGuest(nb.Dom0)
-	})
+	nb.Dom0.VCPU.Exec(cpu.CatKernel, nb.Costs.NotifyFixed, "netback.notify", v.notifyFn)
+}
+
+func (nb *Netback) frontNotifyTask(v *Vif) {
+	v.notifyQd = false
+	v.toFront.NotifyFromGuest(nb.Dom0)
 }

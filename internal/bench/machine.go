@@ -145,15 +145,16 @@ func makeRings(m *mem.Memory, dom mem.DomID, name string) (*ring.Ring, *ring.Rin
 	return tx, rx, nil
 }
 
-// startBackground models housekeeping daemons in a domain.
+// startBackground models housekeeping daemons in a domain: one
+// persistent timer re-armed in place per tick.
 func startBackground(eng *sim.Engine, d *cpu.Domain, period, kernel, user sim.Time) {
-	var tick func()
-	tick = func() {
+	var tm *sim.Timer
+	tm = eng.NewTimer("bg", func() {
 		d.Exec(cpu.CatKernel, kernel, "bg.kernel", nil)
 		d.Exec(cpu.CatUser, user, "bg.user", nil)
-		eng.After(period, "bg", tick)
-	}
-	eng.After(period, "bg", tick)
+		tm.ArmAfter(period)
+	})
+	tm.ArmAfter(period)
 }
 
 // Build assembles a machine for the configuration.

@@ -46,7 +46,10 @@ func (b *Bus) transferTime(size int) sim.Time {
 }
 
 // DMA queues a transfer of size bytes and invokes fn when it completes.
-// Transfers are serviced FIFO; a saturated bus delays completions.
+// Transfers are serviced FIFO — completions fire in issue order — so
+// callers needing per-transfer state can pair a sim.FIFO with one
+// callback bound at construction instead of capturing a fresh closure
+// per transfer. name is the event name as it appears in traces.
 func (b *Bus) DMA(size int, name string, fn func()) {
 	if size < 0 {
 		panic("bus: negative DMA size")
@@ -60,10 +63,12 @@ func (b *Bus) DMA(size int, name string, fn func()) {
 	b.Transfers.Inc()
 	b.Bytes.Add(uint64(size))
 	if fn == nil {
-		fn = func() {}
+		fn = nop
 	}
-	b.eng.At(done, "bus.dma:"+name, fn)
+	b.eng.At(done, name, fn)
 }
+
+func nop() {}
 
 // Backlog returns how far in the future the bus frees up.
 func (b *Bus) Backlog() sim.Time {

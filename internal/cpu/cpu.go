@@ -124,6 +124,17 @@ type CPU struct {
 	switchSeq   uint64
 	boostStreak int
 
+	// The CPU executes one thing at a time, so exactly one completion
+	// event is outstanding; its state lives here instead of in a fresh
+	// closure per dispatch, and the completion callbacks below are bound
+	// once in New. This is what keeps the per-task hot path free of
+	// allocations.
+	pendDom  *Domain
+	pendTask Task
+	pendISR  Task
+
+	switchDoneFn, taskDoneFn, isrDoneFn func()
+
 	// window accounting
 	hypT, idleT sim.Time
 	winStart    sim.Time
@@ -132,7 +143,11 @@ type CPU struct {
 
 // New creates a CPU attached to the engine.
 func New(eng *sim.Engine, p Params) *CPU {
-	return &CPU{eng: eng, params: p, idleSince: eng.Now()}
+	c := &CPU{eng: eng, params: p, idleSince: eng.Now()}
+	c.switchDoneFn = c.switchDone
+	c.taskDoneFn = c.taskDone
+	c.isrDoneFn = c.isrDone
+	return c
 }
 
 // NewDomain registers a domain with the scheduler.
@@ -273,13 +288,18 @@ func (c *CPU) dispatch() {
 	d.boosted = false
 	d.sliceEnd = c.eng.Now() + switchCost + c.params.Slice
 	if switchCost > 0 {
-		c.eng.After(switchCost, "cpu.switch", func() {
-			c.hypT += switchCost
-			c.startDomainTask(d)
-		})
+		// switchCost is always params.SwitchCost here, so the callback
+		// needs only the pending domain.
+		c.pendDom = d
+		c.eng.After(switchCost, "cpu.switch", c.switchDoneFn)
 		return
 	}
 	c.startDomainTask(d)
+}
+
+func (c *CPU) switchDone() {
+	c.hypT += c.params.SwitchCost
+	c.startDomainTask(c.pendDom)
 }
 
 func (c *CPU) startDomainTask(d *Domain) {
@@ -290,13 +310,24 @@ func (c *CPU) startDomainTask(d *Domain) {
 	// domain's execution, not the hypervisor's).
 	t.Dur += d.pendingPenalty
 	d.pendingPenalty = 0
-	c.eng.After(t.Dur, "cpu.task:"+t.Name, func() {
-		c.accountDomain(d, t)
-		if t.Fn != nil {
-			t.Fn()
-		}
-		c.afterDomainTask(d)
-	})
+	c.pendDom, c.pendTask = d, t
+	// The bare task name keeps the hot path allocation-free; the
+	// flight-recorder prefix is only built when someone is recording.
+	name := t.Name
+	if c.eng.Traced() {
+		name = "cpu.task:" + t.Name
+	}
+	c.eng.After(t.Dur, name, c.taskDoneFn)
+}
+
+func (c *CPU) taskDone() {
+	d, t := c.pendDom, c.pendTask
+	c.pendTask.Fn = nil // release the callback before t.Fn reschedules
+	c.accountDomain(d, t)
+	if t.Fn != nil {
+		t.Fn()
+	}
+	c.afterDomainTask(d)
 }
 
 func (c *CPU) afterDomainTask(d *Domain) {
@@ -336,13 +367,22 @@ func (c *CPU) afterDomainTask(d *Domain) {
 }
 
 func (c *CPU) runTask(d *Domain, t Task) {
-	c.eng.After(t.Dur, "cpu.isr:"+t.Name, func() {
-		c.hypT += t.Dur
-		if t.Fn != nil {
-			t.Fn()
-		}
-		c.dispatch()
-	})
+	c.pendISR = t
+	name := t.Name
+	if c.eng.Traced() {
+		name = "cpu.isr:" + t.Name
+	}
+	c.eng.After(t.Dur, name, c.isrDoneFn)
+}
+
+func (c *CPU) isrDone() {
+	t := c.pendISR
+	c.pendISR.Fn = nil
+	c.hypT += t.Dur
+	if t.Fn != nil {
+		t.Fn()
+	}
+	c.dispatch()
 }
 
 func (c *CPU) accountDomain(d *Domain, t Task) {

@@ -27,13 +27,22 @@ type Pipe struct {
 	dst        Port
 	busyUntil  sim.Time
 
+	// Frames in flight, delivered FIFO by deliverFn: serialization times
+	// are nondecreasing and propagation is constant, so wire order is
+	// issue order and the per-frame delivery closure reduces to one
+	// bound callback plus a queue.
+	inflight  sim.FIFO[*Frame]
+	deliverFn func()
+
 	Frames stats.Counter
 	Bytes  stats.Counter
 }
 
 // NewPipe creates a unidirectional pipe at rate gbps.
 func NewPipe(eng *sim.Engine, gbps float64, propDelay sim.Time) *Pipe {
-	return &Pipe{eng: eng, bytesPerNs: GbpsToBytesPerNs(gbps), propDelay: propDelay}
+	p := &Pipe{eng: eng, bytesPerNs: GbpsToBytesPerNs(gbps), propDelay: propDelay}
+	p.deliverFn = p.deliver
+	return p
 }
 
 // Connect attaches the receiving port.
@@ -51,11 +60,15 @@ func (p *Pipe) Send(f *Frame) {
 	p.Frames.Inc()
 	p.Bytes.Add(uint64(f.WireBytes()))
 	deliverAt := p.busyUntil + p.propDelay
-	p.eng.At(deliverAt, "ether.deliver", func() {
-		if p.dst != nil {
-			p.dst.Receive(f)
-		}
-	})
+	p.inflight.Push(f)
+	p.eng.At(deliverAt, "ether.deliver", p.deliverFn)
+}
+
+func (p *Pipe) deliver() {
+	f := p.inflight.Pop()
+	if p.dst != nil {
+		p.dst.Receive(f)
+	}
 }
 
 // Backlog returns how long until the wire is free.

@@ -41,7 +41,7 @@ type CDNADriver struct {
 	txBufs, rxBufs map[uint32]mem.PFN
 	inflight       map[uint32]*ether.Frame
 
-	backlog                []*ether.Frame // qdisc: frames waiting for ring space
+	backlog                sim.FIFO[*ether.Frame] // qdisc: frames waiting for ring space
 	stagedTx               []stagedPkt
 	stagedRx               int
 	enqTx                  bool
@@ -49,6 +49,14 @@ type CDNADriver struct {
 	lastTxCons, lastRxCons uint32
 
 	rxHandler func(*ether.Frame)
+
+	// Per-packet frames threaded through domain tasks (FIFO order) plus
+	// the task callbacks bound once in NewCDNADriver; the batch-level
+	// enqueue/kick callbacks are bound too since they capture only d.
+	txIn sim.FIFO[*ether.Frame]
+	rxUp sim.FIFO[*ether.Frame]
+
+	txInFn, rxUpFn, virqFn, txBatchFn, rxBatchFn, kickFn func()
 
 	TxDropped   stats.Counter
 	EnqueueErrs stats.Counter
@@ -69,6 +77,12 @@ func NewCDNADriver(dom *xen.Domain, m *mem.Memory, n *ricenic.NIC, ctx *core.Con
 		txBufs: make(map[uint32]mem.PFN), rxBufs: make(map[uint32]mem.PFN),
 		inflight: make(map[uint32]*ether.Frame),
 	}
+	d.txInFn = d.txEnqueueTask
+	d.rxUpFn = d.rxUpTask
+	d.virqFn = d.virqTask
+	d.txBatchFn = d.txBatchTask
+	d.rxBatchFn = d.rxBatchTask
+	d.kickFn = d.kickTask
 	d.txPool = m.Alloc(dom.ID, PoolPages)
 	d.rxPool = m.Alloc(dom.ID, PoolPages)
 	n.AttachContext(ctx, func(idx uint32) *ether.Frame { return d.inflight[idx] })
@@ -93,25 +107,28 @@ func (d *CDNADriver) Start() {
 
 // StartXmit implements NetDevice.
 func (d *CDNADriver) StartXmit(f *ether.Frame) {
-	d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.TxPerPkt, f.Size), "cdna.tx", func() {
-		if len(d.backlog) >= qdiscLimit {
-			d.TxDropped.Inc()
-			return
-		}
-		d.backlog = append(d.backlog, f)
-		d.reapTx()
-		d.stageFromBacklog()
-		d.scheduleTxEnqueue()
-	})
+	d.txIn.Push(f)
+	d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.TxPerPkt, f.Size), "cdna.tx", d.txInFn)
+}
+
+func (d *CDNADriver) txEnqueueTask() {
+	f := d.txIn.Pop()
+	if d.backlog.Len() >= qdiscLimit {
+		d.TxDropped.Inc()
+		return
+	}
+	d.backlog.Push(f)
+	d.reapTx()
+	d.stageFromBacklog()
+	d.scheduleTxEnqueue()
 }
 
 // stageFromBacklog moves backlog frames into the staged batch while
 // buffer pages and ring space allow.
 func (d *CDNADriver) stageFromBacklog() {
-	for len(d.backlog) > 0 && len(d.txPool) > 0 &&
+	for d.backlog.Len() > 0 && len(d.txPool) > 0 &&
 		len(d.stagedTx)+d.Ctx.TxRing.Avail() < RingEntries-1 {
-		f := d.backlog[0]
-		d.backlog = d.backlog[1:]
+		f := d.backlog.Pop()
 		pfn := d.txPool[len(d.txPool)-1]
 		d.txPool = d.txPool[:len(d.txPool)-1]
 		d.stagedTx = append(d.stagedTx, stagedPkt{
@@ -127,53 +144,57 @@ func (d *CDNADriver) scheduleTxEnqueue() {
 		return
 	}
 	d.enqTx = true
-	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.txbatch", func() {
-		d.enqTx = false
-		batch := d.stagedTx
-		d.stagedTx = nil
-		if d.MaxBatch > 0 && len(batch) > d.MaxBatch {
-			d.stagedTx = batch[d.MaxBatch:]
-			batch = batch[:d.MaxBatch]
-			d.scheduleTxEnqueue()
-		}
-		if len(batch) == 0 {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.txbatch", d.txBatchFn)
+}
+
+func (d *CDNADriver) txBatchTask() {
+	d.enqTx = false
+	batch := d.stagedTx
+	d.stagedTx = nil
+	if d.MaxBatch > 0 && len(batch) > d.MaxBatch {
+		d.stagedTx = batch[d.MaxBatch:]
+		batch = batch[:d.MaxBatch]
+		d.scheduleTxEnqueue()
+	}
+	if len(batch) == 0 {
+		return
+	}
+	descs := make([]ring.Desc, len(batch))
+	for i, s := range batch {
+		descs[i] = s.desc
+	}
+	done := func(n int, err error) {
+		if err != nil {
+			d.EnqueueErrs.Add(uint64(len(batch)))
+			for _, s := range batch {
+				d.txPool = append(d.txPool, s.pfn)
+			}
 			return
 		}
-		descs := make([]ring.Desc, len(batch))
+		base := d.Ctx.TxRing.Prod() - uint32(n)
 		for i, s := range batch {
-			descs[i] = s.desc
+			idx := base + uint32(i)
+			d.inflight[idx] = s.frame
+			d.txBufs[idx] = s.pfn
 		}
-		done := func(n int, err error) {
-			if err != nil {
-				d.EnqueueErrs.Add(uint64(len(batch)))
-				for _, s := range batch {
-					d.txPool = append(d.txPool, s.pfn)
-				}
-				return
-			}
-			base := d.Ctx.TxRing.Prod() - uint32(n)
-			for i, s := range batch {
-				idx := base + uint32(i)
-				d.inflight[idx] = s.frame
-				d.txBufs[idx] = s.pfn
-			}
-			d.kickTx()
-		}
-		if d.Direct {
-			d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(descs))*d.DirectPerDesc, "cdna.direct", func() {
-				n, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
-				done(n, err)
-			})
-			return
-		}
-		d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, done)
-	})
+		d.kickTx()
+	}
+	if d.Direct {
+		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(descs))*d.DirectPerDesc, "cdna.direct", func() {
+			n, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
+			done(n, err)
+		})
+		return
+	}
+	d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, done)
 }
 
 func (d *CDNADriver) kickTx() {
-	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.pio", func() {
-		d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod())
-	})
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.pio", d.kickFn)
+}
+
+func (d *CDNADriver) kickTask() {
+	d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod())
 }
 
 // reapTx recycles transmit buffers the NIC has finished with (the
@@ -194,35 +215,41 @@ func (d *CDNADriver) reapTx() {
 // the hypervisor decodes this context's bit from a NIC interrupt bit
 // vector.
 func (d *CDNADriver) OnVirq() {
-	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.IrqFixed, "cdna.virq", func() {
-		d.reapTx()
-		if len(d.backlog) > 0 {
-			d.stageFromBacklog()
-			d.scheduleTxEnqueue()
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.IrqFixed, "cdna.virq", d.virqFn)
+}
+
+func (d *CDNADriver) virqTask() {
+	d.reapTx()
+	if d.backlog.Len() > 0 {
+		d.stageFromBacklog()
+		d.scheduleTxEnqueue()
+	}
+	comps := d.NIC.DrainRx(d.Ctx.ID)
+	for _, c := range comps {
+		f := c.Frame
+		d.rxUp.Push(f)
+		d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.RxPerPkt, f.Size), "cdna.rx", d.rxUpFn)
+	}
+	// Recycle consumed rx buffers and repost the same count.
+	for d.lastRxCons != d.Ctx.RxRing.Cons() {
+		idx := d.lastRxCons
+		if pfn, ok := d.rxBufs[idx]; ok {
+			d.rxPool = append(d.rxPool, pfn)
+			delete(d.rxBufs, idx)
 		}
-		comps := d.NIC.DrainRx(d.Ctx.ID)
-		for _, c := range comps {
-			f := c.Frame
-			d.Dom.VCPU.Exec(cpu.CatKernel, ScaleCost(d.Costs.RxPerPkt, f.Size), "cdna.rx", func() {
-				if d.rxHandler != nil {
-					d.rxHandler(f)
-				}
-			})
-		}
-		// Recycle consumed rx buffers and repost the same count.
-		for d.lastRxCons != d.Ctx.RxRing.Cons() {
-			idx := d.lastRxCons
-			if pfn, ok := d.rxBufs[idx]; ok {
-				d.rxPool = append(d.rxPool, pfn)
-				delete(d.rxBufs, idx)
-			}
-			d.lastRxCons++
-		}
-		if len(comps) > 0 {
-			d.stagedRx += len(comps)
-			d.flushRx()
-		}
-	})
+		d.lastRxCons++
+	}
+	if len(comps) > 0 {
+		d.stagedRx += len(comps)
+		d.flushRx()
+	}
+}
+
+func (d *CDNADriver) rxUpTask() {
+	f := d.rxUp.Pop()
+	if d.rxHandler != nil {
+		d.rxHandler(f)
+	}
 }
 
 // flushRx posts stagedRx receive buffers in one batched enqueue.
@@ -231,53 +258,55 @@ func (d *CDNADriver) flushRx() {
 		return
 	}
 	d.enqRx = true
-	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.rxbatch", func() {
-		d.enqRx = false
-		n := d.stagedRx
-		if n > len(d.rxPool) {
-			n = len(d.rxPool)
-		}
-		if d.MaxBatch > 0 && n > d.MaxBatch {
-			n = d.MaxBatch
-		}
-		if n <= 0 {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.BatchFixed, "cdna.rxbatch", d.rxBatchFn)
+}
+
+func (d *CDNADriver) rxBatchTask() {
+	d.enqRx = false
+	n := d.stagedRx
+	if n > len(d.rxPool) {
+		n = len(d.rxPool)
+	}
+	if d.MaxBatch > 0 && n > d.MaxBatch {
+		n = d.MaxBatch
+	}
+	if n <= 0 {
+		return
+	}
+	d.stagedRx -= n
+	if d.stagedRx > 0 {
+		d.flushRx()
+	}
+	pfns := make([]mem.PFN, n)
+	descs := make([]ring.Desc, n)
+	for i := 0; i < n; i++ {
+		pfn := d.rxPool[len(d.rxPool)-1]
+		d.rxPool = d.rxPool[:len(d.rxPool)-1]
+		pfns[i] = pfn
+		descs[i] = ring.Desc{Addr: pfn.Base(), Len: ether.HeaderBytes + ether.MTU + 86, Flags: ring.FlagValid}
+	}
+	done := func(cnt int, err error) {
+		if err != nil {
+			d.EnqueueErrs.Add(uint64(n))
+			d.rxPool = append(d.rxPool, pfns...)
 			return
 		}
-		d.stagedRx -= n
-		if d.stagedRx > 0 {
-			d.flushRx()
+		base := d.Ctx.RxRing.Prod() - uint32(cnt)
+		for i := 0; i < cnt; i++ {
+			d.rxBufs[base+uint32(i)] = pfns[i]
 		}
-		pfns := make([]mem.PFN, n)
-		descs := make([]ring.Desc, n)
-		for i := 0; i < n; i++ {
-			pfn := d.rxPool[len(d.rxPool)-1]
-			d.rxPool = d.rxPool[:len(d.rxPool)-1]
-			pfns[i] = pfn
-			descs[i] = ring.Desc{Addr: pfn.Base(), Len: ether.HeaderBytes + ether.MTU + 86, Flags: ring.FlagValid}
-		}
-		done := func(cnt int, err error) {
-			if err != nil {
-				d.EnqueueErrs.Add(uint64(n))
-				d.rxPool = append(d.rxPool, pfns...)
-				return
-			}
-			base := d.Ctx.RxRing.Prod() - uint32(cnt)
-			for i := 0; i < cnt; i++ {
-				d.rxBufs[base+uint32(i)] = pfns[i]
-			}
-			d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
-				d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
-			})
-		}
-		if d.Direct {
-			d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(n)*d.DirectPerDesc, "cdna.rxdirect", func() {
-				cnt, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.RxRing, descs)
-				done(cnt, err)
-			})
-			return
-		}
-		d.Dom.CDNAEnqueue(d.Ctx.RxRing, descs, done)
-	})
+		d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
+			d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
+		})
+	}
+	if d.Direct {
+		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(n)*d.DirectPerDesc, "cdna.rxdirect", func() {
+			cnt, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.RxRing, descs)
+			done(cnt, err)
+		})
+		return
+	}
+	d.Dom.CDNAEnqueue(d.Ctx.RxRing, descs, done)
 }
 
 // --- Misbehaving-driver entry points (fault-injection tests and the

@@ -49,7 +49,15 @@ type NativeDriver struct {
 	rxKickQueued bool
 	rxHandler    func(*ether.Frame)
 
-	backlog []*ether.Frame // qdisc: frames waiting for ring space
+	backlog sim.FIFO[*ether.Frame] // qdisc: frames waiting for ring space
+
+	// Per-packet frames queued into domain tasks, popped FIFO by the
+	// matching callback bound once below (domain task queues preserve
+	// order); kickFn/rxKickFn/irqFn are the batched-path callbacks.
+	txIn sim.FIFO[*ether.Frame]
+	rxUp sim.FIFO[*ether.Frame]
+
+	txInFn, rxUpFn, irqFn, kickFn, rxKickFn func()
 
 	TxDropped stats.Counter // backlog overflow (qdisc limit)
 }
@@ -62,6 +70,11 @@ func NewNativeDriver(dom *cpu.Domain, domID mem.DomID, m *mem.Memory, n *intelni
 		txBufs: make(map[uint32]mem.PFN), rxBufs: make(map[uint32]mem.PFN),
 		inflight: make(map[uint32]*ether.Frame),
 	}
+	d.txInFn = d.txEnqueueTask
+	d.rxUpFn = d.rxUpTask
+	d.irqFn = d.irqTask
+	d.kickFn = d.kickTask
+	d.rxKickFn = d.rxKickTask
 	ringPages := (RingEntries*ring.DefaultLayout.Size + mem.PageSize - 1) / mem.PageSize
 	var err error
 	d.tx, err = ring.New("intel.tx", ring.DefaultLayout, m.Alloc(domID, ringPages)[0].Base(), RingEntries)
@@ -116,17 +129,21 @@ func (d *NativeDriver) postRxBuffer() bool {
 // StartXmit implements NetDevice: per-packet descriptor work then a
 // batched doorbell.
 func (d *NativeDriver) StartXmit(f *ether.Frame) {
-	d.Dom.Exec(cpu.CatKernel, ScaleCost(d.Costs.TxPerPkt, f.Size), "ndrv.tx", func() {
-		// Qdisc semantics: queue, then fill the ring as far as space and
-		// buffers allow; the rest drains on transmit completions.
-		if len(d.backlog) >= qdiscLimit {
-			d.TxDropped.Inc()
-			return
-		}
-		d.backlog = append(d.backlog, f)
-		d.reapTx()
-		d.fillRing()
-	})
+	d.txIn.Push(f)
+	d.Dom.Exec(cpu.CatKernel, ScaleCost(d.Costs.TxPerPkt, f.Size), "ndrv.tx", d.txInFn)
+}
+
+func (d *NativeDriver) txEnqueueTask() {
+	f := d.txIn.Pop()
+	// Qdisc semantics: queue, then fill the ring as far as space and
+	// buffers allow; the rest drains on transmit completions.
+	if d.backlog.Len() >= qdiscLimit {
+		d.TxDropped.Inc()
+		return
+	}
+	d.backlog.Push(f)
+	d.reapTx()
+	d.fillRing()
 }
 
 func (d *NativeDriver) scheduleKick() {
@@ -134,25 +151,27 @@ func (d *NativeDriver) scheduleKick() {
 		return
 	}
 	d.kickQueued = true
-	d.Dom.Exec(cpu.CatKernel, d.Costs.BatchFixed+d.Costs.PIO, "ndrv.kick", func() {
-		d.kickQueued = false
-		d.NIC.KickTx(d.tx.Prod())
-	})
+	d.Dom.Exec(cpu.CatKernel, d.Costs.BatchFixed+d.Costs.PIO, "ndrv.kick", d.kickFn)
+}
+
+func (d *NativeDriver) kickTask() {
+	d.kickQueued = false
+	d.NIC.KickTx(d.tx.Prod())
 }
 
 // fillRing moves backlog frames onto the descriptor ring while space
 // and buffer pages allow.
 func (d *NativeDriver) fillRing() {
 	moved := false
-	for len(d.backlog) > 0 && len(d.txPool) > 0 && !d.tx.Full() {
-		f := d.backlog[0]
+	for d.backlog.Len() > 0 && len(d.txPool) > 0 && !d.tx.Full() {
+		f := d.backlog.Peek()
 		pfn := d.txPool[len(d.txPool)-1]
 		idx := d.tx.Prod()
 		desc := ring.Desc{Addr: pfn.Base(), Len: uint16(f.Size), Flags: ring.FlagTx | ring.FlagValid}
 		if err := d.tx.WriteDesc(d.Mem, d.DomID, idx, desc); err != nil {
 			break
 		}
-		d.backlog = d.backlog[1:]
+		d.backlog.Pop()
 		d.txPool = d.txPool[:len(d.txPool)-1]
 		d.tx.Publish(1)
 		d.txBufs[idx] = pfn
@@ -182,22 +201,27 @@ func (d *NativeDriver) reapTx() {
 // Xen). It reaps transmit completions, pulls receive completions up the
 // stack, and replenishes receive buffers.
 func (d *NativeDriver) OnInterrupt() {
-	d.Dom.Exec(cpu.CatKernel, d.Costs.IrqFixed, "ndrv.irq", func() {
-		d.reapTx()
-		d.fillRing()
-		comps := d.NIC.DrainRx()
-		for _, f := range comps {
-			f := f
-			d.Dom.Exec(cpu.CatKernel, ScaleCost(d.Costs.RxPerPkt, f.Size), "ndrv.rx", func() {
-				if d.rxHandler != nil {
-					d.rxHandler(f)
-				}
-			})
-		}
-		if len(comps) > 0 {
-			d.replenishRx(len(comps))
-		}
-	})
+	d.Dom.Exec(cpu.CatKernel, d.Costs.IrqFixed, "ndrv.irq", d.irqFn)
+}
+
+func (d *NativeDriver) irqTask() {
+	d.reapTx()
+	d.fillRing()
+	comps := d.NIC.DrainRx()
+	for _, f := range comps {
+		d.rxUp.Push(f)
+		d.Dom.Exec(cpu.CatKernel, ScaleCost(d.Costs.RxPerPkt, f.Size), "ndrv.rx", d.rxUpFn)
+	}
+	if len(comps) > 0 {
+		d.replenishRx(len(comps))
+	}
+}
+
+func (d *NativeDriver) rxUpTask() {
+	f := d.rxUp.Pop()
+	if d.rxHandler != nil {
+		d.rxHandler(f)
+	}
 }
 
 func (d *NativeDriver) replenishRx(n int) {
@@ -218,9 +242,11 @@ func (d *NativeDriver) replenishRx(n int) {
 	}
 	if posted > 0 && !d.rxKickQueued {
 		d.rxKickQueued = true
-		d.Dom.Exec(cpu.CatKernel, d.Costs.PIO, "ndrv.rxkick", func() {
-			d.rxKickQueued = false
-			d.NIC.KickRx(d.rx.Prod())
-		})
+		d.Dom.Exec(cpu.CatKernel, d.Costs.PIO, "ndrv.rxkick", d.rxKickFn)
 	}
+}
+
+func (d *NativeDriver) rxKickTask() {
+	d.rxKickQueued = false
+	d.NIC.KickRx(d.rx.Prod())
 }

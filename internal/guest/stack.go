@@ -63,6 +63,13 @@ type Stack struct {
 	devs      []NetDevice
 	userAcc   int
 	Delivered stats.Counter // data packets handed to transport
+
+	// Segments queued into the kernel's receive path; rxFn (bound once)
+	// pops the segment its task corresponds to. Domain task queues are
+	// FIFO, so push/pop order matches and the per-packet capturing
+	// closure disappears.
+	rxQ  sim.FIFO[*transport.Segment]
+	rxFn func()
 }
 
 // NewStack creates a stack on the domain's vCPU.
@@ -70,7 +77,9 @@ func NewStack(dom *cpu.Domain, costs StackCosts) *Stack {
 	if costs.UserBatch <= 0 {
 		costs.UserBatch = 16
 	}
-	return &Stack{Dom: dom, Costs: costs}
+	s := &Stack{Dom: dom, Costs: costs}
+	s.rxFn = s.deliverTask
+	return s
 }
 
 // AttachDevice binds a device's receive path into the stack.
@@ -92,26 +101,45 @@ func (s *Stack) chargeUser() {
 	}
 }
 
+// sender is the per-(device, peer) transmit adapter behind Sender: one
+// segment FIFO plus one task callback bound at creation, so queuing a
+// segment into the kernel allocates no closure.
+type sender struct {
+	s   *Stack
+	dev NetDevice
+	dst ether.MAC
+	q   sim.FIFO[*transport.Segment]
+	fn  func()
+}
+
 // Sender returns a transport send function that pushes segments out
 // through dev toward dstMAC, charging stack transmit costs.
 func (s *Stack) Sender(dev NetDevice, dstMAC ether.MAC) func(*transport.Segment) {
-	return func(seg *transport.Segment) {
-		cost := s.Costs.TxData
-		name := "stack.tx"
-		if seg.Ack {
-			cost = s.Costs.TxAck
-			name = "stack.txack"
-		}
-		s.Dom.Exec(cpu.CatKernel, cost, name, func() {
-			if !seg.Ack {
-				s.chargeUser()
-			}
-			dev.StartXmit(&ether.Frame{
-				Src: dev.MAC(), Dst: dstMAC,
-				Size: seg.FrameBytes(), Payload: seg,
-			})
-		})
+	sn := &sender{s: s, dev: dev, dst: dstMAC}
+	sn.fn = sn.xmitTask
+	return sn.send
+}
+
+func (sn *sender) send(seg *transport.Segment) {
+	cost := sn.s.Costs.TxData
+	name := "stack.tx"
+	if seg.Ack {
+		cost = sn.s.Costs.TxAck
+		name = "stack.txack"
 	}
+	sn.q.Push(seg)
+	sn.s.Dom.Exec(cpu.CatKernel, cost, name, sn.fn)
+}
+
+func (sn *sender) xmitTask() {
+	seg := sn.q.Pop()
+	if !seg.Ack {
+		sn.s.chargeUser()
+	}
+	sn.dev.StartXmit(&ether.Frame{
+		Src: sn.dev.MAC(), Dst: sn.dst,
+		Size: seg.FrameBytes(), Payload: seg,
+	})
 }
 
 // deliver is the receive upcall from a driver.
@@ -126,11 +154,15 @@ func (s *Stack) deliver(f *ether.Frame) {
 		cost = s.Costs.RxAck
 		name = "stack.rxack"
 	}
-	s.Dom.Exec(cpu.CatKernel, cost, name, func() {
-		if !seg.Ack {
-			s.chargeUser()
-			s.Delivered.Inc()
-		}
-		transport.Dispatch(seg)
-	})
+	s.rxQ.Push(seg)
+	s.Dom.Exec(cpu.CatKernel, cost, name, s.rxFn)
+}
+
+func (s *Stack) deliverTask() {
+	seg := s.rxQ.Pop()
+	if !seg.Ack {
+		s.chargeUser()
+		s.Delivered.Inc()
+	}
+	transport.Dispatch(seg)
 }

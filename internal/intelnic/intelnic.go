@@ -58,20 +58,23 @@ type NIC struct {
 	raiseIRQ func()
 	lookupTx func(idx uint32) *ether.Frame
 
+	writebackDoneFn func() // bound once: raise the IRQ after the writeback DMA
+
 	rxDone []*ether.Frame // completed receive frames awaiting the driver
 }
 
 // New creates the NIC with its wire attachment.
 func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params, mac ether.MAC) *NIC {
 	n := &NIC{Name: "intel", MAC: mac, Params: p}
+	n.writebackDoneFn = func() {
+		if n.raiseIRQ != nil {
+			n.raiseIRQ()
+		}
+	}
 	n.E = nic.NewEngine(eng, b, m, out, p.Engine)
 	n.Coal = nic.NewCoalescer(eng, p.CoalesceDelay, p.CoalescePkts, func() {
 		// Consumer-index writeback then the physical interrupt.
-		b.DMA(8, "intel.writeback", func() {
-			if n.raiseIRQ != nil {
-				n.raiseIRQ()
-			}
-		})
+		b.DMA(8, "bus.dma:intel.writeback", n.writebackDoneFn)
 	})
 	n.E.Hooks = nic.Hooks{
 		LookupTx: func(qid int, idx uint32) *ether.Frame {

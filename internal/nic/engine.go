@@ -74,17 +74,38 @@ type queue struct {
 	// Next free-running index to fetch.
 	txFetch, rxFetch uint32
 
-	txFifo     []txEntry
-	rxFifo     []txEntry
+	txFifo     sim.FIFO[txEntry]
+	rxFifo     sim.FIFO[txEntry]
 	txFetching bool
 	rxFetching bool
 	txConsumed uint32 // free-running count of tx descriptors completed
 	rxConsumed uint32
 
+	// In-flight descriptor-fetch parameters plus the completion
+	// callbacks bound at AddQueue: at most one fetch per direction is
+	// outstanding, so the old per-fetch closure's captures live here.
+	txFetchN, rxFetchN         int
+	txFetchStart, rxFetchStart uint32
+	txDescDoneFn, rxDescDoneFn func()
+
 	// On-NIC receive packet buffer: frames waiting for a descriptor
 	// fetch to complete (§4's per-context buffering).
-	rxHeld      []*ether.Frame
+	rxHeld      sim.FIFO[*ether.Frame]
 	rxHeldBytes int
+}
+
+// txJob / rxJob carry one packet's state through the FIFO processing
+// server and the FIFO bus: completions pop the matching job, replacing
+// the fresh capturing closure per packet the hot path used to allocate.
+type txJob struct {
+	q     *queue
+	entry txEntry
+}
+
+type rxJob struct {
+	q     *queue
+	f     *ether.Frame
+	entry txEntry
 }
 
 // Engine is the generic multi-queue NIC data engine.
@@ -101,6 +122,15 @@ type Engine struct {
 	rrNext  int
 	pumping bool
 
+	// Per-packet pipeline state (see txJob/rxJob) and the stage
+	// callbacks, bound once in NewEngine.
+	txProcJobs, txDmaJobs sim.FIFO[txJob]
+	rxProcJobs, rxDmaJobs sim.FIFO[rxJob]
+
+	txProcDoneFn, txDmaDoneFn func()
+	rxProcDoneFn, rxDmaDoneFn func()
+	pumpStepFn                func()
+
 	TxPackets  stats.Counter
 	RxPackets  stats.Counter
 	RxDrops    stats.Counter // no posted buffer or no matching queue
@@ -111,13 +141,21 @@ type Engine struct {
 // NewEngine creates the data engine. Hooks must be set before traffic
 // flows.
 func NewEngine(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) *Engine {
-	return &Engine{Eng: eng, Bus: b, Mem: m, Out: out, Proc: NewServer(eng), Params: p}
+	e := &Engine{Eng: eng, Bus: b, Mem: m, Out: out, Proc: NewServer(eng), Params: p}
+	e.txProcDoneFn = e.txProcDone
+	e.txDmaDoneFn = e.txDmaDone
+	e.rxProcDoneFn = e.rxProcDone
+	e.rxDmaDoneFn = e.rxDmaDone
+	e.pumpStepFn = e.pumpStep
+	return e
 }
 
 // AddQueue registers a queue pair over the given rings and returns its
 // queue id.
 func (e *Engine) AddQueue(tx, rx *ring.Ring) int {
 	q := &queue{id: len(e.queues), tx: tx, rx: rx, active: true}
+	q.txDescDoneFn = func() { e.txDescDone(q) }
+	q.rxDescDoneFn = func() { e.rxDescDone(q) }
 	e.queues = append(e.queues, q)
 	return q.id
 }
@@ -130,9 +168,9 @@ func (e *Engine) DetachQueue(qid int) {
 	}
 	q := e.queues[qid]
 	q.active = false
-	q.txFifo = nil
-	q.rxFifo = nil
-	q.rxHeld = nil
+	q.txFifo.Clear()
+	q.rxFifo.Clear()
+	q.rxHeld.Clear()
 	q.rxHeldBytes = 0
 }
 
@@ -177,28 +215,31 @@ func (e *Engine) fetchTx(q *queue) {
 		n = e.Params.FetchBatch
 	}
 	q.txFetching = true
-	start := q.txFetch
-	e.Bus.DMA(n*q.tx.Layout.Size, "txdesc", func() {
-		q.txFetching = false
-		if !q.active {
+	q.txFetchN = n
+	q.txFetchStart = q.txFetch
+	e.Bus.DMA(n*q.tx.Layout.Size, "bus.dma:txdesc", q.txDescDoneFn)
+}
+
+func (e *Engine) txDescDone(q *queue) {
+	q.txFetching = false
+	if !q.active {
+		return
+	}
+	for i := 0; i < q.txFetchN; i++ {
+		idx := q.txFetchStart + uint32(i)
+		d, err := q.tx.ReadDesc(e.Mem, idx)
+		if err != nil {
 			return
 		}
-		for i := 0; i < n; i++ {
-			idx := start + uint32(i)
-			d, err := q.tx.ReadDesc(e.Mem, idx)
-			if err != nil {
-				return
-			}
-			if e.Hooks.CheckTxSeq != nil && !e.Hooks.CheckTxSeq(q.id, d) {
-				e.fault(q, true, d)
-				return
-			}
-			q.txFifo = append(q.txFifo, txEntry{idx: idx, desc: d})
-			q.txFetch = idx + 1
+		if e.Hooks.CheckTxSeq != nil && !e.Hooks.CheckTxSeq(q.id, d) {
+			e.fault(q, true, d)
+			return
 		}
-		e.fetchTx(q) // keep fetching if more were published
-		e.pump()
-	})
+		q.txFifo.Push(txEntry{idx: idx, desc: d})
+		q.txFetch = idx + 1
+	}
+	e.fetchTx(q) // keep fetching if more were published
+	e.pump()
 }
 
 // fetchRx prefetches receive descriptors.
@@ -206,8 +247,7 @@ func (e *Engine) fetchRx(q *queue) {
 	if q.rxFetching || !q.active {
 		return
 	}
-	have := len(q.rxFifo)
-	if have >= e.Params.RxPrefetch {
+	if q.rxFifo.Len() >= e.Params.RxPrefetch {
 		return
 	}
 	n := int(q.rxProd - q.rxFetch)
@@ -218,34 +258,36 @@ func (e *Engine) fetchRx(q *queue) {
 		n = e.Params.FetchBatch
 	}
 	q.rxFetching = true
-	start := q.rxFetch
-	e.Bus.DMA(n*q.rx.Layout.Size, "rxdesc", func() {
-		q.rxFetching = false
-		if !q.active {
+	q.rxFetchN = n
+	q.rxFetchStart = q.rxFetch
+	e.Bus.DMA(n*q.rx.Layout.Size, "bus.dma:rxdesc", q.rxDescDoneFn)
+}
+
+func (e *Engine) rxDescDone(q *queue) {
+	q.rxFetching = false
+	if !q.active {
+		return
+	}
+	for i := 0; i < q.rxFetchN; i++ {
+		idx := q.rxFetchStart + uint32(i)
+		d, err := q.rx.ReadDesc(e.Mem, idx)
+		if err != nil {
 			return
 		}
-		for i := 0; i < n; i++ {
-			idx := start + uint32(i)
-			d, err := q.rx.ReadDesc(e.Mem, idx)
-			if err != nil {
-				return
-			}
-			if e.Hooks.CheckRxSeq != nil && !e.Hooks.CheckRxSeq(q.id, d) {
-				e.fault(q, false, d)
-				return
-			}
-			q.rxFifo = append(q.rxFifo, txEntry{idx: idx, desc: d})
-			q.rxFetch = idx + 1
+		if e.Hooks.CheckRxSeq != nil && !e.Hooks.CheckRxSeq(q.id, d) {
+			e.fault(q, false, d)
+			return
 		}
-		// Buffered frames drain now that descriptors are available.
-		for len(q.rxHeld) > 0 && len(q.rxFifo) > 0 {
-			f := q.rxHeld[0]
-			q.rxHeld = q.rxHeld[1:]
-			q.rxHeldBytes -= f.Size
-			e.deliverRx(q, f)
-		}
-		e.fetchRx(q)
-	})
+		q.rxFifo.Push(txEntry{idx: idx, desc: d})
+		q.rxFetch = idx + 1
+	}
+	// Buffered frames drain now that descriptors are available.
+	for q.rxHeld.Len() > 0 && q.rxFifo.Len() > 0 {
+		f := q.rxHeld.Pop()
+		q.rxHeldBytes -= f.Size
+		e.deliverRx(q, f)
+	}
+	e.fetchRx(q)
 }
 
 func (e *Engine) fault(q *queue, tx bool, d ring.Desc) {
@@ -276,7 +318,7 @@ func (e *Engine) pumpStep() {
 	if e.Out != nil {
 		limit := sim.Time(e.Params.TxWindow) * slot
 		if bl := e.Out.Backlog(); bl > limit {
-			e.Eng.After(bl-limit, "nic.pace", e.pumpStep)
+			e.Eng.After(bl-limit, "nic.pace", e.pumpStepFn)
 			return
 		}
 	}
@@ -284,38 +326,47 @@ func (e *Engine) pumpStep() {
 	n := len(e.queues)
 	for i := 0; i < n; i++ {
 		q := e.queues[(e.rrNext+i)%n]
-		if !q.active || len(q.txFifo) == 0 {
+		if !q.active || q.txFifo.Len() == 0 {
 			continue
 		}
 		e.rrNext = (e.rrNext + i + 1) % n
-		entry := q.txFifo[0]
-		q.txFifo = q.txFifo[1:]
-		if len(q.txFifo) < e.Params.FetchBatch {
+		entry := q.txFifo.Pop()
+		if q.txFifo.Len() < e.Params.FetchBatch {
 			e.fetchTx(q)
 		}
-		e.Proc.Do(e.Params.ProcTx, "tx", func() {
-			// DMA the payload out of host memory, then transmit.
-			e.Bus.DMA(int(entry.desc.Len), "txdata", func() {
-				var f *ether.Frame
-				if e.Hooks.LookupTx != nil {
-					f = e.Hooks.LookupTx(q.id, entry.idx)
-				}
-				if f == nil {
-					// Stale or forged descriptor: the NIC transmits
-					// whatever bytes the memory held.
-					f = &ether.Frame{Size: int(entry.desc.Len)}
-				}
-				if e.Out != nil {
-					e.Out.Send(f)
-				}
-				e.TxPackets.Inc()
-				e.completeTx(q)
-				e.pumpStep()
-			})
-		})
+		e.txProcJobs.Push(txJob{q: q, entry: entry})
+		e.Proc.Do(e.Params.ProcTx, "nicproc:tx", e.txProcDoneFn)
 		return
 	}
 	e.pumping = false
+}
+
+// txProcDone: NIC processing finished; DMA the payload out of host
+// memory.
+func (e *Engine) txProcDone() {
+	j := e.txProcJobs.Pop()
+	e.txDmaJobs.Push(j)
+	e.Bus.DMA(int(j.entry.desc.Len), "bus.dma:txdata", e.txDmaDoneFn)
+}
+
+// txDmaDone: payload is on the NIC; transmit and complete.
+func (e *Engine) txDmaDone() {
+	j := e.txDmaJobs.Pop()
+	var f *ether.Frame
+	if e.Hooks.LookupTx != nil {
+		f = e.Hooks.LookupTx(j.q.id, j.entry.idx)
+	}
+	if f == nil {
+		// Stale or forged descriptor: the NIC transmits whatever bytes
+		// the memory held.
+		f = &ether.Frame{Size: int(j.entry.desc.Len)}
+	}
+	if e.Out != nil {
+		e.Out.Send(f)
+	}
+	e.TxPackets.Inc()
+	e.completeTx(j.q)
+	e.pumpStep()
 }
 
 func (e *Engine) completeTx(q *queue) {
@@ -339,13 +390,13 @@ func (e *Engine) Receive(f *ether.Frame) {
 		return
 	}
 	q := e.queues[qid]
-	if len(q.rxFifo) == 0 {
+	if q.rxFifo.Len() == 0 {
 		// No fetched descriptor. If more are published (or a fetch is in
 		// flight) and the on-NIC packet buffer has room, hold the frame;
 		// otherwise tail-drop (§2.2 semantics).
 		fetchable := q.rxFetching || int(q.rxProd-q.rxFetch) > 0
 		if fetchable && q.rxHeldBytes+f.Size <= e.Params.RxBufBytes {
-			q.rxHeld = append(q.rxHeld, f)
+			q.rxHeld.Push(f)
 			q.rxHeldBytes += f.Size
 			e.RxBuffered.Inc()
 			e.fetchRx(q)
@@ -362,40 +413,52 @@ func (e *Engine) Receive(f *ether.Frame) {
 // payload DMA into the host buffer, consumer-index writeback, and the
 // completion hook.
 func (e *Engine) deliverRx(q *queue, f *ether.Frame) {
-	entry := q.rxFifo[0]
-	q.rxFifo = q.rxFifo[1:]
-	if len(q.rxFifo) < e.Params.RxPrefetch/2 {
+	entry := q.rxFifo.Pop()
+	if q.rxFifo.Len() < e.Params.RxPrefetch/2 {
 		e.fetchRx(q)
 	}
-	e.Proc.Do(e.Params.ProcRx, "rx", func() {
-		size := f.Size
-		if size > int(entry.desc.Len) {
-			size = int(entry.desc.Len)
-		}
-		e.Bus.DMA(size, "rxdata", func() {
-			if !q.active {
-				return
-			}
-			if q.rx.Avail() > 0 {
-				q.rx.Consume(1)
-			}
-			q.rxConsumed++
-			e.RxPackets.Inc()
-			if e.Hooks.OnRxDelivered != nil {
-				e.Hooks.OnRxDelivered(q.id, f, entry.desc)
-			}
-			if e.Hooks.OnCompletion != nil {
-				e.Hooks.OnCompletion(q.id, false)
-			}
-		})
-	})
+	e.rxProcJobs.Push(rxJob{q: q, f: f, entry: entry})
+	e.Proc.Do(e.Params.ProcRx, "nicproc:rx", e.rxProcDoneFn)
+}
+
+// rxProcDone: NIC processing finished; DMA the payload into the posted
+// host buffer.
+func (e *Engine) rxProcDone() {
+	j := e.rxProcJobs.Pop()
+	size := j.f.Size
+	if size > int(j.entry.desc.Len) {
+		size = int(j.entry.desc.Len)
+	}
+	e.rxDmaJobs.Push(j)
+	e.Bus.DMA(size, "bus.dma:rxdata", e.rxDmaDoneFn)
+}
+
+// rxDmaDone: the frame is in host memory; write back the consumer index
+// and report the completion.
+func (e *Engine) rxDmaDone() {
+	j := e.rxDmaJobs.Pop()
+	q := j.q
+	if !q.active {
+		return
+	}
+	if q.rx.Avail() > 0 {
+		q.rx.Consume(1)
+	}
+	q.rxConsumed++
+	e.RxPackets.Inc()
+	if e.Hooks.OnRxDelivered != nil {
+		e.Hooks.OnRxDelivered(q.id, j.f, j.entry.desc)
+	}
+	if e.Hooks.OnCompletion != nil {
+		e.Hooks.OnCompletion(q.id, false)
+	}
 }
 
 // TxBacklog returns fetched-but-untransmitted descriptors on a queue.
-func (e *Engine) TxBacklog(qid int) int { return len(e.queues[qid].txFifo) }
+func (e *Engine) TxBacklog(qid int) int { return e.queues[qid].txFifo.Len() }
 
 // RxPosted returns fetched receive buffers ready for arrivals.
-func (e *Engine) RxPosted(qid int) int { return len(e.queues[qid].rxFifo) }
+func (e *Engine) RxPosted(qid int) int { return e.queues[qid].rxFifo.Len() }
 
 // StartWindow resets windowed counters.
 func (e *Engine) StartWindow() {

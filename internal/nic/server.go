@@ -28,6 +28,9 @@ type Server struct {
 func NewServer(eng *sim.Engine) *Server { return &Server{eng: eng} }
 
 // Do schedules fn after cost of processing time, behind any queued work.
+// Completions fire in issue order (FIFO), so callers can thread
+// per-item state through a sim.FIFO paired with a callback bound once
+// instead of capturing it in a fresh closure per call.
 func (s *Server) Do(cost sim.Time, name string, fn func()) {
 	start := s.eng.Now()
 	if s.busyUntil > start {
@@ -36,10 +39,12 @@ func (s *Server) Do(cost sim.Time, name string, fn func()) {
 	s.busyUntil = start + cost
 	s.Ops.Inc()
 	if fn == nil {
-		fn = func() {}
+		fn = nop
 	}
-	s.eng.At(s.busyUntil, "nicproc:"+name, fn)
+	s.eng.At(s.busyUntil, name, fn)
 }
+
+func nop() {}
 
 // Backlog returns the queued processing time.
 func (s *Server) Backlog() sim.Time {
@@ -60,7 +65,7 @@ type Coalescer struct {
 	fire  func()
 
 	pending int
-	timer   *sim.Event
+	timer   *sim.Timer // re-armed in place; no per-batch event allocation
 	Fires   stats.Counter
 }
 
@@ -70,7 +75,9 @@ func NewCoalescer(eng *sim.Engine, delay sim.Time, pkts int, fire func()) *Coale
 	if pkts <= 0 {
 		pkts = 1
 	}
-	return &Coalescer{eng: eng, Delay: delay, Pkts: pkts, fire: fire}
+	c := &Coalescer{eng: eng, Delay: delay, Pkts: pkts, fire: fire}
+	c.timer = eng.NewTimer("coalesce", c.fireNow)
+	return c
 }
 
 // Event records one completion.
@@ -80,16 +87,13 @@ func (c *Coalescer) Event() {
 		c.fireNow()
 		return
 	}
-	if c.timer == nil {
-		c.timer = c.eng.After(c.Delay, "coalesce", c.fireNow)
+	if !c.timer.Armed() {
+		c.timer.ArmAfter(c.Delay)
 	}
 }
 
 func (c *Coalescer) fireNow() {
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
+	c.timer.Stop()
 	if c.pending == 0 {
 		return
 	}

@@ -84,6 +84,13 @@ type NIC struct {
 	macTable   map[ether.MAC]*devContext
 	decoding   bool
 	promiscCtx int // context receiving unmatched frames (-1 = drop)
+
+	// Posted-but-not-yet-DMAed interrupt bit vectors, consumed FIFO by
+	// bitvecDoneFn; with decodeDoneFn these are the firmware's
+	// per-interrupt/per-mailbox callbacks bound once at New.
+	postedVecs   sim.FIFO[uint32]
+	bitvecDoneFn func()
+	decodeDoneFn func()
 }
 
 // SetPromiscuous routes frames whose destination MAC matches no context
@@ -110,6 +117,8 @@ func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) 
 		return nil, err
 	}
 	n.BitVec = bv
+	n.bitvecDoneFn = n.bitvecDone
+	n.decodeDoneFn = n.decodeDone
 	n.E = nic.NewEngine(eng, b, m, out, p.Engine)
 	n.Coal = nic.NewCoalescer(eng, p.CoalesceDelay, p.CoalescePkts, n.fireInterrupt)
 	rxDelay := p.RxCoalesceDelay
@@ -198,21 +207,26 @@ func (n *NIC) fireInterrupt() {
 		// and the next completion retries.
 		return
 	}
-	n.bus.DMA(core.PostBytes, "ricenic.bitvec", func() {
-		if n.raiseIRQ == nil {
-			return
-		}
-		if !n.Params.DirectPerContextIRQ {
+	n.postedVecs.Push(vec)
+	n.bus.DMA(core.PostBytes, "bus.dma:ricenic.bitvec", n.bitvecDoneFn)
+}
+
+// bitvecDone runs when a posted bit vector's DMA lands in host memory.
+func (n *NIC) bitvecDone() {
+	vec := n.postedVecs.Pop()
+	if n.raiseIRQ == nil {
+		return
+	}
+	if !n.Params.DirectPerContextIRQ {
+		n.raiseIRQ()
+		return
+	}
+	// Ablation: one physical interrupt per context with updates.
+	for c := 0; c < 32; c++ {
+		if vec&(1<<uint(c)) != 0 {
 			n.raiseIRQ()
-			return
 		}
-		// Ablation: one physical interrupt per context with updates.
-		for c := 0; c < 32; c++ {
-			if vec&(1<<uint(c)) != 0 {
-				n.raiseIRQ()
-			}
-		}
-	})
+	}
 }
 
 // SetHost installs the hypervisor-facing callbacks: the physical
@@ -260,14 +274,16 @@ func (n *NIC) decodeEvents() {
 		return
 	}
 	n.decoding = true
-	n.E.Proc.Do(n.Params.MboxDecode, "mboxdecode", func() {
-		n.decoding = false
-		ctx, mbox, val, ok := n.Mbox.DecodeNext()
-		if ok {
-			n.handleMailbox(ctx, mbox, val)
-		}
-		n.decodeEvents()
-	})
+	n.E.Proc.Do(n.Params.MboxDecode, "nicproc:mboxdecode", n.decodeDoneFn)
+}
+
+func (n *NIC) decodeDone() {
+	n.decoding = false
+	ctx, mbox, val, ok := n.Mbox.DecodeNext()
+	if ok {
+		n.handleMailbox(ctx, mbox, val)
+	}
+	n.decodeEvents()
 }
 
 func (n *NIC) handleMailbox(ctxID, mbox int, val uint32) {

@@ -3,12 +3,17 @@
 // driven by a single Engine; determinism is guaranteed by a strict
 // (time, sequence) ordering of events and by the absence of goroutines in
 // the simulation core.
+//
+// The engine is the simulator's hot path: every packet the models move
+// costs several events, so the core is built for zero steady-state
+// allocation. Event objects are recycled through a free list and handed
+// out as value-type Handles carrying a generation counter, cancelled
+// events are removed from the queue eagerly, and components that fire
+// repeatedly use a Timer — one persistent event re-armed in place —
+// instead of scheduling fresh events. See DESIGN.md ("Foundation").
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated timestamp or duration in nanoseconds.
 type Time int64
@@ -38,63 +43,65 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a scheduled callback. Events are owned by the Engine's pool
+// (or by a Timer) and referenced externally only through Handles, which
+// carry a generation counter so a reference to a recycled event is
+// detectably stale.
 type Event struct {
-	at        Time
-	seq       uint64
-	name      string
-	fn        func()
-	index     int // heap index; -1 once popped or cancelled
-	cancelled bool
+	at    Time
+	seq   uint64
+	name  string
+	fn    func()
+	eng   *Engine
+	index int32  // position in the engine's queue; -1 when not queued
+	gen   uint32 // bumped on every recycle; stale Handles mismatch
+	timer bool   // owned by a Timer, never returned to the pool
 }
 
-// At returns the time the event is scheduled to fire.
-func (ev *Event) At() Time { return ev.at }
-
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() {
-	ev.cancelled = true
-	ev.fn = nil
+// Handle refers to a scheduled event. The zero Handle is valid and
+// refers to nothing. Handles are values: copying one is free, and a
+// Handle outliving its event is safe — once the event fires or is
+// cancelled and recycled, the generation counter no longer matches and
+// every method degrades to a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint32
 }
 
-// Cancelled reports whether Cancel was called.
-func (ev *Event) Cancelled() bool { return ev.cancelled }
+// Scheduled reports whether the event is still queued to fire.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// When returns the time the event is scheduled to fire, or 0 if the
+// handle is stale.
+func (h Handle) When() Time {
+	if !h.Scheduled() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return h.ev.at
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// Cancel removes the event from the queue and recycles it. Cancelling a
+// fired, already-cancelled, or stale handle is a no-op — in particular,
+// cancelling an old handle to an event that has since been recycled for
+// a different purpose must not (and does not) disturb the new event.
+func (h Handle) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+		return
+	}
+	e := ev.eng
+	e.remove(int(ev.index))
+	e.release(ev)
 }
 
 // Engine is the discrete-event simulator core.
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	pq      []*Event // binary min-heap ordered by (at, seq)
+	free    []*Event // recycled events
 	running bool
 	fired   uint64
 	tracer  *Tracer
@@ -110,35 +117,67 @@ func (e *Engine) Now() Time { return e.now }
 // and for sanity-checking experiment complexity).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of scheduled, uncancelled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.pq {
-		if !ev.cancelled {
-			n++
-		}
+// Pending returns the number of scheduled, uncancelled events. Cancelled
+// events are removed from the queue eagerly, so this is just the queue
+// length — O(1), not a scan.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// alloc takes an event from the free list, or grows the pool.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
 	}
-	return n
+	return &Event{eng: e, index: -1}
+}
+
+// release recycles a fired or cancelled event. Timer-owned events are
+// persistent and never enter the pool.
+func (e *Engine) release(ev *Event) {
+	if ev.timer {
+		return
+	}
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a model bug.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+func (e *Engine) At(t Time, name string, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, name: name, fn: fn}
-	heap.Push(&e.pq, ev)
-	return ev
+	ev := e.alloc()
+	ev.at, ev.seq, ev.name, ev.fn = t, e.seq, name, fn
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, name string, fn func()) *Event {
+func (e *Engine) After(d Time, name string, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: event %q scheduled with negative delay %v", name, d))
 	}
 	return e.At(e.now+d, name, fn)
+}
+
+// fire executes the already-dequeued event ev. Pooled events are
+// recycled before the callback runs, so a schedule→fire→recycle loop
+// reuses one Event object and never allocates.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	fn := ev.fn
+	e.fired++
+	if e.tracer != nil {
+		e.tracer.record(ev.at, ev.name)
+	}
+	e.release(ev)
+	fn()
 }
 
 // Run executes events in order until the clock reaches the until
@@ -156,41 +195,119 @@ func (e *Engine) Run(until Time) {
 		if ev.at >= until {
 			break
 		}
-		heap.Pop(&e.pq)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		if e.tracer != nil {
-			e.tracer.record(ev.at, ev.name)
-		}
-		fn()
+		e.popMin()
+		e.fire(ev)
 	}
 	if e.now < until {
 		e.now = until
 	}
 }
 
-// Step executes exactly one pending event (skipping cancelled ones) and
-// reports whether an event ran.
+// Step executes exactly one pending event and reports whether an event
+// ran.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		if e.tracer != nil {
-			e.tracer.record(ev.at, ev.name)
-		}
-		fn()
-		return true
+	if len(e.pq) == 0 {
+		return false
 	}
-	return false
+	ev := e.popMin()
+	e.fire(ev)
+	return true
+}
+
+// --- queue: a binary min-heap on (at, seq), hand-rolled so the hot
+// path avoids container/heap's interface dispatch and keeps each
+// event's queue position current for O(log n) cancellation. ---
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = int32(len(e.pq))
+	e.pq = append(e.pq, ev)
+	e.siftUp(len(e.pq) - 1)
+}
+
+func (e *Engine) popMin() *Event {
+	ev := e.pq[0]
+	last := len(e.pq) - 1
+	if last > 0 {
+		e.pq[0] = e.pq[last]
+		e.pq[0].index = 0
+	}
+	e.pq[last] = nil
+	e.pq = e.pq[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at queue position i.
+func (e *Engine) remove(i int) {
+	ev := e.pq[i]
+	last := len(e.pq) - 1
+	if i != last {
+		e.pq[i] = e.pq[last]
+		e.pq[i].index = int32(i)
+	}
+	e.pq[last] = nil
+	e.pq = e.pq[:last]
+	if i < last {
+		e.fix(i)
+	}
+	ev.index = -1
+}
+
+// fix restores heap order after the event at position i changed key.
+func (e *Engine) fix(i int) {
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.pq[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.pq[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		e.pq[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	e.pq[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown reports whether the event moved.
+func (e *Engine) siftDown(i int) bool {
+	ev := e.pq[i]
+	n := len(e.pq)
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(e.pq[r], e.pq[l]) {
+			m = r
+		}
+		if !eventLess(e.pq[m], ev) {
+			break
+		}
+		e.pq[i] = e.pq[m]
+		e.pq[i].index = int32(i)
+		i = m
+	}
+	e.pq[i] = ev
+	ev.index = int32(i)
+	return i > start
 }

@@ -1,0 +1,19 @@
+package sim_test
+
+// The engine micro-benchmarks behind `make bench` / BENCH_sim.json.
+// Bodies live in internal/sim/simbench (shared with cmd/cdnabench and
+// the repository-root bench) so the committed perf artifact always
+// measures exactly these loops. External test package to avoid the
+// sim → simbench → sim cycle.
+
+import (
+	"testing"
+
+	"cdna/internal/sim/simbench"
+)
+
+func BenchmarkEngineScheduleFire(b *testing.B)        { simbench.ScheduleFire(b) }
+func BenchmarkEngineScheduleFireClosure(b *testing.B) { simbench.ScheduleFireClosure(b) }
+func BenchmarkEngineScheduleFireDepth64(b *testing.B) { simbench.ScheduleFireDepth64(b) }
+func BenchmarkTimerRearm(b *testing.B)                { simbench.TimerRearm(b) }
+func BenchmarkEngineCancel(b *testing.B)              { simbench.Cancel(b) }

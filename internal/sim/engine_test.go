@@ -76,16 +76,46 @@ func TestEngineCancel(t *testing.T) {
 	e := New()
 	fired := false
 	ev := e.After(10, "x", func() { fired = true })
-	ev.Cancel()
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() should be true after Cancel")
+	if !ev.Scheduled() {
+		t.Fatal("Scheduled() should be true before Cancel")
 	}
+	ev.Cancel()
+	if ev.Scheduled() {
+		t.Fatal("Scheduled() should be false after Cancel")
+	}
+	ev.Cancel() // double-cancel is a no-op
 	e.Run(100)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 	if e.Fired() != 0 {
 		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineCancelMiddleOfQueue(t *testing.T) {
+	e := New()
+	var order []int
+	handles := make([]Handle, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		handles = append(handles, e.At(Time(10*(i+1)), "ev", func() { order = append(order, i) }))
+	}
+	handles[3].Cancel()
+	handles[7].Cancel()
+	handles[0].Cancel()
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", e.Pending())
+	}
+	e.Run(Second)
+	want := []int{1, 2, 4, 5, 6, 8, 9}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestFIFOWrapsAroundRing(t *testing.T) {
+	var q FIFO[int]
+	// Interleave pushes and pops so head walks around the ring many
+	// times at a fixed small depth.
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+		q.Push(i + 1000000)
+		if q.Pop() != i {
+			t.Fatalf("wrap order broken at %d", i)
+		}
+		if q.Pop() != i+1000000 {
+			t.Fatalf("wrap order broken at %d", i)
+		}
+	}
+	if len(q.buf) > 8 {
+		t.Fatalf("ring grew to %d for depth-2 traffic", len(q.buf))
+	}
+}
+
+func TestFIFOSteadyStateZeroAllocs(t *testing.T) {
+	var q FIFO[*int]
+	v := new(int)
+	q.Push(v)
+	q.Pop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Push(v)
+		q.Push(v)
+		q.Pop()
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FIFO allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFIFOPeekAndClear(t *testing.T) {
+	var q FIFO[string]
+	q.Push("a")
+	q.Push("b")
+	if q.Peek() != "a" || q.Len() != 2 {
+		t.Fatalf("Peek = %q Len = %d", q.Peek(), q.Len())
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	q.Push("c")
+	if q.Pop() != "c" {
+		t.Fatal("FIFO broken after Clear")
+	}
+}
+
+func TestFIFOPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop of empty FIFO must panic")
+		}
+	}()
+	var q FIFO[int]
+	q.Pop()
+}
+
+func TestFIFOGrowPreservesOrder(t *testing.T) {
+	var q FIFO[int]
+	// Offset head, then force several growths mid-stream.
+	for i := 0; i < 5; i++ {
+		q.Push(-1)
+	}
+	for i := 0; i < 3; i++ {
+		q.Pop()
+	}
+	for i := 0; i < 500; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	for i := 0; i < 500; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+}

@@ -28,6 +28,11 @@ func (e *Engine) Attach(n int) *Tracer {
 // Detach removes the tracer.
 func (e *Engine) Detach() { e.tracer = nil }
 
+// Traced reports whether a tracer is attached. Hot paths use it to
+// skip building decorated event names (a per-event string allocation)
+// when nobody is recording them.
+func (e *Engine) Traced() bool { return e.tracer != nil }
+
 func (tr *Tracer) record(at Time, name string) {
 	tr.count++
 	if len(tr.buf) < cap(tr.buf) {

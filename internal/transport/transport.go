@@ -68,7 +68,8 @@ type Conn struct {
 	sndUna   uint32 // oldest unacknowledged seq
 	cwnd     int    // slow-start congestion window (segments)
 	started  bool
-	rtoEvent *sim.Event
+	rtoTimer *sim.Timer // persistent retransmit timer, re-armed in place
+	rtoUna   uint32     // sndUna snapshot when the timer was last armed
 
 	// Receiver state.
 	sendAck func(*Segment)
@@ -88,10 +89,12 @@ type Conn struct {
 // NewConn creates a connection. Window is in segments; ackEvery is the
 // delayed-ack threshold (2, like TCP's default).
 func NewConn(eng *sim.Engine, id, segSize, window int) *Conn {
-	return &Conn{
+	c := &Conn{
 		ID: id, SegSize: segSize, Window: window, AckEvery: 2,
 		eng: eng, RTO: 3 * sim.Millisecond,
 	}
+	c.rtoTimer = eng.NewTimer("transport.rto", c.onRTO)
+	return c
 }
 
 // AttachSender installs the sender host's transmit function.
@@ -142,21 +145,22 @@ func (c *Conn) Pump() {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoEvent != nil {
-		c.rtoEvent.Cancel()
+	c.rtoUna = c.sndUna
+	c.rtoTimer.ArmAfter(c.RTO)
+}
+
+// onRTO is the retransmit timer's callback (bound once at NewConn; the
+// captured-state of the old per-arm closure lives in rtoUna).
+func (c *Conn) onRTO() {
+	if c.sndUna == c.rtoUna && c.InFlight() > 0 {
+		// No progress: go-back-N rewind, restart slow start, resend.
+		c.Retransmits.Add(uint64(c.InFlight()))
+		c.sndNext = c.sndUna
+		c.cwnd = InitialCwnd
+		c.Pump()
+		return
 	}
-	una := c.sndUna
-	c.rtoEvent = c.eng.After(c.RTO, "transport.rto", func() {
-		if c.sndUna == una && c.InFlight() > 0 {
-			// No progress: go-back-N rewind, restart slow start, resend.
-			c.Retransmits.Add(uint64(c.InFlight()))
-			c.sndNext = c.sndUna
-			c.cwnd = InitialCwnd
-			c.Pump()
-			return
-		}
-		c.armRTO()
-	})
+	c.armRTO()
 }
 
 // OnAck processes a cumulative acknowledgement at the sender.

@@ -123,13 +123,22 @@ type EventChannel struct {
 	handler func()
 	pending bool
 
+	// Delivery/send callbacks and the rendered virq event name, built
+	// once at NewChannel so Notify allocates nothing per interrupt.
+	deliverFn func()
+	notifyFn  func()
+	virqName  string
+
 	Notifies stats.Counter // send attempts
 	Merged   stats.Counter // sends coalesced onto a pending event
 }
 
 // NewChannel creates an event channel delivering to handler in target.
 func (h *Hypervisor) NewChannel(target *Domain, name string, handler func()) *EventChannel {
-	return &EventChannel{Name: name, target: target, handler: handler}
+	ch := &EventChannel{Name: name, target: target, handler: handler, virqName: "virq:" + name}
+	ch.deliverFn = ch.deliver
+	ch.notifyFn = ch.Notify
+	return ch
 }
 
 // Notify marks the channel pending and schedules the virtual interrupt.
@@ -144,17 +153,19 @@ func (ch *EventChannel) Notify() {
 	ch.pending = true
 	d := ch.target
 	d.Virqs.Inc()
-	d.VCPU.ExecFront(cpu.CatKernel, d.hyp.Params.VirqDeliver, "virq:"+ch.Name, func() {
-		ch.pending = false
-		ch.handler()
-	})
+	d.VCPU.ExecFront(cpu.CatKernel, d.hyp.Params.VirqDeliver, ch.virqName, ch.deliverFn)
+}
+
+func (ch *EventChannel) deliver() {
+	ch.pending = false
+	ch.handler()
 }
 
 // NotifyFromGuest is an event-channel send issued by a guest (a
 // hypercall): the sender is charged VirqSend in hypervisor category,
 // then the notification is delivered.
 func (ch *EventChannel) NotifyFromGuest(sender *Domain) {
-	sender.VCPU.Exec(cpu.CatHyp, sender.hyp.Params.VirqSend, "evtchn_send", ch.Notify)
+	sender.VCPU.Exec(cpu.CatHyp, sender.hyp.Params.VirqSend, "evtchn_send", ch.notifyFn)
 }
 
 // IRQLine is a physical interrupt routed through the hypervisor.
@@ -180,17 +191,18 @@ func (l *IRQLine) Raise() {
 // StartTimers begins periodic timer ticks: a hypervisor timer ISR plus a
 // per-domain kernel tick, the background heartbeat every real system
 // carries. The driver domain's residual 0.3–0.5% time in the paper's
-// CDNA rows is exactly this kind of non-networking activity.
+// CDNA rows is exactly this kind of non-networking activity. The tick
+// is one sim.Timer re-armed in place for the life of the run.
 func (h *Hypervisor) StartTimers() {
-	var tick func()
-	tick = func() {
+	var tm *sim.Timer
+	tm = h.Eng.NewTimer("timer.tick", func() {
 		h.CPU.ExecISR(h.Params.TickISR, "timer", nil)
 		for _, d := range h.domains {
 			d.VCPU.Exec(cpu.CatKernel, h.Params.TickCost, "tick", nil)
 		}
-		h.Eng.After(h.Params.TickPeriod, "timer.tick", tick)
-	}
-	h.Eng.After(h.Params.TickPeriod, "timer.tick", tick)
+		tm.ArmAfter(h.Params.TickPeriod)
+	})
+	tm.ArmAfter(h.Params.TickPeriod)
 }
 
 // --- CDNA integration (§3.2–3.3) ---
