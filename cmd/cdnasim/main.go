@@ -8,6 +8,8 @@
 //	cdnasim -mode xen -nic intel -dir rx -guests 8
 //	cdnasim -mode native -nics 6 -dir tx
 //	cdnasim -mode cdna -protection off -dir tx
+//	cdnasim -mode cdna -workload rr -v
+//	cdnasim -mode xen -workload churn -v
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"cdna/internal/bench"
 	"cdna/internal/core"
 	"cdna/internal/sim"
+	"cdna/internal/workload"
 )
 
 func main() {
@@ -29,6 +32,7 @@ func main() {
 	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
 	window := flag.Int("window", 48, "transport window in segments")
 	protection := flag.String("protection", "hypercall", "CDNA protection: hypercall | iommu | off")
+	wl := flag.String("workload", "bulk", "traffic shape: bulk | rr | churn | burst")
 	duration := flag.Float64("duration", 1.0, "measurement window, simulated seconds")
 	warmup := flag.Float64("warmup", 0.3, "warmup, simulated seconds")
 	verbose := flag.Bool("v", false, "print extra diagnostics")
@@ -60,8 +64,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
+	wk, err := workload.ParseKind(*wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := bench.DefaultConfig(m, k, d)
+	cfg.Workload = workload.Spec{Kind: wk}
 	cfg.Guests = *guests
 	cfg.NICs = *nics
 	cfg.Window = *window
@@ -94,5 +104,9 @@ func main() {
 	if *verbose {
 		fmt.Printf("packets/s: %.0f  phys-irq/s: %.0f  drops: %d  retransmits: %d  fairness: %.3f  faults: %d  events: %d\n",
 			res.PktPerSec, res.PhysIRQPerSec, res.Drops, res.Retransmits, res.Fairness, res.Faults, res.Events)
+	}
+	if wk != workload.Bulk {
+		fmt.Printf("workload %v: rpc/s: %.0f  flows/s: %.0f  msg p50: %.0f us  p99: %.0f us\n",
+			wk, res.RPCPerSec, res.FlowsPerSec, res.MsgLatP50us, res.MsgLatP99us)
 	}
 }

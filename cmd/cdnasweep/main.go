@@ -10,6 +10,8 @@
 //	cdnasweep -preset paper -quick -csv results.csv
 //	cdnasweep -modes xen,cdna -dirs tx,rx -guests 1,2,4,8
 //	cdnasweep -modes cdna -dirs tx -protections hypercall,iommu,off
+//	cdnasweep -preset workloads -csv workloads.csv
+//	cdnasweep -modes xen,cdna -workloads rr,churn,burst
 //	cdnasweep -spec grid.json -workers 4
 //
 // The -modes/-nics/-dirs/... axis flags define one cross-product grid;
@@ -31,6 +33,7 @@ import (
 	"cdna/internal/campaign"
 	"cdna/internal/core"
 	"cdna/internal/sim"
+	"cdna/internal/workload"
 )
 
 func fatal(format string, args ...any) {
@@ -64,15 +67,17 @@ func presetGrids(name string) []campaign.Grid {
 		return campaign.FigureGrids()
 	case "ablations":
 		return campaign.AblationGrids()
+	case "workloads":
+		return campaign.WorkloadGrids()
 	case "paper":
 		return campaign.PaperGrids()
 	}
-	fatal("unknown preset %q (want table1 | tables | figures | ablations | paper)", name)
+	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | paper)", name)
 	return nil
 }
 
 func main() {
-	preset := flag.String("preset", "", "canned campaign: table1 | tables | figures | ablations | paper")
+	preset := flag.String("preset", "", "canned campaign: table1 | tables | figures | ablations | workloads | paper")
 	spec := flag.String("spec", "", "JSON grid spec file (a campaign.Grid object or array)")
 
 	modes := flag.String("modes", "", "comma list: native | xen | cdna")
@@ -84,6 +89,7 @@ func main() {
 	batches := flag.String("batches", "", "comma list of max descriptors per enqueue (A2; 0 = unlimited)")
 	irqs := flag.String("irqs", "", "comma list of bools: direct per-context IRQ delivery (A1)")
 	coalesce := flag.String("coalesce", "", "comma list of tx coalescing thresholds (A5; 0 = default)")
+	workloads := flag.String("workloads", "", "comma list: bulk | rr | churn | burst (per-kind defaults; use -spec for knobs)")
 	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
 	window := flag.Int("window", 0, "transport window in segments (0 = default)")
 
@@ -106,6 +112,7 @@ func main() {
 		"modes": true, "nics": true, "dirs": true, "guests": true,
 		"niccounts": true, "protections": true, "batches": true,
 		"irqs": true, "coalesce": true, "conns": true, "window": true,
+		"workloads": true,
 	}
 	if *preset != "" || *spec != "" {
 		flag.Visit(func(f *flag.Flag) {
@@ -142,8 +149,12 @@ func main() {
 			MaxEnqueueBatches: splitList("batches", *batches, strconv.Atoi),
 			IRQDeliveries:     splitList("irqs", *irqs, strconv.ParseBool),
 			TxCoalesce:        splitList("coalesce", *coalesce, strconv.Atoi),
-			Conns:             *conns,
-			Window:            *window,
+			Workloads: splitList("workloads", *workloads, func(s string) (workload.Spec, error) {
+				k, err := workload.ParseKind(s)
+				return workload.Spec{Kind: k}, err
+			}),
+			Conns:  *conns,
+			Window: *window,
 		}
 		if len(g.Dirs) == 0 {
 			g.Dirs = []bench.Direction{bench.Tx}

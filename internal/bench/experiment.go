@@ -6,6 +6,7 @@ import (
 	"cdna/internal/core"
 	"cdna/internal/sim"
 	"cdna/internal/stats"
+	"cdna/internal/workload"
 )
 
 // Config describes one experiment. The JSON form (used by
@@ -22,6 +23,11 @@ type Config struct {
 
 	ConnsPerGuestPerNIC int `json:"conns_per_guest_per_nic"`
 	Window              int `json:"window"`
+
+	// Workload selects the traffic shape each connection slot runs.
+	// The zero value is the paper's bulk benchmark, so legacy configs
+	// and records are unchanged.
+	Workload workload.Spec `json:"workload"`
 
 	// MaxEnqueueBatch caps descriptors per CDNA enqueue (ablation A2;
 	// 0 = unlimited).
@@ -56,6 +62,7 @@ func (c Config) Name() string {
 	if c.TxCoalescePkts > 0 {
 		name += fmt.Sprintf("/coal=%d", c.TxCoalescePkts)
 	}
+	name += c.Workload.Suffix()
 	return name
 }
 
@@ -116,6 +123,14 @@ type Result struct {
 	Fairness      float64 `json:"fairness"`
 	Faults        uint64  `json:"faults"` // CDNA protection faults (should be 0 under load)
 	Events        uint64  `json:"events"` // simulator events executed (diagnostics)
+
+	// Workload columns (zero for bulk). MsgLat* is message-completion
+	// latency: RPC issue→response for request/response, flow
+	// open→final-ack for churn.
+	RPCPerSec   float64 `json:"rpc_per_sec,omitempty"`   // completed RPC exchanges per second
+	FlowsPerSec float64 `json:"flows_per_sec,omitempty"` // completed short-lived flows per second
+	MsgLatP50us float64 `json:"msg_lat_p50_us,omitempty"`
+	MsgLatP99us float64 `json:"msg_lat_p99_us,omitempty"`
 }
 
 // String formats the result as a row like the paper's tables.
@@ -144,6 +159,9 @@ func (c Config) Validate() error {
 	}
 	if c.Warmup < 0 {
 		return fmt.Errorf("bench: config needs a non-negative warmup (got %v)", c.Warmup)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -175,24 +193,16 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	if traceN > 0 {
 		m.Tracer = m.Eng.Attach(traceN)
 	}
-	// Stagger connection starts over the first part of warmup so the
-	// initial windows do not arrive as one synchronized burst.
-	stagger := cfg.Warmup / 3
-	if stagger > 50*sim.Millisecond {
-		stagger = 50 * sim.Millisecond
-	}
-	for i, c := range m.Conns.Conns {
-		c := c
-		// Offset past driver initialization (initial receive-buffer
-		// posting), then spread the starts.
-		at := 2*sim.Millisecond + sim.Time(i)*stagger/sim.Time(len(m.Conns.Conns))
-		m.Eng.At(at, "conn.start", c.Start)
-	}
+	// The workload layer owns traffic start (staggered over the first
+	// part of warmup so initial windows do not arrive as one
+	// synchronized burst; for bulk this is the historical schedule).
+	m.Work.Launch(cfg.Warmup)
 	m.Eng.Run(cfg.Warmup)
 
 	// Open the measurement window.
 	m.CPU.StartWindow()
 	m.Conns.StartWindow()
+	m.Work.StartWindow()
 	if m.Hyp != nil {
 		m.Hyp.StartWindow()
 	}
@@ -219,6 +229,10 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	res.PktPerSec = float64(m.Conns.DeliveredBytes()) / 1448 / cfg.Duration.Seconds()
 	res.LatencyP50us = m.Conns.LatencyQuantile(0.5)
 	res.LatencyP90us = m.Conns.LatencyQuantile(0.9)
+	res.RPCPerSec = m.Work.Requests.Rate(cfg.Duration)
+	res.FlowsPerSec = m.Work.Flows.Rate(cfg.Duration)
+	res.MsgLatP50us = m.Work.Latency.Quantile(0.5)
+	res.MsgLatP99us = m.Work.Latency.Quantile(0.99)
 	if m.Hyp != nil {
 		res.PhysIRQPerSec = m.Hyp.PhysIRQs.Rate(cfg.Duration)
 	}

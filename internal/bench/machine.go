@@ -15,6 +15,7 @@ import (
 	"cdna/internal/ring"
 	"cdna/internal/sim"
 	"cdna/internal/transport"
+	"cdna/internal/workload"
 	"cdna/internal/xen"
 )
 
@@ -91,6 +92,9 @@ type Machine struct {
 	Mem   *mem.Memory
 	Hyp   *xen.Hypervisor // nil in native mode
 	Conns transport.Group
+	// Work drives traffic over the connections according to the
+	// configuration's workload spec.
+	Work *workload.Generator
 
 	IntelNICs []*intelnic.NIC
 	RiceNICs  []*ricenic.NIC
@@ -166,6 +170,15 @@ func Build(cfg Config) (*Machine, error) {
 		CPU: cpu.New(eng, cal.CPU),
 		Mem: mem.New(),
 	}
+	// The workload generator drives whatever connections the topology
+	// builders wire below; direction decides which RPC message is
+	// payload-heavy.
+	spec := cfg.Workload.Resolved(cfg.Dir == Tx || cfg.Dir == Both, cfg.Dir == Rx || cfg.Dir == Both)
+	var err error
+	m.Work, err = workload.NewGenerator(eng, spec)
+	if err != nil {
+		return nil, err
+	}
 	pr := &peer{}
 
 	// Links and peer ports, one per NIC.
@@ -197,27 +210,54 @@ func Build(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// wireConns creates the benchmark connections between a guest stack's
-// device for NIC i and the peer's port i.
-func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, dev guest.NetDevice) {
+// wireConns creates the benchmark connection slots between a guest
+// stack's device for NIC i and the peer's port i, registering each slot
+// with the machine's workload generator. Bulk/churn/burst slots are one
+// connection in the configured direction (Both = one each way);
+// request/response slots are a forward-request/reverse-response pair.
+func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, dev guest.NetDevice) error {
+	wire := func(dir Direction) *transport.Conn {
+		conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
+		conn.RTO = 200 * sim.Millisecond
+		if dir == Tx {
+			conn.AttachSender(st.Sender(dev, pr.macs[nicIdx]))
+			conn.AttachReceiver(pr.sender(nicIdx, dev.MAC()))
+		} else {
+			conn.AttachSender(pr.sender(nicIdx, dev.MAC()))
+			conn.AttachReceiver(st.Sender(dev, pr.macs[nicIdx]))
+		}
+		m.Conns.Add(conn)
+		return conn
+	}
 	for c := 0; c < cfg.ConnsPerGuestPerNIC; c++ {
+		if m.Work.NeedsReverse() {
+			// RPC: the guest is always the client — requests flow
+			// guest→peer, responses flow back. Direction only selects
+			// which message is payload-heavy (spec resolution).
+			ep := workload.Endpoint{
+				Fwd: wire(Tx), Rev: wire(Rx),
+				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
+			}
+			if err := m.Work.Add(ep); err != nil {
+				return err
+			}
+			continue
+		}
 		dirs := []Direction{cfg.Dir}
 		if cfg.Dir == Both {
 			dirs = []Direction{Tx, Rx}
 		}
 		for _, dir := range dirs {
-			conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
-			conn.RTO = 200 * sim.Millisecond
-			if dir == Tx {
-				conn.AttachSender(st.Sender(dev, pr.macs[nicIdx]))
-				conn.AttachReceiver(pr.sender(nicIdx, dev.MAC()))
-			} else {
-				conn.AttachSender(pr.sender(nicIdx, dev.MAC()))
-				conn.AttachReceiver(st.Sender(dev, pr.macs[nicIdx]))
+			ep := workload.Endpoint{
+				Fwd:         wire(dir),
+				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
 			}
-			m.Conns.Add(conn)
+			if err := m.Work.Add(ep); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 func buildNative(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
@@ -239,7 +279,9 @@ func buildNative(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, 
 		drv.Start()
 		st.AttachDevice(drv)
 		m.IntelNICs = append(m.IntelNICs, n)
-		m.wireConns(cfg, pr, st, i, drv)
+		if err := m.wireConns(cfg, pr, st, i, drv); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -325,7 +367,9 @@ func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *et
 		for g := range guests {
 			front := nb.AddVif(guests[g], ether.MakeMAC(10+i, g), cal.Front)
 			stacks[g].AttachDevice(front)
-			m.wireConns(cfg, pr, stacks[g], i, front)
+			if err := m.wireConns(cfg, pr, stacks[g], i, front); err != nil {
+				return err
+			}
 		}
 	}
 	hyp.StartTimers()
@@ -385,7 +429,9 @@ func buildCDNA(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *e
 			drv.Start()
 			stacks[g].AttachDevice(drv)
 			m.Drivers = append(m.Drivers, drv)
-			m.wireConns(cfg, pr, stacks[g], i, drv)
+			if err := m.wireConns(cfg, pr, stacks[g], i, drv); err != nil {
+				return err
+			}
 		}
 		m.RiceNICs = append(m.RiceNICs, n)
 		m.CtxMgrs = append(m.CtxMgrs, cm)

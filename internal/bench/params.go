@@ -105,21 +105,28 @@ func Default() Calibration {
 		},
 		Bus: bus.Params{BytesPerSec: 420e6, PerTransfer: 600},
 
+		// Flow lifecycle: ~15us to establish a connection (socket +
+		// handshake processing) and ~8us to tear one down, the usual
+		// order for a Linux accept/close path. Only churn-style
+		// workloads exercise these.
 		StackTSO: guest.StackCosts{
 			TxData: us(0.75), RxData: us(1.50),
 			TxAck: us(0.40), RxAck: us(0.35),
 			UserPerData: us(0.045), UserBatch: 16,
+			FlowSetup: us(15), FlowTeardown: us(8),
 		},
 		StackNoTSO: guest.StackCosts{
 			TxData: us(1.15), RxData: us(1.55),
 			TxAck: us(0.40), RxAck: us(0.35),
 			UserPerData: us(0.045), UserBatch: 16,
+			FlowSetup: us(15), FlowTeardown: us(8),
 		},
 
 		StackNative: guest.StackCosts{
 			TxData: us(1.05), RxData: us(1.70),
 			TxAck: us(0.40), RxAck: us(0.35),
 			UserPerData: us(0.045), UserBatch: 16,
+			FlowSetup: us(15), FlowTeardown: us(8),
 		},
 
 		NativeDrv: guest.DriverCosts{

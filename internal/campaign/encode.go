@@ -62,7 +62,7 @@ func ReadJSON(r io.Reader) ([]Record, error) {
 // csvHeader is the flat column set of WriteCSV, one column per
 // configuration axis and result metric.
 var csvHeader = []string{
-	"name", "mode", "nic", "dir", "guests", "nics", "conns", "window",
+	"name", "mode", "nic", "dir", "workload", "guests", "nics", "conns", "window",
 	"protection", "max_enqueue_batch", "direct_per_context_irq", "tx_coalesce_pkts",
 	"warmup_s", "duration_s",
 	"mbps", "pkt_per_sec",
@@ -70,6 +70,7 @@ var csvHeader = []string{
 	"driver_intr_per_sec", "guest_intr_per_sec", "phys_irq_per_sec",
 	"latency_p50_us", "latency_p90_us",
 	"drops", "retransmits", "fairness", "faults", "events",
+	"rpc_per_sec", "flows_per_sec", "msg_lat_p50_us", "msg_lat_p99_us",
 	"error",
 }
 
@@ -95,6 +96,7 @@ func WriteCSV(w io.Writer, outs []bench.Outcome) error {
 		row := []string{
 			rec.Name,
 			enumCell(cfg.Mode), enumCell(cfg.NIC), enumCell(cfg.Dir),
+			enumCell(cfg.Workload.Kind),
 			strconv.Itoa(cfg.Guests), strconv.Itoa(cfg.NICs),
 			strconv.Itoa(cfg.ConnsPerGuestPerNIC), strconv.Itoa(cfg.Window),
 			enumCell(cfg.Protection),
@@ -107,6 +109,7 @@ func WriteCSV(w io.Writer, outs []bench.Outcome) error {
 			f(res.DriverIntrPerSec), f(res.GuestIntrPerSec), f(res.PhysIRQPerSec),
 			f(res.LatencyP50us), f(res.LatencyP90us),
 			u(res.Drops), u(res.Retransmits), f(res.Fairness), u(res.Faults), u(res.Events),
+			f(res.RPCPerSec), f(res.FlowsPerSec), f(res.MsgLatP50us), f(res.MsgLatP99us),
 			rec.Error,
 		}
 		if err := cw.Write(row); err != nil {

@@ -4,6 +4,7 @@ import (
 	"cdna/internal/bench"
 	"cdna/internal/core"
 	"cdna/internal/sim"
+	"cdna/internal/workload"
 )
 
 // Grid is a declarative experiment space: the cross-product of every
@@ -19,6 +20,10 @@ type Grid struct {
 	Guests      []int             `json:"guests,omitempty"`
 	NICCounts   []int             `json:"nic_counts,omitempty"`
 	Protections []core.Mode       `json:"protections,omitempty"`
+
+	// Workloads is the traffic-shape axis; empty collapses to the
+	// default bulk workload (the paper's benchmark).
+	Workloads []workload.Spec `json:"workloads,omitempty"`
 
 	// Ablation axes (CDNA only; see bench.Config).
 	MaxEnqueueBatches []int  `json:"max_enqueue_batches,omitempty"` // A2
@@ -57,6 +62,13 @@ func boolsOr(v []bool) []bool {
 func dirsOr(v []bench.Direction) []bench.Direction {
 	if len(v) == 0 {
 		return []bench.Direction{bench.Tx}
+	}
+	return v
+}
+
+func workloadsOr(v []workload.Spec) []workload.Spec {
+	if len(v) == 0 {
+		return []workload.Spec{{}}
 	}
 	return v
 }
@@ -107,39 +119,42 @@ func (g Grid) Points() []bench.Config {
 		}
 		for _, nic := range g.nicsFor(mode) {
 			for _, dir := range dirsOr(g.Dirs) {
-				for _, gs := range guests {
-					for _, nn := range intsOr(g.NICCounts, 2) {
-						for _, prot := range g.protectionsFor(mode) {
-							for _, batch := range batches {
-								for _, irq := range irqs {
-									for _, coal := range coals {
-										cfg := bench.DefaultConfig(mode, nic, dir)
-										cfg.Guests = gs
-										cfg.NICs = nn
-										cfg.Protection = prot
-										cfg.MaxEnqueueBatch = batch
-										cfg.DirectPerContextIRQ = irq
-										cfg.TxCoalescePkts = coal
-										cfg.ConnsPerGuestPerNIC = g.Conns
-										// Invalid guest counts stay as-is here and fail
-										// Config.Validate with a per-point error record.
-										if g.Conns <= 0 && gs >= 1 {
-											cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
-										}
-										if g.Window > 0 {
-											cfg.Window = g.Window
-										}
-										if g.Warmup > 0 {
-											cfg.Warmup = g.Warmup
-										}
-										if g.Duration > 0 {
-											cfg.Duration = g.Duration
-										}
-										key := cfg
-										key.Cal = bench.Calibration{}
-										if !seen[key] {
-											seen[key] = true
-											cfgs = append(cfgs, cfg)
+				for _, wl := range workloadsOr(g.Workloads) {
+					for _, gs := range guests {
+						for _, nn := range intsOr(g.NICCounts, 2) {
+							for _, prot := range g.protectionsFor(mode) {
+								for _, batch := range batches {
+									for _, irq := range irqs {
+										for _, coal := range coals {
+											cfg := bench.DefaultConfig(mode, nic, dir)
+											cfg.Workload = wl
+											cfg.Guests = gs
+											cfg.NICs = nn
+											cfg.Protection = prot
+											cfg.MaxEnqueueBatch = batch
+											cfg.DirectPerContextIRQ = irq
+											cfg.TxCoalescePkts = coal
+											cfg.ConnsPerGuestPerNIC = g.Conns
+											// Invalid guest counts stay as-is here and fail
+											// Config.Validate with a per-point error record.
+											if g.Conns <= 0 && gs >= 1 {
+												cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
+											}
+											if g.Window > 0 {
+												cfg.Window = g.Window
+											}
+											if g.Warmup > 0 {
+												cfg.Warmup = g.Warmup
+											}
+											if g.Duration > 0 {
+												cfg.Duration = g.Duration
+											}
+											key := cfg
+											key.Cal = bench.Calibration{}
+											if !seen[key] {
+												seen[key] = true
+												cfgs = append(cfgs, cfg)
+											}
 										}
 									}
 								}
@@ -230,6 +245,22 @@ func AblationGrids() []Grid {
 		{Modes: cdnaOnly, Dirs: tx, Protections: []core.Mode{core.ModeHypercall, core.ModeIOMMU, core.ModeOff}},
 		{Modes: cdnaOnly, Dirs: tx, TxCoalesce: []int{2, 4, 8, 12, 24, 48}},
 	}
+}
+
+// WorkloadGrids is the beyond-the-paper traffic-diversity campaign: all
+// four workload shapes (bulk, closed-loop RPC, connection churn, on/off
+// bursts) across the three I/O architectures, so virtualization
+// overheads can be ranked under latency-bound and churn-bound traffic
+// rather than only under saturating bulk streams.
+func WorkloadGrids() []Grid {
+	allModes := []bench.Mode{bench.ModeNative, bench.ModeXen, bench.ModeCDNA}
+	shapes := []workload.Spec{
+		{Kind: workload.Bulk},
+		{Kind: workload.RequestResponse},
+		{Kind: workload.Churn},
+		{Kind: workload.Burst},
+	}
+	return []Grid{{Modes: allModes, Workloads: shapes}}
 }
 
 // PaperGrids is the whole evaluation: Tables 1–4, Figures 3–4, and the

@@ -45,7 +45,8 @@ type NetDevice interface {
 	SetRxHandler(h func(f *ether.Frame))
 }
 
-// StackCosts are the network-stack CPU costs per wire packet.
+// StackCosts are the network-stack CPU costs per wire packet, plus the
+// per-flow connection lifecycle costs churn-style workloads exercise.
 type StackCosts struct {
 	TxData      sim.Time // kernel: segment a data packet down to the driver
 	RxData      sim.Time // kernel: deliver a data packet up to the socket
@@ -53,6 +54,13 @@ type StackCosts struct {
 	RxAck       sim.Time // kernel: process a received ack
 	UserPerData sim.Time // user: application copy per data packet
 	UserBatch   int      // data packets per user-time charge
+
+	// FlowSetup/FlowTeardown are the kernel costs of establishing and
+	// tearing down one connection (socket allocation, handshake
+	// processing, fd churn). Charged once per short-lived flow by the
+	// workload layer, so connection churn is not free.
+	FlowSetup    sim.Time
+	FlowTeardown sim.Time
 }
 
 // Stack is a guest OS network stack bound to one or more devices.
@@ -90,6 +98,22 @@ func (s *Stack) AttachDevice(dev NetDevice) {
 
 // Devices returns the attached devices.
 func (s *Stack) Devices() []NetDevice { return s.devs }
+
+// ChargeFlowSetup charges one connection establishment to the stack's
+// domain (the workload layer's per-flow open hook).
+func (s *Stack) ChargeFlowSetup() {
+	if s.Costs.FlowSetup > 0 {
+		s.Dom.Exec(cpu.CatKernel, s.Costs.FlowSetup, "stack.flowopen", nil)
+	}
+}
+
+// ChargeFlowTeardown charges one connection teardown to the stack's
+// domain (the workload layer's per-flow close hook).
+func (s *Stack) ChargeFlowTeardown() {
+	if s.Costs.FlowTeardown > 0 {
+		s.Dom.Exec(cpu.CatKernel, s.Costs.FlowTeardown, "stack.flowclose", nil)
+	}
+}
 
 // chargeUser batches application time so the task count stays sane.
 func (s *Stack) chargeUser() {

@@ -39,6 +39,64 @@ func TestFIFOWrapsAroundRing(t *testing.T) {
 	}
 }
 
+// TestFIFOInterleavedAtCapacityBoundary drives push/pop interleavings
+// exactly at the ring's power-of-two capacity boundaries: the queue
+// sits at size == len(buf) with the head at every possible ring offset,
+// so each grow copies a fully wrapped ring, and each post-grow
+// interleave crosses the old boundary. This is the access pattern a
+// churn workload's per-flow queues produce at their working depth.
+func TestFIFOInterleavedAtCapacityBoundary(t *testing.T) {
+	for offset := 0; offset < 8; offset++ {
+		var q FIFO[int]
+		next, expect := 0, 0
+		push := func() { q.Push(next); next++ }
+		pop := func() {
+			if got := q.Pop(); got != expect {
+				t.Fatalf("offset %d: popped %d, want %d", offset, got, expect)
+			}
+			expect++
+		}
+		// Walk the head to the chosen ring offset at depth 1.
+		for i := 0; i < offset; i++ {
+			push()
+			pop()
+		}
+		// Fill to exactly the initial capacity (8) — the ring is full
+		// and wrapped whenever offset > 0.
+		for q.Len() < 8 {
+			push()
+		}
+		if len(q.buf) != 8 {
+			t.Fatalf("offset %d: capacity %d, want 8", offset, len(q.buf))
+		}
+		// Interleave at the boundary: each push forces a grow of a full
+		// wrapped ring exactly once, then keep the queue riding the new
+		// capacity edge.
+		for i := 0; i < 3; i++ {
+			push() // grows on i==0
+			pop()
+			push()
+		}
+		if len(q.buf) != 16 {
+			t.Fatalf("offset %d: capacity after boundary crossing %d, want 16", offset, len(q.buf))
+		}
+		// Drain completely; order must hold across the wrapped copy.
+		for q.Len() > 0 {
+			pop()
+		}
+		if expect != next {
+			t.Fatalf("offset %d: drained %d items, pushed %d", offset, expect, next)
+		}
+		// The emptied ring must still work at the new boundary.
+		for i := 0; i < 16; i++ {
+			push()
+		}
+		for q.Len() > 0 {
+			pop()
+		}
+	}
+}
+
 func TestFIFOSteadyStateZeroAllocs(t *testing.T) {
 	var q FIFO[*int]
 	v := new(int)

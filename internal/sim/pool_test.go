@@ -182,6 +182,51 @@ func TestTimerSelfRearmInCallback(t *testing.T) {
 	}
 }
 
+// TestTimerThinkLoopRearm is the RPC think-time pattern: a timer whose
+// callback does work, then re-arms itself with a jittered delay, racing
+// other traffic events. The firing count must be deterministic across
+// reruns, the timer must stay armed between firings, and a Stop from
+// inside the callback must end the loop cleanly (re-armable later).
+func TestTimerThinkLoopRearm(t *testing.T) {
+	run := func() (int, Time) {
+		e := New()
+		rng := NewRNG(7)
+		fired := 0
+		var last Time
+		var tm *Timer
+		tm = e.NewTimer("think", func() {
+			fired++
+			last = e.Now()
+			if fired >= 20 {
+				tm.Stop() // inside own callback: already dequeued, must not panic
+				return
+			}
+			tm.ArmAfter(rng.Jitter(Millisecond, 0.5))
+		})
+		// Background traffic contending for tied timestamps.
+		var bg *Timer
+		bg = e.NewTimer("bg", func() { bg.ArmAfter(Millisecond) })
+		bg.ArmAfter(Millisecond)
+		tm.ArmAfter(Millisecond)
+		e.Run(Second)
+		if tm.Armed() {
+			t.Fatal("think timer armed after its loop stopped")
+		}
+		// The stopped timer is re-armable: one more firing.
+		tm.ArmAfter(Millisecond)
+		e.Run(e.Now() + 2*Millisecond)
+		return fired, last
+	}
+	f1, l1 := run()
+	f2, l2 := run()
+	if f1 != 21 {
+		t.Fatalf("fired %d times, want 20 loop firings + 1 re-arm", f1)
+	}
+	if f1 != f2 || l1 != l2 {
+		t.Fatalf("think loop nondeterministic: (%d,%v) vs (%d,%v)", f1, l1, f2, l2)
+	}
+}
+
 // A timer re-armed at a tied timestamp behaves like a freshly scheduled
 // event: it consumes a new sequence number, so it fires after events
 // already queued at that time — the same semantics as the

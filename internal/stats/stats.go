@@ -164,6 +164,14 @@ func (d *Distribution) Observe(v float64) {
 // Count returns the number of samples.
 func (d *Distribution) Count() int { return len(d.samples) }
 
+// Reset discards all samples, keeping the backing array — the
+// distribution analogue of StartWindow, so warmup samples can be
+// excluded from reported quantiles.
+func (d *Distribution) Reset() {
+	d.samples = d.samples[:0]
+	d.sorted = false
+}
+
 // Mean returns the sample mean (0 for no samples).
 func (d *Distribution) Mean() float64 {
 	if len(d.samples) == 0 {

@@ -68,13 +68,29 @@ type Conn struct {
 	sndUna   uint32 // oldest unacknowledged seq
 	cwnd     int    // slow-start congestion window (segments)
 	started  bool
+	bounded  bool       // Send() budget in effect (false for Start()'s infinite stream)
+	limit    uint32     // sequence bound of the current send budget
 	rtoTimer *sim.Timer // persistent retransmit timer, re-armed in place
 	rtoUna   uint32     // sndUna snapshot when the timer was last armed
+
+	// OnSendComplete, if set, fires at the sender when every budgeted
+	// segment has been cumulatively acknowledged — the sender-side
+	// message-completion seam workloads use to close a flow or chain
+	// the next one. Never fires for an unbounded (Start) stream.
+	OnSendComplete func()
 
 	// Receiver state.
 	sendAck func(*Segment)
 	rcvNext uint32
 	unacked int
+
+	// Receiver message-completion seam: ExpectDelivery arms a mark;
+	// when in-order delivery reaches it, the pending delayed ack is
+	// flushed (so a bounded flow's tail does not idle until the RTO)
+	// and OnMark fires.
+	markArmed bool
+	rcvMark   uint32
+	OnMark    func()
 
 	// Metrics.
 	Delivered   stats.ByteMeter // in-order payload bytes at the receiver
@@ -115,6 +131,56 @@ func (c *Conn) Start() {
 	c.Pump()
 }
 
+// Send queues n more segments of data on the connection and pumps. The
+// connection becomes bounded: transmission stops when the budget is
+// exhausted, and once every budgeted segment is acknowledged
+// OnSendComplete fires. Workloads call Send per message (a request, a
+// response, a short flow) instead of Start's saturate-forever stream;
+// successive Sends extend the budget.
+func (c *Conn) Send(n int) {
+	if n <= 0 {
+		return
+	}
+	c.bounded = true
+	c.started = true
+	if c.cwnd == 0 {
+		c.cwnd = InitialCwnd
+	}
+	c.limit += uint32(n)
+	c.Pump()
+}
+
+// Pause stops the sender from transmitting new segments; in-flight data
+// still completes and acks are still processed. Resume continues.
+func (c *Conn) Pause() { c.started = false }
+
+// Resume restarts a paused sender and pumps.
+func (c *Conn) Resume() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.cwnd == 0 {
+		c.cwnd = InitialCwnd
+	}
+	c.Pump()
+}
+
+// ResetSlowStart returns the congestion window to its initial value, as
+// a freshly opened connection would start. Churn workloads call it per
+// short-lived flow so that every flow pays connection-startup dynamics
+// instead of inheriting the previous flow's opened window.
+func (c *Conn) ResetSlowStart() { c.cwnd = InitialCwnd }
+
+// ExpectDelivery arms the receiver-side message-completion mark n
+// in-order data segments past the current delivery point. When delivery
+// reaches the mark the pending delayed ack is flushed and OnMark fires
+// once. Re-arm per message.
+func (c *Conn) ExpectDelivery(n int) {
+	c.markArmed = true
+	c.rcvMark = c.rcvNext + uint32(n)
+}
+
 // InitialCwnd is the slow-start initial window in segments.
 const InitialCwnd = 4
 
@@ -129,19 +195,31 @@ func (c *Conn) effWindow() int {
 // InFlight returns the number of unacknowledged segments.
 func (c *Conn) InFlight() int { return int(c.sndNext - c.sndUna) }
 
-// Pump transmits while the window allows. The host's send function is
-// responsible for backpressure-free queuing (the window bounds how much
-// can ever be queued at once).
+// mayTransmit reports whether the send budget allows another segment
+// (always true for an unbounded stream).
+func (c *Conn) mayTransmit() bool {
+	return !c.bounded || int32(c.limit-c.sndNext) > 0
+}
+
+// Pump transmits while the window and the send budget allow. The host's
+// send function is responsible for backpressure-free queuing (the
+// window bounds how much can ever be queued at once).
 func (c *Conn) Pump() {
 	if !c.started || c.sendData == nil {
 		return
 	}
-	for c.InFlight() < c.effWindow() {
+	for c.InFlight() < c.effWindow() && c.mayTransmit() {
 		seg := &Segment{Conn: c, Seq: c.sndNext, Len: c.SegSize, SentAt: c.eng.Now()}
 		c.sndNext++
 		c.sendData(seg)
 	}
-	c.armRTO()
+	if !c.bounded || c.InFlight() > 0 {
+		c.armRTO()
+	} else if c.rtoTimer.Armed() {
+		// Budget exhausted with nothing in flight: a bounded sender goes
+		// quiet instead of re-arming the retransmit timer forever.
+		c.rtoTimer.Stop()
+	}
 }
 
 func (c *Conn) armRTO() {
@@ -176,6 +254,12 @@ func (c *Conn) OnAck(s *Segment) {
 			c.sndNext = c.sndUna
 		}
 		c.Pump()
+		if c.bounded && c.sndUna == c.limit && c.OnSendComplete != nil {
+			// Whole budget acknowledged: the message is complete. The
+			// callback may Send again (extending the budget), so this
+			// fires exactly once per exhaustion.
+			c.OnSendComplete()
+		}
 	}
 }
 
@@ -189,7 +273,15 @@ func (c *Conn) OnData(s *Segment) {
 		c.Delivered.Add(uint64(s.Len))
 		c.Latency.Observe(float64(c.eng.Now()-s.SentAt) / 1000)
 		c.unacked++
-		if c.unacked >= c.AckEvery {
+		if c.markArmed && int32(c.rcvNext-c.rcvMark) >= 0 {
+			c.markArmed = false
+			if c.unacked > 0 {
+				c.emitAck()
+			}
+			if c.OnMark != nil {
+				c.OnMark()
+			}
+		} else if c.unacked >= c.AckEvery {
 			c.emitAck()
 		}
 		return
@@ -231,8 +323,13 @@ func (g *Group) StartWindow() {
 	}
 }
 
-// DeliveredMbps returns aggregate goodput over dur.
+// DeliveredMbps returns aggregate goodput over dur. An empty group or a
+// non-positive duration yields 0, never NaN/Inf: churn workloads can
+// legitimately end a window with no completed traffic.
 func (g *Group) DeliveredMbps(dur sim.Time) float64 {
+	if len(g.Conns) == 0 || dur <= 0 {
+		return 0
+	}
 	total := 0.0
 	for _, c := range g.Conns {
 		total += c.Delivered.Mbps(dur)
@@ -259,8 +356,12 @@ func (g *Group) Retransmits() uint64 {
 }
 
 // LatencyQuantile returns the q-quantile of end-to-end segment latency
-// in microseconds, pooled across connections.
+// in microseconds, pooled across connections. With no connections or no
+// samples at all it returns 0, never NaN.
 func (g *Group) LatencyQuantile(q float64) float64 {
+	if len(g.Conns) == 0 {
+		return 0
+	}
 	var pool stats.Distribution
 	for _, c := range g.Conns {
 		n := c.Latency.Count()
@@ -275,7 +376,8 @@ func (g *Group) LatencyQuantile(q float64) float64 {
 
 // FairnessIndex returns Jain's fairness index over per-connection
 // windowed goodput (1.0 = perfectly balanced, as the paper's benchmark
-// tool enforces).
+// tool enforces). An empty group, or one that delivered nothing in the
+// window, is vacuously fair: 1, never NaN.
 func (g *Group) FairnessIndex() float64 {
 	if len(g.Conns) == 0 {
 		return 1

@@ -1,0 +1,242 @@
+// Package workload is the traffic-generation layer: it decides *what*
+// the guests send over the simulated network, decoupled from *how* the
+// transport and the machine under test move it. The benchmark machine
+// builder wires transport connections into workload Endpoints; a
+// Generator then drives those endpoints according to a Spec — the
+// paper's always-saturating bulk streams, closed-loop request/response
+// clients, short-lived flow churn, or on/off bursts — across every
+// machine mode (native, Xen, CDNA) identically.
+//
+// The default (zero-value) Spec is Bulk and reproduces the paper's
+// benchmark byte-for-byte: one infinite go-back-N stream per
+// connection, started with the exact stagger schedule the evaluation
+// has always used.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cdna/internal/sim"
+)
+
+// Kind selects the traffic shape. The zero value is Bulk, so legacy
+// configurations (and old result records) decode to the paper's
+// workload unchanged.
+type Kind int
+
+// Workload kinds.
+const (
+	// Bulk is the paper's benchmark: every connection pumps an
+	// infinite stream as fast as the window allows.
+	Bulk Kind = iota
+	// RequestResponse is a closed-loop RPC client per connection pair:
+	// send a request, wait for the full response, think, repeat.
+	RequestResponse
+	// Churn is many short-lived flows per connection slot: open, push
+	// a few segments, close (slow-start restarting every time), repeat
+	// — the "millions of users" shape.
+	Churn
+	// Burst alternates saturating on-periods with silent off-periods,
+	// jittered per endpoint so bursts desynchronize.
+	Burst
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Bulk:
+		return "bulk"
+	case RequestResponse:
+		return "rr"
+	case Churn:
+		return "churn"
+	case Burst:
+		return "burst"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses a workload kind token: bulk | rr | churn | burst.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "bulk", "":
+		return Bulk, nil
+	case "rr", "rpc", "request-response":
+		return RequestResponse, nil
+	case "churn":
+		return Churn, nil
+	case "burst":
+		return Burst, nil
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q (want bulk | rr | churn | burst)", s)
+}
+
+// MarshalText encodes the kind as its canonical token.
+func (k Kind) MarshalText() ([]byte, error) {
+	switch k {
+	case Bulk, RequestResponse, Churn, Burst:
+		return []byte(k.String()), nil
+	}
+	return []byte(strconv.Itoa(int(k))), nil
+}
+
+// UnmarshalText decodes a kind token (or the decimal fallback form
+// MarshalText emits for out-of-range values).
+func (k *Kind) UnmarshalText(b []byte) error {
+	if n, err := strconv.Atoi(string(b)); err == nil {
+		*k = Kind(n)
+		return nil
+	}
+	v, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// Spec describes one workload. All fields are scalars so a Spec (and
+// therefore a bench.Config embedding one) stays comparable — campaign
+// grid deduplication relies on that. Zero fields mean "use the kind's
+// default", resolved by Resolved(); the zero Spec is the paper's bulk
+// workload.
+type Spec struct {
+	Kind Kind `json:"kind"`
+
+	// RequestResponse knobs.
+	RequestSegs  int      `json:"request_segs,omitempty"`  // segments per request message
+	ResponseSegs int      `json:"response_segs,omitempty"` // segments per response message
+	Think        sim.Time `json:"think_ns,omitempty"`      // client think time between RPCs
+
+	// Churn knobs.
+	FlowSegs int      `json:"flow_segs,omitempty"`   // segments per short-lived flow
+	FlowGap  sim.Time `json:"flow_gap_ns,omitempty"` // idle gap between a close and the next open
+
+	// Burst knobs.
+	BurstOn  sim.Time `json:"burst_on_ns,omitempty"`  // saturating period
+	BurstOff sim.Time `json:"burst_off_ns,omitempty"` // silent period
+
+	// Seed offsets the per-endpoint jitter RNG streams; 0 uses the
+	// package default. Same seed ⇒ same traffic, always.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Default workload parameters (used when the Spec leaves them zero).
+const (
+	// DefaultHeavySegs is the data-bearing message size (segments) for
+	// the payload-heavy side of an RPC (~5.8 KB at the default MSS).
+	DefaultHeavySegs = 4
+	// DefaultLightSegs is the light side of an RPC (a header-sized
+	// request or a short acknowledgment-style response).
+	DefaultLightSegs = 1
+	// DefaultFlowSegs is a churn flow's length (~11.6 KB: a small web
+	// object).
+	DefaultFlowSegs = 8
+)
+
+// Default workload durations.
+const (
+	DefaultThink    = sim.Millisecond       // RPC client think time
+	DefaultBurstOn  = 2 * sim.Millisecond   // burst duty: 2ms on ...
+	DefaultBurstOff = 8 * sim.Millisecond   // ... 8ms off (20%)
+	defaultSeed     = 0x5eed_cd9a_0000_0001 // per-endpoint jitter streams
+)
+
+// Resolved fills a Spec's zero fields with the kind's defaults. The
+// direction of the experiment chooses which RPC message is
+// payload-heavy: txHeavy makes the request large (upload RPC), rxHeavy
+// the response (download RPC); both makes the exchange symmetric.
+func (s Spec) Resolved(txHeavy, rxHeavy bool) Spec {
+	r := s
+	if r.Kind == RequestResponse {
+		if r.RequestSegs == 0 {
+			r.RequestSegs = DefaultLightSegs
+			if txHeavy {
+				r.RequestSegs = DefaultHeavySegs
+			}
+		}
+		if r.ResponseSegs == 0 {
+			r.ResponseSegs = DefaultLightSegs
+			if rxHeavy {
+				r.ResponseSegs = DefaultHeavySegs
+			}
+		}
+		if r.Think == 0 {
+			r.Think = DefaultThink
+		}
+	}
+	if r.Kind == Churn && r.FlowSegs == 0 {
+		r.FlowSegs = DefaultFlowSegs
+	}
+	if r.Kind == Burst {
+		if r.BurstOn == 0 {
+			r.BurstOn = DefaultBurstOn
+		}
+		if r.BurstOff == 0 {
+			r.BurstOff = DefaultBurstOff
+		}
+	}
+	if r.Seed == 0 {
+		r.Seed = defaultSeed
+	}
+	return r
+}
+
+// Validate rejects specs the generator cannot run meaningfully.
+// Zero-valued knobs are fine (defaults fill them); negative ones are
+// not.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case Bulk, RequestResponse, Churn, Burst:
+	default:
+		return fmt.Errorf("workload: unknown kind %v", s.Kind)
+	}
+	if s.RequestSegs < 0 || s.ResponseSegs < 0 || s.FlowSegs < 0 {
+		return fmt.Errorf("workload: negative message size in %+v", s)
+	}
+	if s.Think < 0 || s.FlowGap < 0 || s.BurstOn < 0 || s.BurstOff < 0 {
+		return fmt.Errorf("workload: negative duration in %+v", s)
+	}
+	return nil
+}
+
+// Suffix returns the workload's contribution to an experiment name:
+// empty for the default bulk workload (so legacy names are unchanged),
+// otherwise the kind plus every explicitly set knob, so that every
+// distinct grid point names distinctly.
+func (s Spec) Suffix() string {
+	if s.Kind == Bulk {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("/")
+	b.WriteString(s.Kind.String())
+	add := func(tag, val string) { fmt.Fprintf(&b, ",%s=%s", tag, val) }
+	if s.RequestSegs != 0 {
+		add("req", strconv.Itoa(s.RequestSegs))
+	}
+	if s.ResponseSegs != 0 {
+		add("resp", strconv.Itoa(s.ResponseSegs))
+	}
+	if s.Think != 0 {
+		add("think", s.Think.String())
+	}
+	if s.FlowSegs != 0 {
+		add("segs", strconv.Itoa(s.FlowSegs))
+	}
+	if s.FlowGap != 0 {
+		add("gap", s.FlowGap.String())
+	}
+	if s.BurstOn != 0 {
+		add("on", s.BurstOn.String())
+	}
+	if s.BurstOff != 0 {
+		add("off", s.BurstOff.String())
+	}
+	if s.Seed != 0 {
+		add("seed", strconv.FormatUint(s.Seed, 16))
+	}
+	return b.String()
+}
