@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check smoke tables paper bench clean
+.PHONY: all build vet test check smoke tables paper bench bench-check clean
 
 all: check
 
@@ -32,9 +32,25 @@ paper:
 
 # bench measures the simulator itself (event-core micro-benchmarks +
 # one end-to-end run) and records the perf trajectory in BENCH_sim.json.
-# See EXPERIMENTS.md for how to read it.
+# It runs twice — once with the reference heap queue (-tags simheap),
+# once with the default timing wheel — so the committed artifact carries
+# the wheel vs. heap rows side by side. See EXPERIMENTS.md.
 bench:
-	$(GO) run ./cmd/cdnabench -out BENCH_sim.json
+	$(GO) run -tags simheap ./cmd/cdnabench -out BENCH_heap.tmp.json
+	$(GO) run ./cmd/cdnabench -ref BENCH_heap.tmp.json -out BENCH_sim.json
+	rm -f BENCH_heap.tmp.json
+
+# bench-check is the perf-regression gate: a short re-measurement
+# compared against the committed BENCH_sim.json, failing on any
+# ns/event metric more than BENCH_TOL percent worse (or any new
+# steady-state allocation). The 15% default is meaningful on hardware
+# comparable to the committed run's; CI overrides BENCH_TOL with a
+# loose bound, because a shared runner being ~20% slower than the
+# recording machine is normal variance, not a regression — there the
+# gate catches order-of-magnitude slips and allocation creep.
+BENCH_TOL ?= 15
+bench-check:
+	$(GO) run ./cmd/cdnabench -short -compare BENCH_sim.json -tol $(BENCH_TOL)
 
 clean:
-	rm -f results.json results.csv BENCH_sim.json
+	rm -f results.json results.csv BENCH_sim.json BENCH_heap.tmp.json

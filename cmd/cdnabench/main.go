@@ -1,20 +1,36 @@
 // Command cdnabench measures the simulator's own performance — the
 // foundation-layer event core and one end-to-end experiment — and
 // writes the result as JSON, so the repository's perf trajectory is a
-// committed artifact rather than folklore. `make bench` runs it and
-// emits BENCH_sim.json.
+// committed artifact rather than folklore. `make bench` runs it (for
+// both queue implementations) and emits BENCH_sim.json; `make
+// bench-check` replays a short run and fails on regression.
 //
 // Usage:
 //
 //	cdnabench                     # print JSON to stdout
 //	cdnabench -out BENCH_sim.json # write to a file
 //	cdnabench -benchtime 2s       # longer micro-benchmark windows
+//	cdnabench -short              # quick windows (CI's bench-check)
+//	cdnabench -ref heap.json      # embed another run's rows as the
+//	                              # reference block (wheel vs heap)
+//	cdnabench -compare old.json   # diff this run against a committed
+//	                              # BENCH_sim.json; exit 1 when any
+//	                              # ns/event metric regressed >15%
+//	cdnabench -compare old.json -with new.json
+//	                              # pure file diff, no measurement
+//	cdnabench -tol 10             # tighten the regression tolerance (%)
+//
+// The binary reports which event queue it was compiled with
+// ("scheduler": wheel by default, heap under -tags simheap); the
+// committed artifact carries the heap build's rows in "reference" so
+// the wheel-vs-heap comparison travels with the repo.
 //
 // The seed_baseline block records the pre-refactor engine (heap
 // allocation per event through container/heap) measured on the same
 // class of machine when the zero-allocation core landed; the headline
-// acceptance bar is engine.schedule_fire.events_per_sec at ≥2× the
-// baseline with zero allocs/op.
+// acceptance bars are engine.schedule_fire events/sec at ≥2× that
+// baseline with zero allocs/op, and (since the timing-wheel PR)
+// end-to-end events/sec at ≥1.5× the PR 2 heap engine's committed run.
 package main
 
 import (
@@ -28,6 +44,7 @@ import (
 
 	"cdna/internal/bench"
 	"cdna/internal/core"
+	"cdna/internal/sim"
 	"cdna/internal/sim/simbench"
 )
 
@@ -48,28 +65,39 @@ func row(r testing.BenchmarkResult) Row {
 	return out
 }
 
+// EngineRows are the event-core micro-benchmarks (one simulated event
+// per op), in simbench.
+type EngineRows struct {
+	ScheduleFire        Row `json:"schedule_fire"`         // pooled event, bound callback
+	ScheduleFireClosure Row `json:"schedule_fire_closure"` // fresh capturing closure per event
+	ScheduleFireDepth64 Row `json:"schedule_fire_depth64"` // under a standing queue population
+	TimerRearm          Row `json:"timer_rearm"`           // persistent timer re-armed in place
+	Cancel              Row `json:"cancel"`                // schedule→cancel→recycle
+	CancelHeavy         Row `json:"cancel_heavy"`          // cancel under standing load
+	RTOChurn            Row `json:"rto_churn"`             // far-future timer re-arm churn
+}
+
 // Report is the BENCH_sim.json schema.
 type Report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
 
-	// Engine micro-benchmarks (one simulated event per op).
-	Engine struct {
-		ScheduleFire        Row `json:"schedule_fire"`         // pooled event, bound callback
-		ScheduleFireClosure Row `json:"schedule_fire_closure"` // fresh capturing closure per event
-		TimerRearm          Row `json:"timer_rearm"`           // persistent timer re-armed in place
-		Cancel              Row `json:"cancel"`                // schedule→cancel→recycle
-	} `json:"engine"`
+	// Scheduler is the compiled-in event queue: "wheel" (default) or
+	// "heap" (-tags simheap).
+	Scheduler string `json:"scheduler"`
+
+	Engine EngineRows `json:"engine"`
 
 	// One full experiment (CDNA transmit, quick windows) timed end to
-	// end: the whole-machine events/sec the engine work buys.
-	EndToEnd struct {
-		Config       string  `json:"config"`
-		Events       uint64  `json:"events"`
-		WallSeconds  float64 `json:"wall_seconds"`
-		EventsPerSec float64 `json:"events_per_sec"`
-		Mbps         float64 `json:"mbps"`
-	} `json:"end_to_end"`
+	// end: the whole-machine events/sec the engine work buys. Best of
+	// three runs, so a background scheduling hiccup on the measuring
+	// machine does not masquerade as a simulator regression.
+	EndToEnd EndToEnd `json:"end_to_end"`
+
+	// Reference carries another build's rows for side-by-side reading —
+	// `make bench` embeds the heap build's measurement here, so the
+	// committed artifact always shows wheel vs. heap.
+	Reference *Reference `json:"reference,omitempty"`
 
 	// The seed engine measured immediately before the zero-allocation
 	// refactor (BenchmarkBaselineScheduleFire on the reference builder:
@@ -84,64 +112,216 @@ type Report struct {
 	SpeedupVsSeed float64 `json:"speedup_vs_seed"`
 }
 
-func main() {
-	testing.Init() // registers test.benchtime, which testing.Benchmark honours
-	out := flag.String("out", "", "write JSON here (default stdout)")
-	benchtime := flag.Duration("benchtime", time.Second, "per-micro-benchmark measurement time")
-	flag.Parse()
+// EndToEnd is one wall-clock-timed whole-machine run.
+type EndToEnd struct {
+	Config       string  `json:"config"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Mbps         float64 `json:"mbps"`
+}
 
+// Reference is an embedded secondary measurement (see Report.Reference).
+type Reference struct {
+	Scheduler string     `json:"scheduler"`
+	Engine    EngineRows `json:"engine"`
+	EndToEnd  EndToEnd   `json:"end_to_end"`
+}
+
+func measure(benchtime time.Duration) (*Report, error) {
 	if f := flag.Lookup("test.benchtime"); f != nil {
-		_ = f.Value.Set(benchtime.String())
+		if err := f.Value.Set(benchtime.String()); err != nil {
+			return nil, err
+		}
 	}
-
 	var rep Report
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
+	rep.Scheduler = sim.SchedulerName
 
 	rep.Engine.ScheduleFire = row(testing.Benchmark(simbench.ScheduleFire))
 	rep.Engine.ScheduleFireClosure = row(testing.Benchmark(simbench.ScheduleFireClosure))
+	rep.Engine.ScheduleFireDepth64 = row(testing.Benchmark(simbench.ScheduleFireDepth64))
 	rep.Engine.TimerRearm = row(testing.Benchmark(simbench.TimerRearm))
 	rep.Engine.Cancel = row(testing.Benchmark(simbench.Cancel))
+	rep.Engine.CancelHeavy = row(testing.Benchmark(simbench.CancelHeavy))
+	rep.Engine.RTOChurn = row(testing.Benchmark(simbench.RTOChurn))
 
 	cfg := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
 	cfg.Protection = core.ModeHypercall
 	cfg.Warmup = bench.Quick().Warmup
 	cfg.Duration = bench.Quick().Duration
-	start := time.Now()
-	res, err := bench.Run(cfg)
-	wall := time.Since(start).Seconds()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cdnabench: end-to-end run failed: %v\n", err)
-		os.Exit(1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := bench.Run(cfg)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return nil, fmt.Errorf("end-to-end run failed: %w", err)
+		}
+		if i == 0 || wall < rep.EndToEnd.WallSeconds {
+			rep.EndToEnd.Config = cfg.Name()
+			rep.EndToEnd.Events = res.Events
+			rep.EndToEnd.WallSeconds = wall
+			rep.EndToEnd.Mbps = res.Mbps
+		}
 	}
-	rep.EndToEnd.Config = cfg.Name()
-	rep.EndToEnd.Events = res.Events
-	rep.EndToEnd.WallSeconds = wall
-	if wall > 0 {
-		rep.EndToEnd.EventsPerSec = float64(res.Events) / wall
+	if rep.EndToEnd.WallSeconds > 0 {
+		rep.EndToEnd.EventsPerSec = float64(rep.EndToEnd.Events) / rep.EndToEnd.WallSeconds
 	}
-	rep.EndToEnd.Mbps = res.Mbps
 
 	rep.SeedBaseline.NsPerEvent = 81.5
 	rep.SeedBaseline.AllocsPerOp = 1
 	if rep.Engine.ScheduleFire.NsPerEvent > 0 {
 		rep.SpeedupVsSeed = rep.SeedBaseline.NsPerEvent / rep.Engine.ScheduleFire.NsPerEvent
 	}
+	return &rep, nil
+}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
+func load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cdnabench: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "cdnabench: %v\n", err)
-		os.Exit(1)
+	return &rep, nil
+}
+
+// metric is one comparable ns/event figure extracted from a report.
+type metric struct {
+	name   string
+	ns     float64
+	allocs int64
+}
+
+func metrics(r *Report) []metric {
+	e2eNs := 0.0
+	if r.EndToEnd.EventsPerSec > 0 {
+		e2eNs = 1e9 / r.EndToEnd.EventsPerSec
 	}
-	fmt.Printf("wrote %s (engine %.1f ns/event, %.0f events/s end-to-end, %.1fx vs seed)\n",
-		*out, rep.Engine.ScheduleFire.NsPerEvent, rep.EndToEnd.EventsPerSec, rep.SpeedupVsSeed)
+	return []metric{
+		{"engine.schedule_fire", r.Engine.ScheduleFire.NsPerEvent, r.Engine.ScheduleFire.AllocsPerOp},
+		{"engine.schedule_fire_closure", r.Engine.ScheduleFireClosure.NsPerEvent, r.Engine.ScheduleFireClosure.AllocsPerOp},
+		{"engine.schedule_fire_depth64", r.Engine.ScheduleFireDepth64.NsPerEvent, r.Engine.ScheduleFireDepth64.AllocsPerOp},
+		{"engine.timer_rearm", r.Engine.TimerRearm.NsPerEvent, r.Engine.TimerRearm.AllocsPerOp},
+		{"engine.cancel", r.Engine.Cancel.NsPerEvent, r.Engine.Cancel.AllocsPerOp},
+		{"engine.cancel_heavy", r.Engine.CancelHeavy.NsPerEvent, r.Engine.CancelHeavy.AllocsPerOp},
+		{"engine.rto_churn", r.Engine.RTOChurn.NsPerEvent, r.Engine.RTOChurn.AllocsPerOp},
+		{"end_to_end.ns_per_event", e2eNs, 0},
+	}
+}
+
+// compare prints per-metric deltas of cur vs old and reports whether
+// any ns/event metric regressed by more than tol percent, or any
+// engine benchmark started allocating.
+func compare(old, cur *Report, tol float64) (failed bool) {
+	fmt.Printf("comparing against committed baseline (%s scheduler, %s):\n",
+		old.Scheduler, old.GoVersion)
+	fmt.Printf("  %-30s %12s %12s %9s\n", "metric", "old ns/ev", "new ns/ev", "delta")
+	om, cm := metrics(old), metrics(cur)
+	for i, o := range om {
+		c := cm[i]
+		// The alloc gate holds regardless of timing comparability.
+		if c.allocs > o.allocs {
+			fmt.Printf("  %-30s allocs/op %d -> %d  << REGRESSION\n", o.name, o.allocs, c.allocs)
+			failed = true
+		}
+		switch {
+		case o.ns <= 0:
+			// Metric absent from an older artifact: reported, not gated.
+			fmt.Printf("  %-30s %12.2f %12.2f %9s\n", o.name, o.ns, c.ns, "n/a")
+		case c.ns <= 0:
+			// The current run failed to measure a metric the baseline
+			// has — a silently broken benchmark, not a speedup.
+			fmt.Printf("  %-30s %12.2f %12.2f %9s  << MISSING\n", o.name, o.ns, c.ns, "n/a")
+			failed = true
+		default:
+			delta := (c.ns - o.ns) / o.ns * 100
+			mark := ""
+			if delta > tol {
+				mark = "  << REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-30s %12.2f %12.2f %+8.1f%%%s\n", o.name, o.ns, c.ns, delta, mark)
+		}
+	}
+	if failed {
+		fmt.Printf("FAIL: a metric regressed more than %.0f%% vs the committed baseline\n", tol)
+	} else {
+		fmt.Printf("ok: all metrics within %.0f%% of the committed baseline\n", tol)
+	}
+	return failed
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cdnabench: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	testing.Init() // registers test.benchtime, which testing.Benchmark honours
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "per-micro-benchmark measurement time")
+	short := flag.Bool("short", false, "quick measurement windows (CI bench-check)")
+	refPath := flag.String("ref", "", "embed this report's rows as the reference block")
+	comparePath := flag.String("compare", "", "diff against this BENCH_sim.json; exit 1 on regression")
+	withPath := flag.String("with", "", "with -compare: diff this file instead of measuring")
+	tol := flag.Float64("tol", 15, "regression tolerance on ns/event metrics, percent")
+	flag.Parse()
+
+	bt := *benchtime
+	if *short && bt > 250*time.Millisecond {
+		bt = 250 * time.Millisecond
+	}
+
+	var rep *Report
+	var err error
+	if *withPath != "" {
+		if *comparePath == "" {
+			fatal(fmt.Errorf("-with requires -compare"))
+		}
+		if rep, err = load(*withPath); err != nil {
+			fatal(err)
+		}
+	} else if rep, err = measure(bt); err != nil {
+		fatal(err)
+	}
+
+	if *refPath != "" {
+		other, err := load(*refPath)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine}
+		rep.Reference.EndToEnd = other.EndToEnd
+	}
+
+	if *out != "" || *comparePath == "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out == "" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("wrote %s (%s engine %.1f ns/event, %.0f events/s end-to-end, %.1fx vs seed)\n",
+				*out, rep.Scheduler, rep.Engine.ScheduleFire.NsPerEvent,
+				rep.EndToEnd.EventsPerSec, rep.SpeedupVsSeed)
+		}
+	}
+
+	if *comparePath != "" {
+		old, err := load(*comparePath)
+		if err != nil {
+			fatal(err)
+		}
+		if compare(old, rep, *tol) {
+			os.Exit(1)
+		}
+	}
 }

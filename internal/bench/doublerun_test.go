@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cdna/internal/core"
+	"cdna/internal/sim"
+)
+
+// The byte-identity determinism contract at the single-experiment
+// level: building and running the same multi-guest configuration twice
+// must produce bit-for-bit identical results. This is the tripwire for
+// any iteration-order dependence sneaking into the builders or the
+// interrupt delivery path (per-context event channels are a dense
+// slice, never a ranged-over map — see Hypervisor.HandleBitVectorIRQ).
+func TestMultiGuestDoubleRunByteIdentical(t *testing.T) {
+	opts := Opts{Warmup: 20 * sim.Millisecond, Duration: 60 * sim.Millisecond}
+	if !testing.Short() {
+		opts = Quick()
+	}
+	for _, tc := range []struct {
+		name string
+		mode Mode
+		nic  NICKind
+	}{
+		{"Xen/RiceNIC", ModeXen, NICRice},
+		{"Xen/Intel", ModeXen, NICIntel},
+		{"CDNA", ModeCDNA, NICRice},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(tc.mode, tc.nic, Tx)
+			cfg.Guests = 4 // multi-guest: many contexts per bit-vector IRQ
+			cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+			if tc.mode == ModeCDNA {
+				cfg.Protection = core.ModeHypercall
+			}
+			cfg.Warmup, cfg.Duration = opts.Warmup, opts.Duration
+			run := func() []byte {
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return buf
+			}
+			first, second := run(), run()
+			if string(first) != string(second) {
+				t.Fatalf("reruns differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+			}
+		})
+	}
+}

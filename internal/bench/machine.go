@@ -164,7 +164,7 @@ func startBackground(eng *sim.Engine, d *cpu.Domain, period, kernel, user sim.Ti
 // Build assembles a machine for the configuration.
 func Build(cfg Config) (*Machine, error) {
 	cal := cfg.Cal
-	eng := sim.New()
+	eng := sim.NewWithResolution(cal.EventResolution())
 	m := &Machine{
 		Eng: eng,
 		CPU: cpu.New(eng, cal.CPU),
@@ -180,6 +180,23 @@ func Build(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	pr := &peer{}
+
+	// Pre-size every builder-filled slice: the topology's final counts
+	// are implied by the configuration, so the assembly loops below
+	// never re-grow a backing array. (Conns gets an upper bound: one
+	// connection per slot in the configured direction, or a pair for
+	// duplex and request/response wiring.)
+	stacks := cfg.Guests
+	if cfg.Mode == ModeNative {
+		stacks = 1
+	}
+	m.Conns.Grow(stacks * cfg.NICs * cfg.ConnsPerGuestPerNIC * 2)
+	m.IntelNICs = make([]*intelnic.NIC, 0, cfg.NICs)
+	m.RiceNICs = make([]*ricenic.NIC, 0, cfg.NICs)
+	m.CtxMgrs = make([]*core.ContextManager, 0, cfg.NICs)
+	m.Drivers = make([]*guest.CDNADriver, 0, stacks*cfg.NICs)
+	pr.outs = make([]*ether.Pipe, 0, cfg.NICs)
+	pr.macs = make([]ether.MAC, 0, cfg.NICs)
 
 	// Links and peer ports, one per NIC.
 	newLink := func() (*ether.Pipe, *ether.Pipe) {
@@ -353,7 +370,8 @@ func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *et
 			n.SetPromiscuous(ctx.ID)
 			drv := guest.NewCDNADriver(dom0, m.Mem, n, ctx, cal.CDNADrv, hyp.Prot, true, cal.DirectPerDesc)
 			ch := hyp.NewChannel(dom0, "cdna", drv.OnVirq)
-			channels := map[int]*xen.EventChannel{ctx.ID: ch}
+			channels := make([]*xen.EventChannel, core.NumContexts)
+			channels[ctx.ID] = ch
 			irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
 			n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 			drv.Start()
@@ -410,7 +428,7 @@ func buildCDNA(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *e
 		pr.outs[i].Connect(ether.PortFunc(n.Receive))
 		cm := core.NewContextManager(hyp.Prot)
 		cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
-		channels := make(map[int]*xen.EventChannel)
+		channels := make([]*xen.EventChannel, core.NumContexts)
 		irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
 		n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 

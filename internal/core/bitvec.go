@@ -98,17 +98,16 @@ func (q *BitVectorQueue) Post() (uint32, bool) {
 // bits (the set of contexts needing virtual interrupts) plus the number
 // of vectors processed.
 func (q *BitVectorQueue) Drain() (bits uint32, vectors int) {
-	pb, err := q.memory.Read(q.prodAddr(), 4)
-	if err != nil {
+	var b [4]byte
+	if err := q.memory.ReadInto(q.prodAddr(), b[:]); err != nil {
 		return 0, 0
 	}
-	prod := binary.LittleEndian.Uint32(pb)
+	prod := binary.LittleEndian.Uint32(b[:])
 	for q.cons != prod {
-		vb, err := q.memory.Read(q.slotAddr(q.cons), 4)
-		if err != nil {
+		if err := q.memory.ReadInto(q.slotAddr(q.cons), b[:]); err != nil {
 			break
 		}
-		bits |= binary.LittleEndian.Uint32(vb)
+		bits |= binary.LittleEndian.Uint32(b[:])
 		q.cons++
 		vectors++
 	}

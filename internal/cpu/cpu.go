@@ -58,7 +58,7 @@ type Domain struct {
 	Kind Kind
 
 	cpu      *CPU
-	q        []Task
+	q        sim.FIFO[Task]
 	state    domState
 	boosted  bool
 	sliceEnd sim.Time
@@ -113,10 +113,15 @@ type CPU struct {
 	eng    *sim.Engine
 	params Params
 
+	// The scheduler queues are ring buffers, not slices: tasks arrive
+	// and retire millions of times per simulated second, and an
+	// append/re-slice queue reallocates continually (the backing array
+	// can never be reused once the head has advanced). The rings find
+	// their working depth during warmup and then allocate nothing.
 	domains []*Domain
-	boostQ  []*Domain
-	runQ    []*Domain
-	isrQ    []Task
+	boostQ  sim.FIFO[*Domain]
+	runQ    sim.FIFO[*Domain]
+	isrQ    sim.FIFO[Task]
 
 	cur         *Domain // domain whose task is executing (nil for ISR/idle)
 	busy        bool
@@ -167,12 +172,12 @@ func (d *Domain) Exec(cat Cat, dur sim.Time, name string, fn func()) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative task duration for %s", name))
 	}
-	d.q = append(d.q, Task{Cat: cat, Dur: dur, Name: name, Fn: fn})
+	d.q.Push(Task{Cat: cat, Dur: dur, Name: name, Fn: fn})
 	if d.state == domBlocked {
 		d.state = domQueued
 		d.boosted = true
 		d.wakes.Inc()
-		d.cpu.boostQ = append(d.cpu.boostQ, d)
+		d.cpu.boostQ.Push(d)
 	}
 	d.cpu.kick()
 }
@@ -185,18 +190,18 @@ func (d *Domain) ExecFront(cat Cat, dur sim.Time, name string, fn func()) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative task duration for %s", name))
 	}
-	d.q = append([]Task{{Cat: cat, Dur: dur, Name: name, Fn: fn}}, d.q...)
+	d.q.PushFront(Task{Cat: cat, Dur: dur, Name: name, Fn: fn})
 	if d.state == domBlocked {
 		d.state = domQueued
 		d.boosted = true
 		d.wakes.Inc()
-		d.cpu.boostQ = append(d.cpu.boostQ, d)
+		d.cpu.boostQ.Push(d)
 	}
 	d.cpu.kick()
 }
 
 // QueueLen returns the number of tasks waiting on the domain.
-func (d *Domain) QueueLen() int { return len(d.q) }
+func (d *Domain) QueueLen() int { return d.q.Len() }
 
 // Wakes returns the windowed count of blocked→runnable transitions.
 func (d *Domain) Wakes() *stats.Counter { return &d.wakes }
@@ -208,7 +213,7 @@ func (c *CPU) ExecISR(dur sim.Time, name string, fn func()) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative ISR duration for %s", name))
 	}
-	c.isrQ = append(c.isrQ, Task{Cat: CatHyp, Dur: dur, Name: name, Fn: fn})
+	c.isrQ.Push(Task{Cat: CatHyp, Dur: dur, Name: name, Fn: fn})
 	c.kick()
 }
 
@@ -225,10 +230,8 @@ func (c *CPU) kick() {
 // dispatch picks and starts the next task. Caller guarantees c.busy.
 func (c *CPU) dispatch() {
 	// 1. Interrupt service work first.
-	if len(c.isrQ) > 0 {
-		t := c.isrQ[0]
-		c.isrQ = c.isrQ[1:]
-		c.runTask(nil, t)
+	if c.isrQ.Len() > 0 {
+		c.runTask(nil, c.isrQ.Pop())
 		return
 	}
 	// 2. Pick a domain: boosted wakers first, then round robin. The
@@ -238,13 +241,11 @@ func (c *CPU) dispatch() {
 	const boostLimit = 4
 	var d *Domain
 	switch {
-	case len(c.boostQ) > 0 && (len(c.runQ) == 0 || c.boostStreak < boostLimit):
-		d = c.boostQ[0]
-		c.boostQ = c.boostQ[1:]
+	case c.boostQ.Len() > 0 && (c.runQ.Len() == 0 || c.boostStreak < boostLimit):
+		d = c.boostQ.Pop()
 		c.boostStreak++
-	case len(c.runQ) > 0:
-		d = c.runQ[0]
-		c.runQ = c.runQ[1:]
+	case c.runQ.Len() > 0:
+		d = c.runQ.Pop()
 		c.boostStreak = 0
 	default:
 		// Idle. c.cur is preserved: re-dispatching the same domain after
@@ -253,7 +254,7 @@ func (c *CPU) dispatch() {
 		c.idleSince = c.eng.Now()
 		return
 	}
-	if d.state != domQueued || len(d.q) == 0 {
+	if d.state != domQueued || d.q.Len() == 0 {
 		// Stale queue entry (domain drained or re-queued); try again.
 		c.dispatch()
 		return
@@ -303,8 +304,7 @@ func (c *CPU) switchDone() {
 }
 
 func (c *CPU) startDomainTask(d *Domain) {
-	t := d.q[0]
-	d.q = d.q[1:]
+	t := d.q.Pop()
 	// The cache-refill penalty inflates the first task after a switch,
 	// charged to that task's own category (the misses occur during the
 	// domain's execution, not the hypervisor's).
@@ -331,35 +331,35 @@ func (c *CPU) taskDone() {
 }
 
 func (c *CPU) afterDomainTask(d *Domain) {
-	if len(d.q) == 0 {
+	if d.q.Len() == 0 {
 		// Domain blocks.
 		d.state = domBlocked
 		c.dispatch()
 		return
 	}
-	if len(c.isrQ) > 0 {
+	if c.isrQ.Len() > 0 {
 		// Pending interrupt work preempts at the task boundary; the
 		// domain keeps its turn (front of the boost queue, no switch
 		// cost since c.cur is unchanged).
 		d.state = domQueued
-		c.boostQ = append([]*Domain{d}, c.boostQ...)
+		c.boostQ.PushFront(d)
 		c.dispatch()
 		return
 	}
-	if len(c.boostQ) > 0 && c.boostQ[0] != d {
+	if c.boostQ.Len() > 0 && c.boostQ.Peek() != d {
 		// Wake preemption (Xen credit-scheduler BOOST): a freshly woken
 		// domain preempts the running one at the task boundary. The
 		// preempted domain rejoins the run queue; FIFO order keeps the
 		// round robin fair among CPU-hungry domains.
 		d.state = domQueued
-		c.runQ = append(c.runQ, d)
+		c.runQ.Push(d)
 		c.dispatch()
 		return
 	}
-	if c.eng.Now() >= d.sliceEnd && (len(c.boostQ) > 0 || len(c.runQ) > 0) {
+	if c.eng.Now() >= d.sliceEnd && (c.boostQ.Len() > 0 || c.runQ.Len() > 0) {
 		// Slice expired and there is other runnable work: preempt.
 		d.state = domQueued
-		c.runQ = append(c.runQ, d)
+		c.runQ.Push(d)
 		c.dispatch()
 		return
 	}

@@ -38,8 +38,21 @@ type CDNADriver struct {
 	Prot          *core.Protection
 
 	txPool, rxPool []mem.PFN
-	txBufs, rxBufs map[uint32]mem.PFN
-	inflight       map[uint32]*ether.Frame
+	// Per-slot buffer/frame tables indexed by ring index & (RingEntries-1):
+	// the ring indices are free-running over a power-of-two ring, so a
+	// slot is reused only after its previous occupant was consumed. PFN 0
+	// is never allocated and a nil frame marks an empty slot, so no
+	// separate presence set is needed — and the per-packet hot path does
+	// array stores instead of map inserts/deletes.
+	txBufs, rxBufs []mem.PFN
+	inflight       []*ether.Frame
+
+	// Recycled batch buffers: a staged batch and its descriptor image
+	// travel through an async enqueue (hypercall or direct) and return
+	// to these free lists in the completion, so steady-state batching
+	// allocates nothing.
+	stagedFree [][]stagedPkt
+	descFree   [][]ring.Desc
 
 	backlog                sim.FIFO[*ether.Frame] // qdisc: frames waiting for ring space
 	stagedTx               []stagedPkt
@@ -71,11 +84,16 @@ type stagedPkt struct {
 // NewCDNADriver binds a driver to an assigned context. The rings were
 // created in guest memory when the hypervisor assigned the context.
 func NewCDNADriver(dom *xen.Domain, m *mem.Memory, n *ricenic.NIC, ctx *core.Context, costs DriverCosts, prot *core.Protection, direct bool, directPerDesc sim.Time) *CDNADriver {
+	// The slot tables below are indexed by free-running ring index
+	// masked to RingEntries; rings of any other size would alias slots.
+	if ctx.TxRing.Entries != RingEntries || ctx.RxRing.Entries != RingEntries {
+		panic("guest: CDNA context rings must have guest.RingEntries slots")
+	}
 	d := &CDNADriver{
 		Dom: dom, Mem: m, NIC: n, Ctx: ctx, Costs: costs,
 		Direct: direct, DirectPerDesc: directPerDesc, Prot: prot,
-		txBufs: make(map[uint32]mem.PFN), rxBufs: make(map[uint32]mem.PFN),
-		inflight: make(map[uint32]*ether.Frame),
+		txBufs: make([]mem.PFN, RingEntries), rxBufs: make([]mem.PFN, RingEntries),
+		inflight: make([]*ether.Frame, RingEntries),
 	}
 	d.txInFn = d.txEnqueueTask
 	d.rxUpFn = d.rxUpTask
@@ -85,8 +103,33 @@ func NewCDNADriver(dom *xen.Domain, m *mem.Memory, n *ricenic.NIC, ctx *core.Con
 	d.kickFn = d.kickTask
 	d.txPool = m.Alloc(dom.ID, PoolPages)
 	d.rxPool = m.Alloc(dom.ID, PoolPages)
-	n.AttachContext(ctx, func(idx uint32) *ether.Frame { return d.inflight[idx] })
+	n.AttachContext(ctx, func(idx uint32) *ether.Frame { return d.inflight[idx&(RingEntries-1)] })
 	return d
+}
+
+// slot maps a free-running ring index to its table slot.
+func slot(idx uint32) uint32 { return idx & (RingEntries - 1) }
+
+func (d *CDNADriver) takeStaged() []stagedPkt {
+	if n := len(d.stagedFree); n > 0 {
+		b := d.stagedFree[n-1]
+		d.stagedFree = d.stagedFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (d *CDNADriver) takeDescs(n int) []ring.Desc {
+	// Pop only when the pooled buffer is big enough; an undersized one
+	// stays pooled (its eventual larger replacement lands above it and
+	// serves future takes), instead of being dropped and reallocated.
+	if k := len(d.descFree); k > 0 {
+		if b := d.descFree[k-1]; cap(b) >= n {
+			d.descFree = d.descFree[:k-1]
+			return b[:n]
+		}
+	}
+	return make([]ring.Desc, n)
 }
 
 // MAC implements NetDevice: the context's unique Ethernet address.
@@ -150,16 +193,19 @@ func (d *CDNADriver) scheduleTxEnqueue() {
 func (d *CDNADriver) txBatchTask() {
 	d.enqTx = false
 	batch := d.stagedTx
-	d.stagedTx = nil
+	d.stagedTx = d.takeStaged()
 	if d.MaxBatch > 0 && len(batch) > d.MaxBatch {
-		d.stagedTx = batch[d.MaxBatch:]
+		// The tail beyond the cap is re-staged; it keeps the batch's
+		// backing array, and the capped head is completed from it.
+		d.stagedTx = append(d.stagedTx, batch[d.MaxBatch:]...)
 		batch = batch[:d.MaxBatch]
 		d.scheduleTxEnqueue()
 	}
 	if len(batch) == 0 {
+		d.releaseStaged(batch)
 		return
 	}
-	descs := make([]ring.Desc, len(batch))
+	descs := d.takeDescs(len(batch))
 	for i, s := range batch {
 		descs[i] = s.desc
 	}
@@ -169,15 +215,17 @@ func (d *CDNADriver) txBatchTask() {
 			for _, s := range batch {
 				d.txPool = append(d.txPool, s.pfn)
 			}
-			return
+		} else {
+			base := d.Ctx.TxRing.Prod() - uint32(n)
+			for i, s := range batch {
+				idx := slot(base + uint32(i))
+				d.inflight[idx] = s.frame
+				d.txBufs[idx] = s.pfn
+			}
+			d.kickTx()
 		}
-		base := d.Ctx.TxRing.Prod() - uint32(n)
-		for i, s := range batch {
-			idx := base + uint32(i)
-			d.inflight[idx] = s.frame
-			d.txBufs[idx] = s.pfn
-		}
-		d.kickTx()
+		d.releaseStaged(batch)
+		d.descFree = append(d.descFree, descs)
 	}
 	if d.Direct {
 		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(descs))*d.DirectPerDesc, "cdna.direct", func() {
@@ -197,16 +245,27 @@ func (d *CDNADriver) kickTask() {
 	d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod())
 }
 
+// releaseStaged returns a consumed batch buffer to the free list,
+// clearing the full used region — including entries beyond a MaxBatch
+// re-slice — so the pooled array pins no frames or buffer pages.
+func (d *CDNADriver) releaseStaged(batch []stagedPkt) {
+	batch = batch[:cap(batch)]
+	for i := range batch {
+		batch[i] = stagedPkt{}
+	}
+	d.stagedFree = append(d.stagedFree, batch[:0])
+}
+
 // reapTx recycles transmit buffers the NIC has finished with (the
 // consumer index it wrote back has passed them).
 func (d *CDNADriver) reapTx() {
 	for d.lastTxCons != d.Ctx.TxRing.Cons() {
-		idx := d.lastTxCons
-		if pfn, ok := d.txBufs[idx]; ok {
+		idx := slot(d.lastTxCons)
+		if pfn := d.txBufs[idx]; pfn != 0 {
 			d.txPool = append(d.txPool, pfn)
-			delete(d.txBufs, idx)
+			d.txBufs[idx] = 0
 		}
-		delete(d.inflight, idx)
+		d.inflight[idx] = nil
 		d.lastTxCons++
 	}
 }
@@ -232,10 +291,10 @@ func (d *CDNADriver) virqTask() {
 	}
 	// Recycle consumed rx buffers and repost the same count.
 	for d.lastRxCons != d.Ctx.RxRing.Cons() {
-		idx := d.lastRxCons
-		if pfn, ok := d.rxBufs[idx]; ok {
+		idx := slot(d.lastRxCons)
+		if pfn := d.rxBufs[idx]; pfn != 0 {
 			d.rxPool = append(d.rxPool, pfn)
-			delete(d.rxBufs, idx)
+			d.rxBufs[idx] = 0
 		}
 		d.lastRxCons++
 	}
@@ -277,27 +336,28 @@ func (d *CDNADriver) rxBatchTask() {
 	if d.stagedRx > 0 {
 		d.flushRx()
 	}
-	pfns := make([]mem.PFN, n)
-	descs := make([]ring.Desc, n)
+	descs := d.takeDescs(n)
 	for i := 0; i < n; i++ {
 		pfn := d.rxPool[len(d.rxPool)-1]
 		d.rxPool = d.rxPool[:len(d.rxPool)-1]
-		pfns[i] = pfn
 		descs[i] = ring.Desc{Addr: pfn.Base(), Len: ether.HeaderBytes + ether.MTU + 86, Flags: ring.FlagValid}
 	}
 	done := func(cnt int, err error) {
 		if err != nil {
 			d.EnqueueErrs.Add(uint64(n))
-			d.rxPool = append(d.rxPool, pfns...)
-			return
+			for i := 0; i < n; i++ {
+				d.rxPool = append(d.rxPool, descs[i].Addr.PFN())
+			}
+		} else {
+			base := d.Ctx.RxRing.Prod() - uint32(cnt)
+			for i := 0; i < cnt; i++ {
+				d.rxBufs[slot(base+uint32(i))] = descs[i].Addr.PFN()
+			}
+			d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
+				d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
+			})
 		}
-		base := d.Ctx.RxRing.Prod() - uint32(cnt)
-		for i := 0; i < cnt; i++ {
-			d.rxBufs[base+uint32(i)] = pfns[i]
-		}
-		d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
-			d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
-		})
+		d.descFree = append(d.descFree, descs)
 	}
 	if d.Direct {
 		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(n)*d.DirectPerDesc, "cdna.rxdirect", func() {

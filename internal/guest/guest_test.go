@@ -256,7 +256,8 @@ func newCDNARig(t *testing.T, protMode core.Mode) *cdnaRig {
 	}
 	direct := protMode != core.ModeHypercall
 	r.drv = NewCDNADriver(r.gdom, m, r.nic, ctx, testDriverCosts(), r.hyp.Prot, direct, 100)
-	channels := map[int]*xen.EventChannel{ctx.ID: r.hyp.NewChannel(r.gdom, "cdna", r.drv.OnVirq)}
+	channels := make([]*xen.EventChannel, core.NumContexts)
+	channels[ctx.ID] = r.hyp.NewChannel(r.gdom, "cdna", r.drv.OnVirq)
 	irq := r.hyp.NewIRQ("rice", func() { r.hyp.HandleBitVectorIRQ(r.nic.BitVec, channels) })
 	r.nic.SetHost(irq.Raise, func(f *core.Fault) { r.hyp.HandleFault(r.cm, f) })
 	r.drv.Start()

@@ -73,24 +73,57 @@ type page struct {
 	data    []byte
 }
 
-// Memory is the machine's physical memory.
+// Memory is the machine's physical memory. The page table is a dense
+// slice indexed by PFN — frame numbers are handed out sequentially, so
+// every page lookup on the DMA hot path (descriptor reads, payload
+// writes, ownership validation) is an array index, not a hash probe,
+// and iteration order is inherently deterministic.
 type Memory struct {
-	pages   map[PFN]*page
+	pages   []page // indexed by PFN; entry 0 is never allocated
 	freeQ   []PFN
 	nextPFN PFN
 
-	// DeviceWrites counts DMA writes per owning domain; diagnostics for
+	// devWrites counts DMA-written bytes per owning domain (slice index
+	// DomID+1, so DomInvalid owners land in slot 0); diagnostics for
 	// the protection-off corruption demo.
-	DeviceWrites map[DomID]uint64
+	devWrites []uint64
 }
 
 // New returns an empty physical memory.
 func New() *Memory {
 	return &Memory{
-		pages:        make(map[PFN]*page),
-		nextPFN:      1, // PFN 0 is never allocated; Addr 0 stays invalid
-		DeviceWrites: make(map[DomID]uint64),
+		pages:   make([]page, 1, 256), // PFN 0 is never allocated; Addr 0 stays invalid
+		nextPFN: 1,
 	}
+}
+
+// DeviceWritten returns how many bytes devices (DMA) have written into
+// pages owned by dom.
+func (m *Memory) DeviceWritten(dom DomID) uint64 {
+	if i := int(dom) + 1; i >= 0 && i < len(m.devWrites) {
+		return m.devWrites[i]
+	}
+	return 0
+}
+
+// countDeviceWrite charges n DMA-written bytes to owner dom.
+func (m *Memory) countDeviceWrite(dom DomID, n int) {
+	i := int(dom) + 1
+	if i < 0 {
+		return
+	}
+	for i >= len(m.devWrites) {
+		m.devWrites = append(m.devWrites, 0)
+	}
+	m.devWrites[i] += uint64(n)
+}
+
+// lookup returns the page for pfn, or nil if it was never allocated.
+func (m *Memory) lookup(pfn PFN) *page {
+	if pfn == 0 || uint64(pfn) >= uint64(len(m.pages)) {
+		return nil
+	}
+	return &m.pages[pfn]
 }
 
 // Alloc allocates n pages owned by dom and returns their frame numbers.
@@ -101,7 +134,7 @@ func (m *Memory) Alloc(dom DomID, n int) []PFN {
 		if len(m.freeQ) > 0 {
 			pfn = m.freeQ[0]
 			m.freeQ = m.freeQ[1:]
-			pg := m.pages[pfn]
+			pg := &m.pages[pfn]
 			pg.owner = dom
 			pg.freed = false
 			pg.hypOnly = false
@@ -111,7 +144,7 @@ func (m *Memory) Alloc(dom DomID, n int) []PFN {
 		} else {
 			pfn = m.nextPFN
 			m.nextPFN++
-			m.pages[pfn] = &page{owner: dom}
+			m.pages = append(m.pages, page{owner: dom})
 		}
 		out = append(out, pfn)
 	}
@@ -126,8 +159,8 @@ func (m *Memory) AllocOne(dom DomID) PFN { return m.Alloc(dom, 1)[0] }
 // page is marked freed but is not reallocated until the last reference
 // is dropped — the §3.3 reallocation-delay guarantee.
 func (m *Memory) Free(dom DomID, pfn PFN) error {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return ErrNoPage
 	}
 	if pg.freed {
@@ -146,8 +179,8 @@ func (m *Memory) Free(dom DomID, pfn PFN) error {
 
 // Owner returns the owning domain, or DomInvalid for unknown/freed pages.
 func (m *Memory) Owner(pfn PFN) DomID {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return DomInvalid
 	}
 	return pg.owner
@@ -156,8 +189,8 @@ func (m *Memory) Owner(pfn PFN) DomID {
 // Get increments the page's DMA reference count (hypervisor pins the page
 // for an enqueued descriptor).
 func (m *Memory) Get(pfn PFN) error {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return ErrNoPage
 	}
 	pg.ref++
@@ -167,8 +200,8 @@ func (m *Memory) Get(pfn PFN) error {
 // Put decrements the reference count. When a freed page's count reaches
 // zero it finally returns to the allocator.
 func (m *Memory) Put(pfn PFN) error {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return ErrNoPage
 	}
 	if pg.ref == 0 {
@@ -183,7 +216,7 @@ func (m *Memory) Put(pfn PFN) error {
 
 // Refs returns the current reference count.
 func (m *Memory) Refs(pfn PFN) int {
-	if pg, ok := m.pages[pfn]; ok {
+	if pg := m.lookup(pfn); pg != nil {
 		return pg.ref
 	}
 	return 0
@@ -193,8 +226,8 @@ func (m *Memory) Refs(pfn PFN) int {
 // flip used by the Xen network path). It fails while references are
 // outstanding, because the pinned page may be a DMA target.
 func (m *Memory) Transfer(pfn PFN, from, to DomID) error {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return ErrNoPage
 	}
 	if pg.owner != from {
@@ -210,8 +243,8 @@ func (m *Memory) Transfer(pfn PFN, from, to DomID) error {
 // SetHypExclusive marks or clears hypervisor-exclusive write access on a
 // page (descriptor-ring protection, §3.3).
 func (m *Memory) SetHypExclusive(pfn PFN, on bool) error {
-	pg, ok := m.pages[pfn]
-	if !ok {
+	pg := m.lookup(pfn)
+	if pg == nil {
 		return ErrNoPage
 	}
 	pg.hypOnly = on
@@ -220,8 +253,8 @@ func (m *Memory) SetHypExclusive(pfn PFN, on bool) error {
 
 // HypExclusive reports whether the page is hypervisor-exclusive.
 func (m *Memory) HypExclusive(pfn PFN) bool {
-	pg, ok := m.pages[pfn]
-	return ok && pg.hypOnly
+	pg := m.lookup(pfn)
+	return pg != nil && pg.hypOnly
 }
 
 // RangeOwned reports whether every byte of [addr, addr+n) lies in pages
@@ -232,8 +265,8 @@ func (m *Memory) RangeOwned(dom DomID, addr Addr, n int) bool {
 	}
 	first, last := addr.PFN(), Addr(uint64(addr)+uint64(n)-1).PFN()
 	for pfn := first; pfn <= last; pfn++ {
-		pg, ok := m.pages[pfn]
-		if !ok || pg.owner != dom || pg.freed {
+		pg := m.lookup(pfn)
+		if pg == nil || pg.owner != dom || pg.freed {
 			return false
 		}
 	}
@@ -254,8 +287,8 @@ func RangePFNs(addr Addr, n int) []PFN {
 }
 
 func (m *Memory) pageFor(a Addr) (*page, error) {
-	pg, ok := m.pages[a.PFN()]
-	if !ok {
+	pg := m.lookup(a.PFN())
+	if pg == nil {
 		return nil, fmt.Errorf("%w: pfn %d", ErrNoPage, a.PFN())
 	}
 	return pg, nil
@@ -279,7 +312,7 @@ func (m *Memory) writeRaw(addr Addr, b []byte, device bool) error {
 		off := addr.Offset()
 		n := copy(pg.data[off:], b)
 		if device {
-			m.DeviceWrites[pg.owner] += uint64(n)
+			m.countDeviceWrite(pg.owner, n)
 		}
 		b = b[n:]
 		addr += Addr(n)
@@ -298,8 +331,8 @@ func (m *Memory) WriteAs(dom DomID, addr Addr, b []byte) error {
 		last = first
 	}
 	for pfn := first; pfn <= last; pfn++ {
-		pg, ok := m.pages[pfn]
-		if !ok {
+		pg := m.lookup(pfn)
+		if pg == nil {
 			return ErrNoPage
 		}
 		if dom != DomHyp {
@@ -317,11 +350,20 @@ func (m *Memory) WriteAs(dom DomID, addr Addr, b []byte) error {
 // Read copies n bytes starting at addr (device path, unchecked).
 func (m *Memory) Read(addr Addr, n int) ([]byte, error) {
 	out := make([]byte, n)
-	dst := out
+	if err := m.ReadInto(addr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto copies len(dst) bytes starting at addr into dst (device
+// path, unchecked). Hot DMA readers (descriptor fetches, bit-vector
+// polls) pass a reusable buffer so steady-state reads allocate nothing.
+func (m *Memory) ReadInto(addr Addr, dst []byte) error {
 	for len(dst) > 0 {
 		pg, err := m.pageFor(addr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off := addr.Offset()
 		var c int
@@ -339,14 +381,14 @@ func (m *Memory) Read(addr Addr, n int) ([]byte, error) {
 		dst = dst[c:]
 		addr += Addr(c)
 	}
-	return out, nil
+	return nil
 }
 
 // Pages returns how many live (not freed) pages dom owns.
 func (m *Memory) Pages(dom DomID) int {
 	n := 0
-	for _, pg := range m.pages {
-		if pg.owner == dom && !pg.freed {
+	for pfn := 1; pfn < len(m.pages); pfn++ {
+		if pg := &m.pages[pfn]; pg.owner == dom && !pg.freed {
 			n++
 		}
 	}

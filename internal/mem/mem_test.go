@@ -270,8 +270,8 @@ func TestDeviceWriteCounter(t *testing.T) {
 	m := New()
 	p := m.AllocOne(guestA)
 	m.Write(p.Base(), make([]byte, 100))
-	if m.DeviceWrites[guestA] != 100 {
-		t.Fatalf("DeviceWrites = %d", m.DeviceWrites[guestA])
+	if m.DeviceWritten(guestA) != 100 {
+		t.Fatalf("DeviceWrites = %d", m.DeviceWritten(guestA))
 	}
 }
 

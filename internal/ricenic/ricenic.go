@@ -57,10 +57,11 @@ type RxCompletion struct {
 }
 
 type devContext struct {
-	ctx    *core.Context
-	qid    int
-	lookup func(idx uint32) *ether.Frame
-	rxDone []RxCompletion
+	ctx     *core.Context
+	qid     int
+	lookup  func(idx uint32) *ether.Frame
+	rxDone  []RxCompletion
+	rxSpare []RxCompletion // DrainRx double buffer
 }
 
 // NIC is the CDNA-capable device.
@@ -79,9 +80,14 @@ type NIC struct {
 	raiseIRQ func()
 	onFault  func(*core.Fault)
 
-	contexts   map[int]*devContext // context ID -> device state
-	byQueue    map[int]*devContext // engine qid -> device state
-	macTable   map[ether.MAC]*devContext
+	// Dense per-packet lookup tables: context IDs and engine qids are
+	// small sequential integers, so these are nil-holed slices rather
+	// than maps — an array index per packet instead of a hash probe,
+	// with inherently deterministic iteration. MAC demux scans attached
+	// contexts linearly (at most 32, typically a handful).
+	contexts   []*devContext // indexed by context ID
+	byQueue    []*devContext // indexed by engine qid
+	attached   []*devContext // MAC demux scan list (attach order)
 	decoding   bool
 	promiscCtx int // context receiving unmatched frames (-1 = drop)
 
@@ -105,9 +111,7 @@ func (n *NIC) SetPromiscuous(ctxID int) { n.promiscCtx = ctxID }
 func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) (*NIC, error) {
 	n := &NIC{
 		Name: "ricenic", Params: p, eng: eng, bus: b,
-		contexts:   make(map[int]*devContext),
-		byQueue:    make(map[int]*devContext),
-		macTable:   make(map[ether.MAC]*devContext),
+		contexts:   make([]*devContext, core.NumContexts),
 		promiscCtx: -1,
 	}
 	bvPages := (core.BitVectorBytes(p.BitVecEntries) + mem.PageSize - 1) / mem.PageSize
@@ -135,29 +139,31 @@ func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) 
 		CheckRxSeq: n.checkSeq(false),
 		OnFault:    n.engineFault,
 		LookupTx: func(qid int, idx uint32) *ether.Frame {
-			if dc, ok := n.byQueue[qid]; ok && dc.lookup != nil {
+			if dc := n.queueCtx(qid); dc != nil && dc.lookup != nil {
 				return dc.lookup(idx)
 			}
 			return nil
 		},
 		RxQueueFor: func(dst ether.MAC) int {
-			if dc, ok := n.macTable[dst]; ok {
-				return dc.qid
+			for _, dc := range n.attached {
+				if dc.ctx.MAC == dst {
+					return dc.qid
+				}
 			}
 			if n.promiscCtx >= 0 {
-				if dc, ok := n.contexts[n.promiscCtx]; ok {
+				if dc := n.ctxByID(n.promiscCtx); dc != nil {
 					return dc.qid
 				}
 			}
 			return -1
 		},
 		OnRxDelivered: func(qid int, f *ether.Frame, d ring.Desc) {
-			if dc, ok := n.byQueue[qid]; ok {
+			if dc := n.queueCtx(qid); dc != nil {
 				dc.rxDone = append(dc.rxDone, RxCompletion{Frame: f, Desc: d})
 			}
 		},
 		OnCompletion: func(qid int, tx bool) {
-			if dc, ok := n.byQueue[qid]; ok {
+			if dc := n.queueCtx(qid); dc != nil {
 				n.BitVec.Accumulate(dc.ctx.ID)
 				if tx {
 					n.Coal.Event()
@@ -170,13 +176,29 @@ func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) 
 	return n, nil
 }
 
+// queueCtx returns the device context attached to an engine qid, or nil.
+func (n *NIC) queueCtx(qid int) *devContext {
+	if qid < 0 || qid >= len(n.byQueue) {
+		return nil
+	}
+	return n.byQueue[qid]
+}
+
+// ctxByID returns the device context for a context ID, or nil.
+func (n *NIC) ctxByID(ctxID int) *devContext {
+	if ctxID < 0 || ctxID >= len(n.contexts) {
+		return nil
+	}
+	return n.contexts[ctxID]
+}
+
 func (n *NIC) checkSeq(tx bool) func(int, ring.Desc) bool {
 	if !n.Params.SeqCheck {
 		return nil
 	}
 	return func(qid int, d ring.Desc) bool {
-		dc, ok := n.byQueue[qid]
-		if !ok {
+		dc := n.queueCtx(qid)
+		if dc == nil {
 			return false
 		}
 		if tx {
@@ -187,8 +209,8 @@ func (n *NIC) checkSeq(tx bool) func(int, ring.Desc) bool {
 }
 
 func (n *NIC) engineFault(qid int, tx bool, d ring.Desc) {
-	dc, ok := n.byQueue[qid]
-	if !ok {
+	dc := n.queueCtx(qid)
+	if dc == nil {
 		return
 	}
 	reason := core.FaultSeqMismatch
@@ -242,23 +264,34 @@ func (n *NIC) SetHost(raiseIRQ func(), onFault func(*core.Fault)) {
 func (n *NIC) AttachContext(ctx *core.Context, lookup func(idx uint32) *ether.Frame) {
 	qid := n.E.AddQueue(ctx.TxRing, ctx.RxRing)
 	dc := &devContext{ctx: ctx, qid: qid, lookup: lookup}
+	for ctx.ID >= len(n.contexts) {
+		n.contexts = append(n.contexts, nil)
+	}
 	n.contexts[ctx.ID] = dc
+	for qid >= len(n.byQueue) {
+		n.byQueue = append(n.byQueue, nil)
+	}
 	n.byQueue[qid] = dc
-	n.macTable[ctx.MAC] = dc
+	n.attached = append(n.attached, dc)
 }
 
 // DetachContext shuts down all pending operations for a context (§3.1
 // revocation).
 func (n *NIC) DetachContext(ctxID int) {
-	dc, ok := n.contexts[ctxID]
-	if !ok {
+	dc := n.ctxByID(ctxID)
+	if dc == nil {
 		return
 	}
 	n.E.DetachQueue(dc.qid)
 	n.Mbox.ClearContext(ctxID)
-	delete(n.macTable, dc.ctx.MAC)
-	delete(n.contexts, ctxID)
-	delete(n.byQueue, dc.qid)
+	n.contexts[ctxID] = nil
+	n.byQueue[dc.qid] = nil
+	for i, a := range n.attached {
+		if a == dc {
+			n.attached = append(n.attached[:i], n.attached[i+1:]...)
+			break
+		}
+	}
 }
 
 // MailboxWrite is the guest's PIO into its context partition. The
@@ -287,8 +320,8 @@ func (n *NIC) decodeDone() {
 }
 
 func (n *NIC) handleMailbox(ctxID, mbox int, val uint32) {
-	dc, ok := n.contexts[ctxID]
-	if !ok {
+	dc := n.ctxByID(ctxID)
+	if dc == nil {
 		return // stale event for a revoked context
 	}
 	switch mbox {
@@ -301,18 +334,23 @@ func (n *NIC) handleMailbox(ctxID, mbox int, val uint32) {
 
 // DrainRx hands the guest driver its completed receive frames.
 func (n *NIC) DrainRx(ctxID int) []RxCompletion {
-	dc, ok := n.contexts[ctxID]
-	if !ok {
+	dc := n.ctxByID(ctxID)
+	if dc == nil {
 		return nil
 	}
+	// Double-buffer: hand out the filled buffer and refill into the
+	// spare, so the steady state recycles two arrays instead of
+	// allocating a fresh slice per interrupt. The caller consumes the
+	// returned slice before the next drain (the driver's virq task
+	// does, synchronously).
 	out := dc.rxDone
-	dc.rxDone = nil
+	dc.rxDone, dc.rxSpare = dc.rxSpare[:0], out
 	return out
 }
 
 // RxPending returns queued, undrained receive completions for a context.
 func (n *NIC) RxPending(ctxID int) int {
-	if dc, ok := n.contexts[ctxID]; ok {
+	if dc := n.ctxByID(ctxID); dc != nil {
 		return len(dc.rxDone)
 	}
 	return 0

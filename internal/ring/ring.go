@@ -72,13 +72,20 @@ func (l Layout) Validate() error {
 // Encode serializes d into a descriptor slot image.
 func (l Layout) Encode(d Desc) []byte {
 	b := make([]byte, l.Size)
+	l.EncodeInto(d, b)
+	return b
+}
+
+// EncodeInto serializes d into b, which must hold at least Size bytes.
+// The per-Ring scratch buffer passes through here so the descriptor
+// hot path does not allocate a slot image per packet.
+func (l Layout) EncodeInto(d Desc, b []byte) {
 	binary.LittleEndian.PutUint64(b[l.AddrOff:], uint64(d.Addr))
 	binary.LittleEndian.PutUint16(b[l.LenOff:], d.Len)
 	binary.LittleEndian.PutUint16(b[l.FlagsOff:], d.Flags)
 	if l.SeqOff >= 0 {
 		binary.LittleEndian.PutUint32(b[l.SeqOff:], d.Seq)
 	}
-	return b
 }
 
 // Decode parses a descriptor slot image.
@@ -111,6 +118,8 @@ type Ring struct {
 
 	prod uint32
 	cons uint32
+
+	scratch []byte // one descriptor slot image, reused by WriteDesc/ReadDesc
 }
 
 // New creates a ring over pre-allocated memory at base.
@@ -121,7 +130,8 @@ func New(name string, layout Layout, base mem.Addr, entries int) (*Ring, error) 
 	if entries <= 0 || entries&(entries-1) != 0 {
 		return nil, fmt.Errorf("ring: entries %d must be a positive power of two", entries)
 	}
-	return &Ring{Name: name, Layout: layout, Base: base, Entries: entries}, nil
+	return &Ring{Name: name, Layout: layout, Base: base, Entries: entries,
+		scratch: make([]byte, layout.Size)}, nil
 }
 
 // Bytes returns the memory footprint of the ring.
@@ -181,15 +191,15 @@ func (r *Ring) SetProd(v uint32) { r.prod = v }
 // WriteDesc encodes d into slot i via memory m, using writer identity
 // dom (mem enforces hypervisor-exclusive ring protection).
 func (r *Ring) WriteDesc(m *mem.Memory, dom mem.DomID, i uint32, d Desc) error {
-	return m.WriteAs(dom, r.SlotAddr(i), r.Layout.Encode(d))
+	r.Layout.EncodeInto(d, r.scratch)
+	return m.WriteAs(dom, r.SlotAddr(i), r.scratch)
 }
 
 // ReadDesc decodes slot i via the device path (no permission checks —
 // this is the NIC's DMA read of the descriptor).
 func (r *Ring) ReadDesc(m *mem.Memory, i uint32) (Desc, error) {
-	b, err := m.Read(r.SlotAddr(i), r.Layout.Size)
-	if err != nil {
+	if err := m.ReadInto(r.SlotAddr(i), r.scratch); err != nil {
 		return Desc{}, err
 	}
-	return r.Layout.Decode(b)
+	return r.Layout.Decode(r.scratch)
 }

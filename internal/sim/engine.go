@@ -10,7 +10,11 @@
 // out as value-type Handles carrying a generation counter, cancelled
 // events are removed from the queue eagerly, and components that fire
 // repeatedly use a Timer — one persistent event re-armed in place —
-// instead of scheduling fresh events. See DESIGN.md ("Foundation").
+// instead of scheduling fresh events. The event queue is a hierarchical
+// timing wheel (sched_wheel.go) with O(1) amortized schedule, cancel
+// and same-timestamp batch dispatch; the PR 2 binary heap remains the
+// build-selectable reference implementation (-tags simheap). See
+// DESIGN.md ("Foundation").
 package sim
 
 import "fmt"
@@ -53,7 +57,9 @@ type Event struct {
 	name  string
 	fn    func()
 	eng   *Engine
-	index int32  // position in the engine's queue; -1 when not queued
+	next  *Event // intrusive wheel-slot list links (nil when unqueued
+	prev  *Event // or when queued in the reference heap)
+	index int32  // queue position: heap index or wheel slot; -1 when not queued
 	gen   uint32 // bumped on every recycle; stale Handles mismatch
 	timer bool   // owned by a Timer, never returned to the pool
 }
@@ -92,7 +98,7 @@ func (h Handle) Cancel() {
 		return
 	}
 	e := ev.eng
-	e.remove(int(ev.index))
+	e.q.remove(ev)
 	e.release(ev)
 }
 
@@ -100,15 +106,44 @@ func (h Handle) Cancel() {
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      []*Event // binary min-heap ordered by (at, seq)
 	free    []*Event // recycled events
 	running bool
 	fired   uint64
 	tracer  *Tracer
+	q       queueImpl // the event queue; concrete type, see sched_select_*.go
 }
 
-// New returns an Engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+// New returns an Engine with the clock at zero and the finest (1 ns)
+// queue granularity.
+func New() *Engine { return NewWithResolution(1) }
+
+// NewWithResolution returns an Engine whose timing-wheel granularity is
+// auto-sized to the given event-time scale: res should be the typical
+// smallest spacing between distinct event timestamps (a calibrated
+// per-task cost, a per-packet wire time, ...). The granularity is the
+// largest power of two not exceeding res, clamped to [1 ns, 4096 ns].
+// Resolution is purely a performance knob — coarser granularity shortens
+// the radix distance long-range timers (retransmit timeouts, ticks)
+// travel through the wheel — and never affects simulated results:
+// events bucketed into one slot still fire in exact (time, sequence)
+// order, so any resolution produces byte-identical output. (The
+// reference heap ignores it.)
+func NewWithResolution(res Time) *Engine {
+	e := &Engine{}
+	e.q.init(granularityShift(res))
+	return e
+}
+
+// granularityShift converts an event-time scale to log2 of the wheel
+// granularity, clamped to [1, 4096] ns.
+func granularityShift(res Time) uint {
+	var shift uint
+	for res >= 2 && shift < 12 {
+		res >>= 1
+		shift++
+	}
+	return shift
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -118,9 +153,9 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, uncancelled events. Cancelled
-// events are removed from the queue eagerly, so this is just the queue
-// length — O(1), not a scan.
-func (e *Engine) Pending() int { return len(e.pq) }
+// events are removed from the queue eagerly, so this is the exact queue
+// population — O(1), not a scan.
+func (e *Engine) Pending() int { return e.q.len() }
 
 // alloc takes an event from the free list, or grows the pool.
 func (e *Engine) alloc() *Event {
@@ -154,7 +189,7 @@ func (e *Engine) At(t Time, name string, fn func()) Handle {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.name, ev.fn = t, e.seq, name, fn
-	e.push(ev)
+	e.q.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -184,19 +219,32 @@ func (e *Engine) fire(ev *Event) {
 // timestamp or the event queue drains. Events scheduled exactly at
 // `until` do not run; the clock is left at `until` (or at the last event
 // time if the queue drained earlier).
+//
+// Events sharing a timestamp are batch-dispatched: after the first
+// event at a time fires, the remaining ones (including any the
+// callbacks schedule at the same instant) drain straight off the
+// current wheel slot in (time, sequence) order without re-probing the
+// queue hierarchy per event.
 func (e *Engine) Run(until Time) {
 	if e.running {
 		panic("sim: re-entrant Run")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 {
-		ev := e.pq[0]
-		if ev.at >= until {
+	for {
+		ev := e.q.peek()
+		if ev == nil || ev.at >= until {
 			break
 		}
-		e.popMin()
+		e.q.pop(ev)
 		e.fire(ev)
+		for {
+			nxt := e.q.popAt(e.now)
+			if nxt == nil {
+				break
+			}
+			e.fire(nxt)
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -206,108 +254,11 @@ func (e *Engine) Run(until Time) {
 // Step executes exactly one pending event and reports whether an event
 // ran.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	ev := e.q.peek()
+	if ev == nil {
 		return false
 	}
-	ev := e.popMin()
+	e.q.pop(ev)
 	e.fire(ev)
 	return true
-}
-
-// --- queue: a binary min-heap on (at, seq), hand-rolled so the hot
-// path avoids container/heap's interface dispatch and keeps each
-// event's queue position current for O(log n) cancellation. ---
-
-func eventLess(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	ev.index = int32(len(e.pq))
-	e.pq = append(e.pq, ev)
-	e.siftUp(len(e.pq) - 1)
-}
-
-func (e *Engine) popMin() *Event {
-	ev := e.pq[0]
-	last := len(e.pq) - 1
-	if last > 0 {
-		e.pq[0] = e.pq[last]
-		e.pq[0].index = 0
-	}
-	e.pq[last] = nil
-	e.pq = e.pq[:last]
-	if last > 1 {
-		e.siftDown(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-// remove deletes the event at queue position i.
-func (e *Engine) remove(i int) {
-	ev := e.pq[i]
-	last := len(e.pq) - 1
-	if i != last {
-		e.pq[i] = e.pq[last]
-		e.pq[i].index = int32(i)
-	}
-	e.pq[last] = nil
-	e.pq = e.pq[:last]
-	if i < last {
-		e.fix(i)
-	}
-	ev.index = -1
-}
-
-// fix restores heap order after the event at position i changed key.
-func (e *Engine) fix(i int) {
-	if !e.siftDown(i) {
-		e.siftUp(i)
-	}
-}
-
-func (e *Engine) siftUp(i int) {
-	ev := e.pq[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		p := e.pq[parent]
-		if !eventLess(ev, p) {
-			break
-		}
-		e.pq[i] = p
-		p.index = int32(i)
-		i = parent
-	}
-	e.pq[i] = ev
-	ev.index = int32(i)
-}
-
-// siftDown reports whether the event moved.
-func (e *Engine) siftDown(i int) bool {
-	ev := e.pq[i]
-	n := len(e.pq)
-	start := i
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && eventLess(e.pq[r], e.pq[l]) {
-			m = r
-		}
-		if !eventLess(e.pq[m], ev) {
-			break
-		}
-		e.pq[i] = e.pq[m]
-		e.pq[i].index = int32(i)
-		i = m
-	}
-	e.pq[i] = ev
-	ev.index = int32(i)
-	return i > start
 }

@@ -17,3 +17,5 @@ func BenchmarkEngineScheduleFireClosure(b *testing.B) { simbench.ScheduleFireClo
 func BenchmarkEngineScheduleFireDepth64(b *testing.B) { simbench.ScheduleFireDepth64(b) }
 func BenchmarkTimerRearm(b *testing.B)                { simbench.TimerRearm(b) }
 func BenchmarkEngineCancel(b *testing.B)              { simbench.Cancel(b) }
+func BenchmarkEngineCancelHeavy(b *testing.B)         { simbench.CancelHeavy(b) }
+func BenchmarkEngineRTOChurn(b *testing.B)            { simbench.RTOChurn(b) }

@@ -27,6 +27,19 @@ func (q *FIFO[T]) Push(v T) {
 	q.size++
 }
 
+// PushFront prepends v at the head — the "preempt but keep your turn"
+// pattern (a domain re-queued ahead of waiting wakers, an interrupt's
+// top half cutting ahead of queued kernel work). O(1) on the ring, no
+// shifting.
+func (q *FIFO[T]) PushFront(v T) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = v
+	q.size++
+}
+
 // Pop removes and returns the head. Popping an empty FIFO panics: it
 // means a completion fired with no matching issue, a model bug.
 func (q *FIFO[T]) Pop() T {

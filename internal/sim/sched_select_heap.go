@@ -1,0 +1,10 @@
+//go:build simheap
+
+package sim
+
+// queueImpl selects the reference binary-heap queue (see
+// sched_select_wheel.go for the default and the rationale).
+type queueImpl = heapSched
+
+// SchedulerName identifies the compiled-in event queue.
+const SchedulerName = "heap"

@@ -1,0 +1,15 @@
+//go:build !simheap
+
+package sim
+
+// queueImpl is the event queue the Engine embeds — a concrete type, so
+// every queue operation in the hot path is a static call with no
+// interface dispatch. The default build uses the timing wheel; build
+// with -tags simheap to select the reference binary heap instead (the
+// two are proven order-identical by TestSchedulerDifferential).
+type queueImpl = wheelSched
+
+// SchedulerName identifies the compiled-in event queue; cdnabench
+// records it in BENCH_sim.json so wheel and heap runs are
+// distinguishable artifacts.
+const SchedulerName = "wheel"

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- Randomized differential test: the timing wheel must replay any
+// schedule / fire / cancel / timer-re-arm sequence in exactly the order
+// the reference heap produces. This is the equivalence proof behind
+// swapping the engine's queue implementation. ---
+
+// schedEvent is one logical event mirrored across both queues.
+type schedEvent struct {
+	id   int
+	heap *Event
+	whl  *Event
+}
+
+func TestSchedulerDifferential(t *testing.T) {
+	for _, gshift := range []uint{0, 5, 12} {
+		gshift := gshift
+		t.Run(fmt.Sprintf("gshift=%d", gshift), func(t *testing.T) {
+			testSchedulerDifferential(t, gshift)
+		})
+	}
+}
+
+func testSchedulerDifferential(t *testing.T, gshift uint) {
+	rng := NewRNG(20260729 + uint64(gshift))
+	h := &heapSched{}
+	w := &wheelSched{}
+	h.init(gshift)
+	w.init(gshift)
+
+	// Delay mix spanning every wheel level plus the overflow list
+	// (64^6 ticks at gshift 0 is ~68.7 simulated seconds).
+	delay := func() Time {
+		switch rng.Intn(10) {
+		case 0:
+			return 0 // same timestamp as now
+		case 1, 2, 3:
+			return Time(rng.Intn(100)) // level 0 neighbourhood
+		case 4, 5:
+			return Time(rng.Intn(100_000)) // levels 1-2
+		case 6, 7:
+			return Time(rng.Intn(50_000_000)) // levels 3-4
+		case 8:
+			return Time(rng.Intn(2_000_000_000)) // level 5 / seconds
+		default:
+			return Time(100_000_000_000) + Time(rng.Intn(1_000_000_000)) // overflow
+		}
+	}
+
+	var (
+		now  Time
+		seq  uint64
+		next int
+		live []*schedEvent
+	)
+	check := func(op string) (hev, wev *Event) {
+		hev, wev = h.peek(), w.peek()
+		switch {
+		case (hev == nil) != (wev == nil):
+			t.Fatalf("%s: heap peek %v vs wheel peek %v (heap len %d, wheel len %d)",
+				op, hev, wev, h.len(), w.len())
+		case hev == nil:
+			return nil, nil
+		case hev.at != wev.at || hev.seq != wev.seq || hev.name != wev.name:
+			t.Fatalf("%s: heap min (%d,%d,%s) != wheel min (%d,%d,%s)",
+				op, hev.at, hev.seq, hev.name, wev.at, wev.seq, wev.name)
+		}
+		return hev, wev
+	}
+	popMin := func(op string) bool {
+		hev, wev := check(op)
+		if hev == nil {
+			return false
+		}
+		h.pop(hev)
+		w.pop(wev)
+		now = hev.at
+		for i, ev := range live {
+			if ev.heap == hev {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // schedule
+			at := now + delay()
+			seq++
+			se := &schedEvent{id: next}
+			name := fmt.Sprint(next)
+			next++
+			se.heap = &Event{at: at, seq: seq, name: name, index: -1}
+			se.whl = &Event{at: at, seq: seq, name: name, index: -1}
+			h.push(se.heap)
+			w.push(se.whl)
+			live = append(live, se)
+		case 4, 5: // fire
+			popMin("pop")
+		case 6: // fire + same-timestamp batch drain through popAt
+			if popMin("pop") {
+				for {
+					hev, wev := h.popAt(now), w.popAt(now)
+					if (hev == nil) != (wev == nil) {
+						t.Fatalf("popAt(%d): heap %v vs wheel %v", now, hev, wev)
+					}
+					if hev == nil {
+						break
+					}
+					if hev.at != wev.at || hev.seq != wev.seq || hev.name != wev.name {
+						t.Fatalf("popAt(%d): heap (%d,%d,%s) != wheel (%d,%d,%s)",
+							now, hev.at, hev.seq, hev.name, wev.at, wev.seq, wev.name)
+					}
+					for i, ev := range live {
+						if ev.heap == hev {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		case 7: // cancel
+			if len(live) > 0 {
+				j := rng.Intn(len(live))
+				se := live[j]
+				h.remove(se.heap)
+				w.remove(se.whl)
+				live = append(live[:j], live[j+1:]...)
+			}
+		case 8: // timer re-arm: new (at, seq) re-keyed in place
+			if len(live) > 0 {
+				se := live[rng.Intn(len(live))]
+				at := now + delay()
+				seq++
+				se.heap.at, se.heap.seq = at, seq
+				se.whl.at, se.whl.seq = at, seq
+				h.reschedule(se.heap)
+				w.reschedule(se.whl)
+			}
+		case 9: // consistency probe
+			check("probe")
+			if h.len() != w.len() {
+				t.Fatalf("len mismatch: heap %d wheel %d", h.len(), w.len())
+			}
+		}
+	}
+	// Drain completely: the full remaining fire order must agree.
+	for popMin("drain") {
+	}
+	if h.len() != 0 || w.len() != 0 {
+		t.Fatalf("queues not empty after drain: heap %d wheel %d", h.len(), w.len())
+	}
+}
+
+// --- Wheel edge cases through the public Engine API (the default build
+// runs these on the wheel; -tags simheap runs them on the heap, where
+// they must hold just the same). ---
+
+// TestWheelCascadeBoundary schedules events exactly at level rollovers
+// (64^l ticks) and one tick either side: the points where an event's
+// wheel level and slot digits change, and where a mis-derived level
+// would file it into a stale slot.
+func TestWheelCascadeBoundary(t *testing.T) {
+	boundaries := []Time{
+		wheelSlots,                           // level 0→1 rollover
+		wheelSlots * wheelSlots,              // level 1→2
+		wheelSlots * wheelSlots * wheelSlots, // level 2→3
+	}
+	e := New()
+	var want []Time
+	for _, b := range boundaries {
+		for _, at := range []Time{b - 1, b, b + 1} {
+			want = append(want, at)
+		}
+	}
+	var got []Time
+	for _, at := range want {
+		e.At(at, "edge", func() { got = append(got, e.Now()) })
+	}
+	e.Run(boundaries[len(boundaries)-1] * 2)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i, at := range want {
+		if got[i] != at {
+			t.Fatalf("firing %d at %v, want %v (all: %v)", i, got[i], at, got)
+		}
+	}
+}
+
+// TestWheelFarFutureOverflow exercises the overflow list: events beyond
+// the wheel horizon (64^6 ns ≈ 68.7 s at 1 ns granularity) in two
+// different top-level epochs, interleaved with near events. The far
+// events must re-file into the wheel when the clock crosses into their
+// epoch and still fire in exact order.
+func TestWheelFarFutureOverflow(t *testing.T) {
+	e := New()
+	const horizon = Time(1) << (wheelBits * wheelLevels) // in ns at gshift 0
+	ats := []Time{
+		Second,             // in-wheel
+		horizon + Second,   // first overflow epoch
+		2*horizon + Second, // second overflow epoch
+		2*horizon + Second + 1,
+	}
+	var got []Time
+	for _, at := range ats {
+		e.At(at, "far", func() { got = append(got, e.Now()) })
+	}
+	// A near chain keeps the wheel busy while the far events wait.
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(10*Millisecond, "tick", tick)
+		}
+	}
+	e.After(10*Millisecond, "tick", tick)
+	e.Run(3 * horizon)
+	if len(got) != len(ats) {
+		t.Fatalf("fired %d far events, want %d", len(got), len(ats))
+	}
+	for i, at := range ats {
+		if got[i] != at {
+			t.Fatalf("far firing %d at %v, want %v", i, got[i], at)
+		}
+	}
+	if count != 100 {
+		t.Fatalf("near chain fired %d, want 100", count)
+	}
+}
+
+// TestWheelCancelAfterCascade cancels an event that has been cascaded
+// out of its original higher-level slot but has not fired: the Handle's
+// recorded position must track the event through relocation.
+func TestWheelCancelAfterCascade(t *testing.T) {
+	e := New()
+	var got []Time
+	rec := func() { got = append(got, e.Now()) }
+	// Ticks 70, 100, 101 share level-1 slot 1 (all have digit 1 at
+	// level 1 from time 0). Firing 70 advances the clock into the slot
+	// and cascades 100 and 101 down to level 0.
+	e.At(70, "a", rec)
+	h := e.At(100, "b", func() { t.Fatal("cancelled event fired") })
+	e.At(101, "c", rec)
+	e.Run(71) // fire 70 only; 100 and 101 have cascaded
+	if !h.Scheduled() {
+		t.Fatal("cascaded event lost its scheduled state")
+	}
+	h.Cancel()
+	if h.Scheduled() || e.Pending() != 1 {
+		t.Fatalf("after cancel: Scheduled=%v Pending=%d", h.Scheduled(), e.Pending())
+	}
+	e.Run(Second)
+	if len(got) != 2 || got[0] != 70 || got[1] != 101 {
+		t.Fatalf("fired %v, want [70 101]", got)
+	}
+}
+
+// TestWheelTimerRearmCurrentSlot re-arms a timer to the current
+// timestamp from inside a callback: the re-arm lands in the slot the
+// engine is draining right now, and must fire in this batch, after the
+// events already queued at the same instant (fresh sequence number).
+func TestWheelTimerRearmCurrentSlot(t *testing.T) {
+	e := New()
+	var order []string
+	var tm *Timer
+	rearmed := false
+	tm = e.NewTimer("tm", func() {
+		order = append(order, "timer")
+		if !rearmed {
+			rearmed = true
+			tm.Arm(e.Now()) // same timestamp, same slot, mid-drain
+		}
+	})
+	e.At(50, "first", func() { order = append(order, "first") })
+	tm.Arm(50)
+	e.At(50, "after-timer", func() { order = append(order, "after") })
+	e.Run(100)
+	want := []string{"first", "timer", "after", "timer"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 100 || e.Pending() != 0 {
+		t.Fatalf("now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+// TestWheelCoarseGranularityOrder verifies that a coarse wheel
+// granularity (many distinct timestamps per slot) cannot perturb
+// ordering: same-slot events with different timestamps fire at their
+// own times in exact (time, sequence) order.
+func TestWheelCoarseGranularityOrder(t *testing.T) {
+	e := NewWithResolution(4096) // gshift 12: 4096 ns per level-0 slot
+	rng := NewRNG(99)
+	var got []Time
+	for i := 0; i < 500; i++ {
+		e.At(Time(rng.Intn(3_000_000)), "ev", func() { got = append(got, e.Now()) })
+	}
+	e.Run(4 * Millisecond)
+	if len(got) != 500 {
+		t.Fatalf("fired %d, want 500", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// TestEngineSameTimestampBatchWithInsertions: callbacks scheduling new
+// events at the executing timestamp take part in the same-timestamp
+// batch drain, in sequence order, including across Step/Run styles.
+func TestEngineSameTimestampBatchWithInsertions(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(10, "a", func() {
+		order = append(order, 1)
+		e.At(10, "c", func() { order = append(order, 3) })
+	})
+	e.At(10, "b", func() { order = append(order, 2) })
+	e.At(20, "d", func() { order = append(order, 4) })
+	e.Run(100)
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

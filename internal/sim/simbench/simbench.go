@@ -82,3 +82,47 @@ func Cancel(b *testing.B) {
 		h.Cancel()
 	}
 }
+
+// CancelHeavy measures cancellation under a standing load: 64 queued
+// events spread over the near future while one-shot events are
+// scheduled and aborted. The heap pays an O(log n) re-sift per cancel
+// here; the wheel unlinks in O(1).
+func CancelHeavy(b *testing.B) {
+	e := sim.New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(sim.Time(100_000+i*1000), "standing", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.After(50, "ev", fn)
+		h.Cancel()
+	}
+}
+
+// RTOChurn is the retransmit-timeout pattern that dominates transport
+// timer traffic: per-connection long-range timers re-armed ~200 ms into
+// the future on every acknowledgement and (almost) never firing. 16
+// connections keep a realistic standing population queued; each op
+// re-keys a timer far from the clock — a deep sift for the heap, an
+// O(1) radix re-file for the wheel.
+func RTOChurn(b *testing.B) {
+	e := sim.New()
+	const conns = 16
+	for i := 0; i < conns; i++ {
+		rto := e.NewTimer("rto", func() {})
+		var ack *sim.Timer
+		jitter := sim.Time(i) * sim.Microsecond / 4
+		ack = e.NewTimer("ack", func() {
+			rto.ArmAfter(200*sim.Millisecond + jitter)
+			ack.ArmAfter(10*sim.Microsecond + jitter)
+		})
+		ack.ArmAfter(10*sim.Microsecond + jitter)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -35,9 +35,9 @@ func (t *Timer) Arm(at Time) {
 	e.seq++
 	t.ev.at, t.ev.seq = at, e.seq
 	if t.ev.index >= 0 {
-		e.fix(int(t.ev.index))
+		e.q.reschedule(&t.ev)
 	} else {
-		e.push(&t.ev)
+		e.q.push(&t.ev)
 	}
 }
 
@@ -52,7 +52,7 @@ func (t *Timer) ArmAfter(d Time) {
 // Stop disarms the timer if it is armed. The timer can be re-armed.
 func (t *Timer) Stop() {
 	if t.ev.index >= 0 {
-		t.eng.remove(int(t.ev.index))
+		t.eng.q.remove(&t.ev)
 	}
 }
 

@@ -316,6 +316,18 @@ type Group struct {
 // Add appends a connection.
 func (g *Group) Add(c *Conn) { g.Conns = append(g.Conns, c) }
 
+// Grow pre-allocates capacity for at least n further connections:
+// machine builders know the topology's connection count up front, so
+// the wiring loops never re-grow the slice.
+func (g *Group) Grow(n int) {
+	if cap(g.Conns)-len(g.Conns) >= n {
+		return
+	}
+	nc := make([]*Conn, len(g.Conns), len(g.Conns)+n)
+	copy(nc, g.Conns)
+	g.Conns = nc
+}
+
 // StartWindow resets all member metrics.
 func (g *Group) StartWindow() {
 	for _, c := range g.Conns {

@@ -229,7 +229,13 @@ func (d *Domain) CDNAEnqueue(r *ring.Ring, descs []ring.Desc, done func(int, err
 // (§3.2): drain the bit-vector queue, then notify the event channel of
 // every context with a set bit. The per-context decode cost is charged
 // as additional ISR work.
-func (h *Hypervisor) HandleBitVectorIRQ(q *core.BitVectorQueue, channels map[int]*EventChannel) {
+//
+// channels is indexed by context ID (nil entries are contexts without a
+// registered channel). A dense slice instead of a map keeps delivery
+// order structurally tied to ascending context ID — map iteration order
+// can never leak into the simulation — and makes the per-interrupt
+// decode loop allocation- and hash-free.
+func (h *Hypervisor) HandleBitVectorIRQ(q *core.BitVectorQueue, channels []*EventChannel) {
 	bits, _ := q.Drain()
 	n := 0
 	for ctx := 0; ctx < core.NumContexts; ctx++ {
@@ -241,11 +247,9 @@ func (h *Hypervisor) HandleBitVectorIRQ(q *core.BitVectorQueue, channels map[int
 		return
 	}
 	h.CPU.ExecISR(h.Params.BitvecBase+sim.Time(n)*h.Params.BitvecPerCtx, "cdna.bitvec", func() {
-		for ctx := 0; ctx < core.NumContexts; ctx++ {
-			if bits&(1<<uint(ctx)) != 0 {
-				if ch, ok := channels[ctx]; ok {
-					ch.Notify()
-				}
+		for ctx := 0; ctx < core.NumContexts && ctx < len(channels); ctx++ {
+			if bits&(1<<uint(ctx)) != 0 && channels[ctx] != nil {
+				channels[ctx].Notify()
 			}
 		}
 	})

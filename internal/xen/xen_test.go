@@ -178,10 +178,9 @@ func TestHandleBitVectorIRQ(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := map[int]int{}
-	channels := map[int]*EventChannel{
-		3: h.NewChannel(g1, "ctx3", func() { got[3]++ }),
-		7: h.NewChannel(g2, "ctx7", func() { got[7]++ }),
-	}
+	channels := make([]*EventChannel, core.NumContexts)
+	channels[3] = h.NewChannel(g1, "ctx3", func() { got[3]++ })
+	channels[7] = h.NewChannel(g2, "ctx7", func() { got[7]++ })
 	q.Accumulate(3)
 	q.Accumulate(7)
 	q.Post()
