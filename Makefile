@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check smoke tables paper bench bench-check clean
+.PHONY: all build vet test check smoke topo-smoke cover tables paper bench bench-check clean
 
 all: check
 
@@ -21,6 +21,31 @@ check: build vet test
 smoke:
 	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx,rx \
 		-warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+
+# topo-smoke drives the multi-host fabric end to end through cdnasweep:
+# two architectures at two rack sizes under incast and all-to-all with
+# very short windows. Wired into CI next to smoke.
+topo-smoke:
+	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx -hosts 2,4 \
+		-patterns incast,all2all -warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+
+# cover is the ratcheted coverage gate for the fabric-critical packages
+# (the switch, the bridge/link layer it extends, and the event core
+# under them). Floors only move up: raise them when coverage rises,
+# never lower them to make a change pass. Current measured coverage is
+# a few points above each floor.
+cover:
+	@set -e; \
+	check() { \
+		pct=$$($(GO) test -cover $$1 | grep -o 'coverage: [0-9.]*' | cut -d' ' -f2); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage reported for $$1"; exit 1; fi; \
+		echo "$$1: $$pct% (floor $$2%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN{print (p+0 >= f+0) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then echo "FAIL: $$1 coverage $$pct% below floor $$2%"; exit 1; fi; \
+	}; \
+	check ./internal/ether/ 85; \
+	check ./internal/topo/ 90; \
+	check ./internal/sim/ 92
 
 # tables regenerates the paper's tables with short windows.
 tables:

@@ -46,6 +46,7 @@ import (
 	"cdna/internal/core"
 	"cdna/internal/sim"
 	"cdna/internal/sim/simbench"
+	"cdna/internal/topo/topobench"
 )
 
 // Row is one micro-benchmark's distilled result.
@@ -88,11 +89,22 @@ type Report struct {
 
 	Engine EngineRows `json:"engine"`
 
+	// Fabric is the multi-host switch's hot path (internal/topo): one
+	// store-and-forward traversal per op — ingress, forwarding decision,
+	// bounded egress FIFO, line-rate serialization, delivery. The
+	// allocs/op gate holds here exactly as for the engine rows.
+	Fabric Row `json:"fabric_forward"`
+
 	// One full experiment (CDNA transmit, quick windows) timed end to
 	// end: the whole-machine events/sec the engine work buys. Best of
 	// three runs, so a background scheduling hiccup on the measuring
 	// machine does not masquerade as a simulator regression.
 	EndToEnd EndToEnd `json:"end_to_end"`
+
+	// MultiHost is the same end-to-end timing for a 4-host CDNA incast
+	// on the switched fabric — the cluster-scale row: four machines'
+	// worth of model per simulated second through one engine.
+	MultiHost EndToEnd `json:"multi_host_end_to_end"`
 
 	// Reference carries another build's rows for side-by-side reading —
 	// `make bench` embeds the heap build's measurement here, so the
@@ -125,7 +137,9 @@ type EndToEnd struct {
 type Reference struct {
 	Scheduler string     `json:"scheduler"`
 	Engine    EngineRows `json:"engine"`
+	Fabric    Row        `json:"fabric_forward"`
 	EndToEnd  EndToEnd   `json:"end_to_end"`
+	MultiHost EndToEnd   `json:"multi_host_end_to_end"`
 }
 
 func measure(benchtime time.Duration) (*Report, error) {
@@ -139,34 +153,61 @@ func measure(benchtime time.Duration) (*Report, error) {
 	rep.GOARCH = runtime.GOARCH
 	rep.Scheduler = sim.SchedulerName
 
-	rep.Engine.ScheduleFire = row(testing.Benchmark(simbench.ScheduleFire))
-	rep.Engine.ScheduleFireClosure = row(testing.Benchmark(simbench.ScheduleFireClosure))
-	rep.Engine.ScheduleFireDepth64 = row(testing.Benchmark(simbench.ScheduleFireDepth64))
-	rep.Engine.TimerRearm = row(testing.Benchmark(simbench.TimerRearm))
-	rep.Engine.Cancel = row(testing.Benchmark(simbench.Cancel))
-	rep.Engine.CancelHeavy = row(testing.Benchmark(simbench.CancelHeavy))
-	rep.Engine.RTOChurn = row(testing.Benchmark(simbench.RTOChurn))
-
-	cfg := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
-	cfg.Protection = core.ModeHypercall
-	cfg.Warmup = bench.Quick().Warmup
-	cfg.Duration = bench.Quick().Duration
-	for i := 0; i < 3; i++ {
-		start := time.Now()
-		res, err := bench.Run(cfg)
-		wall := time.Since(start).Seconds()
-		if err != nil {
-			return nil, fmt.Errorf("end-to-end run failed: %w", err)
+	// Micro rows are best-of-three, like the end-to-end row below: on a
+	// shared or frequency-scaled machine a single measurement window can
+	// land in a slow phase and masquerade as a hot-path regression. The
+	// allocs/op figures are identical across runs (allocation is
+	// deterministic); only the timing varies.
+	best := func(fn func(*testing.B)) Row {
+		out := row(testing.Benchmark(fn))
+		for i := 1; i < 3; i++ {
+			if r := row(testing.Benchmark(fn)); r.NsPerEvent > 0 && r.NsPerEvent < out.NsPerEvent {
+				r.AllocsPerOp, r.BytesPerOp = out.AllocsPerOp, out.BytesPerOp
+				out = r
+			}
 		}
-		if i == 0 || wall < rep.EndToEnd.WallSeconds {
-			rep.EndToEnd.Config = cfg.Name()
-			rep.EndToEnd.Events = res.Events
-			rep.EndToEnd.WallSeconds = wall
-			rep.EndToEnd.Mbps = res.Mbps
-		}
+		return out
 	}
-	if rep.EndToEnd.WallSeconds > 0 {
-		rep.EndToEnd.EventsPerSec = float64(rep.EndToEnd.Events) / rep.EndToEnd.WallSeconds
+	rep.Engine.ScheduleFire = best(simbench.ScheduleFire)
+	rep.Engine.ScheduleFireClosure = best(simbench.ScheduleFireClosure)
+	rep.Engine.ScheduleFireDepth64 = best(simbench.ScheduleFireDepth64)
+	rep.Engine.TimerRearm = best(simbench.TimerRearm)
+	rep.Engine.Cancel = best(simbench.Cancel)
+	rep.Engine.CancelHeavy = best(simbench.CancelHeavy)
+	rep.Engine.RTOChurn = best(simbench.RTOChurn)
+	rep.Fabric = best(topobench.Forward)
+
+	endToEnd := func(cfg bench.Config, out *EndToEnd) error {
+		cfg.Protection = core.ModeHypercall
+		cfg.Warmup = bench.Quick().Warmup
+		cfg.Duration = bench.Quick().Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := bench.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("end-to-end run failed: %w", err)
+			}
+			if i == 0 || wall < out.WallSeconds {
+				out.Config = cfg.Name()
+				out.Events = res.Events
+				out.WallSeconds = wall
+				out.Mbps = res.Mbps
+			}
+		}
+		if out.WallSeconds > 0 {
+			out.EventsPerSec = float64(out.Events) / out.WallSeconds
+		}
+		return nil
+	}
+	if err := endToEnd(bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx), &rep.EndToEnd); err != nil {
+		return nil, err
+	}
+	mh := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
+	mh.Hosts = 4
+	mh.Pattern = bench.PatternIncast
+	if err := endToEnd(mh, &rep.MultiHost); err != nil {
+		return nil, err
 	}
 
 	rep.SeedBaseline.NsPerEvent = 81.5
@@ -201,6 +242,10 @@ func metrics(r *Report) []metric {
 	if r.EndToEnd.EventsPerSec > 0 {
 		e2eNs = 1e9 / r.EndToEnd.EventsPerSec
 	}
+	mhNs := 0.0
+	if r.MultiHost.EventsPerSec > 0 {
+		mhNs = 1e9 / r.MultiHost.EventsPerSec
+	}
 	return []metric{
 		{"engine.schedule_fire", r.Engine.ScheduleFire.NsPerEvent, r.Engine.ScheduleFire.AllocsPerOp},
 		{"engine.schedule_fire_closure", r.Engine.ScheduleFireClosure.NsPerEvent, r.Engine.ScheduleFireClosure.AllocsPerOp},
@@ -209,7 +254,9 @@ func metrics(r *Report) []metric {
 		{"engine.cancel", r.Engine.Cancel.NsPerEvent, r.Engine.Cancel.AllocsPerOp},
 		{"engine.cancel_heavy", r.Engine.CancelHeavy.NsPerEvent, r.Engine.CancelHeavy.AllocsPerOp},
 		{"engine.rto_churn", r.Engine.RTOChurn.NsPerEvent, r.Engine.RTOChurn.AllocsPerOp},
+		{"fabric.forward", r.Fabric.NsPerEvent, r.Fabric.AllocsPerOp},
 		{"end_to_end.ns_per_event", e2eNs, 0},
+		{"multi_host.ns_per_event", mhNs, 0},
 	}
 }
 
@@ -294,8 +341,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine}
+		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine, Fabric: other.Fabric}
 		rep.Reference.EndToEnd = other.EndToEnd
+		rep.Reference.MultiHost = other.MultiHost
 	}
 
 	if *out != "" || *comparePath == "" {

@@ -10,6 +10,8 @@
 //	cdnasim -mode cdna -protection off -dir tx
 //	cdnasim -mode cdna -workload rr -v
 //	cdnasim -mode xen -workload churn -v
+//	cdnasim -mode cdna -hosts 4 -pattern incast -v
+//	cdnasim -mode xen -hosts 8 -pattern all2all
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 	window := flag.Int("window", 48, "transport window in segments")
 	protection := flag.String("protection", "hypercall", "CDNA protection: hypercall | iommu | off")
 	wl := flag.String("workload", "bulk", "traffic shape: bulk | rr | churn | burst")
+	hosts := flag.Int("hosts", 1, "machines on the switched fabric (1 = classic host+peer topology)")
+	pattern := flag.String("pattern", "pairs", "cross-host scenario (hosts > 1): pairs | incast | all2all")
 	duration := flag.Float64("duration", 1.0, "measurement window, simulated seconds")
 	warmup := flag.Float64("warmup", 0.3, "warmup, simulated seconds")
 	verbose := flag.Bool("v", false, "print extra diagnostics")
@@ -70,12 +74,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	pat, err := bench.ParsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *hosts <= 1 && pat != bench.PatternPairs {
+		fmt.Fprintf(os.Stderr, "-pattern %v requires -hosts > 1 (the classic topology has no fabric)\n", pat)
+		os.Exit(2)
+	}
+
 	cfg := bench.DefaultConfig(m, k, d)
 	cfg.Workload = workload.Spec{Kind: wk}
 	cfg.Guests = *guests
 	cfg.NICs = *nics
 	cfg.Window = *window
 	cfg.Protection = p
+	if *hosts > 1 {
+		cfg.Hosts = *hosts
+		cfg.Pattern = pat
+	}
 	if *conns > 0 {
 		cfg.ConnsPerGuestPerNIC = *conns
 	} else {
@@ -108,5 +126,9 @@ func main() {
 	if wk != workload.Bulk {
 		fmt.Printf("workload %v: rpc/s: %.0f  flows/s: %.0f  msg p50: %.0f us  p99: %.0f us\n",
 			wk, res.RPCPerSec, res.FlowsPerSec, res.MsgLatP50us, res.MsgLatP99us)
+	}
+	if cfg.Hosts > 1 {
+		fmt.Printf("fabric %v over %d hosts: switch drops: %d  max egress depth: %d frames\n",
+			cfg.Pattern, cfg.Hosts, res.FabricDrops, res.FabricMaxDepth)
 	}
 }

@@ -12,6 +12,9 @@
 //	cdnasweep -modes cdna -dirs tx -protections hypercall,iommu,off
 //	cdnasweep -preset workloads -csv workloads.csv
 //	cdnasweep -modes xen,cdna -workloads rr,churn,burst
+//	cdnasweep -preset topology -json topo.json
+//	cdnasweep -hosts 8 -preset topology
+//	cdnasweep -modes xen,cdna -hosts 2,4,8 -patterns incast,all2all
 //	cdnasweep -spec grid.json -workers 4
 //
 // The -modes/-nics/-dirs/... axis flags define one cross-product grid;
@@ -69,15 +72,17 @@ func presetGrids(name string) []campaign.Grid {
 		return campaign.AblationGrids()
 	case "workloads":
 		return campaign.WorkloadGrids()
+	case "topology":
+		return campaign.TopologyGrids()
 	case "paper":
 		return campaign.PaperGrids()
 	}
-	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | paper)", name)
+	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | topology | paper)", name)
 	return nil
 }
 
 func main() {
-	preset := flag.String("preset", "", "canned campaign: table1 | tables | figures | ablations | workloads | paper")
+	preset := flag.String("preset", "", "canned campaign: table1 | tables | figures | ablations | workloads | topology | paper")
 	spec := flag.String("spec", "", "JSON grid spec file (a campaign.Grid object or array)")
 
 	modes := flag.String("modes", "", "comma list: native | xen | cdna")
@@ -90,6 +95,8 @@ func main() {
 	irqs := flag.String("irqs", "", "comma list of bools: direct per-context IRQ delivery (A1)")
 	coalesce := flag.String("coalesce", "", "comma list of tx coalescing thresholds (A5; 0 = default)")
 	workloads := flag.String("workloads", "", "comma list: bulk | rr | churn | burst (per-kind defaults; use -spec for knobs)")
+	hosts := flag.String("hosts", "", "comma list of fabric host counts (1 = classic host+peer; also overrides a preset's host axis)")
+	patterns := flag.String("patterns", "", "comma list: pairs | incast | all2all (cross-host scenarios, hosts > 1)")
 	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
 	window := flag.Int("window", 0, "transport window in segments (0 = default)")
 
@@ -107,12 +114,14 @@ func main() {
 
 	// Axis flags define an ad-hoc grid; they cannot constrain a canned
 	// preset or a spec file, so reject the combination instead of
-	// silently ignoring them.
+	// silently ignoring them. -hosts is the exception: it overrides the
+	// host axis of a preset/spec grid too (so `-hosts 8 -preset
+	// topology` re-scales the whole canned campaign to one rack size).
 	axisFlags := map[string]bool{
 		"modes": true, "nics": true, "dirs": true, "guests": true,
 		"niccounts": true, "protections": true, "batches": true,
 		"irqs": true, "coalesce": true, "conns": true, "window": true,
-		"workloads": true,
+		"workloads": true, "patterns": true,
 	}
 	if *preset != "" || *spec != "" {
 		flag.Visit(func(f *flag.Flag) {
@@ -153,13 +162,27 @@ func main() {
 				k, err := workload.ParseKind(s)
 				return workload.Spec{Kind: k}, err
 			}),
-			Conns:  *conns,
-			Window: *window,
+			Hosts:    splitList("hosts", *hosts, strconv.Atoi),
+			Patterns: splitList("patterns", *patterns, bench.ParsePattern),
+			Conns:    *conns,
+			Window:   *window,
 		}
 		if len(g.Dirs) == 0 {
 			g.Dirs = []bench.Direction{bench.Tx}
 		}
+		// A pattern axis without a host axis would be silently collapsed
+		// by the single-host default — reject it like any other
+		// constraint the grid cannot honor.
+		if len(g.Patterns) > 0 && len(g.Hosts) == 0 {
+			fatal("-patterns requires -hosts (cross-host scenarios need a multi-host fabric)")
+		}
 		grids = []campaign.Grid{g}
+	}
+	if *hosts != "" && (*preset != "" || *spec != "") {
+		hs := splitList("hosts", *hosts, strconv.Atoi)
+		for i := range grids {
+			grids[i].Hosts = hs
+		}
 	}
 
 	cfgs := campaign.Expand(grids...)

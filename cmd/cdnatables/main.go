@@ -9,6 +9,7 @@
 //	cdnatables -table 2     # only Table 2
 //	cdnatables -figure 3    # only Figure 3
 //	cdnatables -ablations   # only the ablation studies
+//	cdnatables -topology    # only the cross-host fabric scenarios
 //	cdnatables -workers 1   # sequential (default: all cores)
 //	cdnatables -csvdir out  # also write each table as out/<slug>.csv
 //
@@ -34,6 +35,7 @@ func main() {
 	table := flag.Int("table", 0, "run only this table (1-4)")
 	figure := flag.Int("figure", 0, "run only this figure (3-4)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
+	topology := flag.Bool("topology", false, "run only the cross-host fabric scenarios (incast, all-to-all)")
 	workers := flag.Int("workers", 0, "concurrent experiments per table (0 = GOMAXPROCS)")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	flag.Parse()
@@ -60,7 +62,9 @@ func main() {
 		jobs = append(jobs, job{title, fn})
 	}
 
-	wantTables := *table == 0 && *figure == 0 && !*ablations
+	// The fabric scenarios are opt-in (beyond the paper's single-host
+	// evaluation), so the default output stays exactly the paper set.
+	wantTables := *table == 0 && *figure == 0 && !*ablations && !*topology
 	if wantTables || *table == 1 {
 		add("Table 1: native Linux vs Xen guest (paper: native 5126/3629, Xen 1602/1112 Mb/s)", func() (*stats.Table, error) {
 			t, _, err := bench.Table1(opts)
@@ -120,6 +124,16 @@ func main() {
 		})
 		add("Extension (§5.4 conjecture): CDNA with four NICs vs guest count", func() (*stats.Table, error) {
 			t, _, err := bench.ExtensionMoreNICs(opts, []int{1, 2, 4, 8, 16, 24})
+			return t, err
+		})
+	}
+	if *topology {
+		add("Topology: N-to-1 incast over the switched fabric (Xen vs CDNA)", func() (*stats.Table, error) {
+			t, _, err := bench.TopologyIncast(opts, []int{2, 4, 8})
+			return t, err
+		})
+		add("Topology: all-to-all shuffle over the switched fabric", func() (*stats.Table, error) {
+			t, _, err := bench.TopologyAllToAll(opts, []int{4, 8})
 			return t, err
 		})
 	}

@@ -20,17 +20,28 @@ func TestMultiGuestDoubleRunByteIdentical(t *testing.T) {
 		opts = Quick()
 	}
 	for _, tc := range []struct {
-		name string
-		mode Mode
-		nic  NICKind
+		name    string
+		mode    Mode
+		nic     NICKind
+		hosts   int
+		pattern Pattern
 	}{
-		{"Xen/RiceNIC", ModeXen, NICRice},
-		{"Xen/Intel", ModeXen, NICIntel},
-		{"CDNA", ModeCDNA, NICRice},
+		{"Xen/RiceNIC", ModeXen, NICRice, 0, PatternPairs},
+		{"Xen/Intel", ModeXen, NICIntel, 0, PatternPairs},
+		{"CDNA", ModeCDNA, NICRice, 0, PatternPairs},
+		// Multi-host: the switched fabric (per-port egress FIFOs, drops,
+		// cross-host acks) must be just as byte-deterministic.
+		{"CDNA/3h-incast", ModeCDNA, NICRice, 3, PatternIncast},
+		{"Xen/4h-all2all", ModeXen, NICIntel, 4, PatternAllToAll},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig(tc.mode, tc.nic, Tx)
 			cfg.Guests = 4 // multi-guest: many contexts per bit-vector IRQ
+			if tc.hosts > 1 {
+				cfg.Hosts = tc.hosts
+				cfg.Pattern = tc.pattern
+				cfg.Guests = 2 // clusters multiply hosts; keep the run tight
+			}
 			cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
 			if tc.mode == ModeCDNA {
 				cfg.Protection = core.ModeHypercall

@@ -21,6 +21,15 @@ type Config struct {
 	Dir        Direction `json:"dir"`
 	Protection core.Mode `json:"protection"` // CDNA only
 
+	// Hosts is the number of machines on the fabric. 0 or 1 is the
+	// classic topology (one host plus the CPU-less peer); >= 2 builds
+	// that many full hosts — each with its own CPU, guests and NICs —
+	// on a simulated top-of-rack switch, with traffic wired by Pattern.
+	Hosts int `json:"hosts,omitempty"`
+	// Pattern selects the cross-host scenario (pairs | incast |
+	// all2all); ignored unless Hosts > 1.
+	Pattern Pattern `json:"pattern,omitempty"`
+
 	ConnsPerGuestPerNIC int `json:"conns_per_guest_per_nic"`
 	Window              int `json:"window"`
 
@@ -50,6 +59,9 @@ type Config struct {
 // every point of a campaign grid has a distinct name.
 func (c Config) Name() string {
 	name := fmt.Sprintf("%v/%v/%dg/%dnic/%v", c.Mode, c.NIC, c.Guests, c.NICs, c.Dir)
+	if c.Hosts > 1 {
+		name += fmt.Sprintf("/hosts=%d/%v", c.Hosts, c.Pattern)
+	}
 	if c.Mode == ModeCDNA && c.Protection != core.ModeHypercall {
 		name += "/prot=" + c.Protection.String()
 	}
@@ -124,6 +136,13 @@ type Result struct {
 	Faults        uint64  `json:"faults"` // CDNA protection faults (should be 0 under load)
 	Events        uint64  `json:"events"` // simulator events executed (diagnostics)
 
+	// Fabric columns (multi-host only; zero for the classic topology),
+	// both scoped to the measurement window: FabricDrops is egress tail
+	// drops at the switch; FabricMaxDepth the deepest egress queue any
+	// port reached.
+	FabricDrops    uint64 `json:"fabric_drops,omitempty"`
+	FabricMaxDepth int    `json:"fabric_max_depth,omitempty"`
+
 	// Workload columns (zero for bulk). MsgLat* is message-completion
 	// latency: RPC issue→response for request/response, flow
 	// open→final-ack for churn.
@@ -159,6 +178,19 @@ func (c Config) Validate() error {
 	}
 	if c.Warmup < 0 {
 		return fmt.Errorf("bench: config needs a non-negative warmup (got %v)", c.Warmup)
+	}
+	if c.Hosts < 0 || c.Hosts > maxHosts {
+		return fmt.Errorf("bench: config needs 0..%d hosts (got %d)", maxHosts, c.Hosts)
+	}
+	if c.Hosts > 1 {
+		switch c.Pattern {
+		case PatternPairs, PatternIncast, PatternAllToAll:
+		default:
+			return fmt.Errorf("bench: unknown traffic pattern %v", c.Pattern)
+		}
+		if c.Guests > 255 || c.NICs > 255 {
+			return fmt.Errorf("bench: multi-host configs need guests and NICs <= 255 (got %d/%d)", c.Guests, c.NICs)
+		}
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
@@ -199,12 +231,18 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	m.Work.Launch(cfg.Warmup)
 	m.Eng.Run(cfg.Warmup)
 
-	// Open the measurement window.
-	m.CPU.StartWindow()
+	// Open the measurement window. Per-host components are reset in
+	// host order (single-host configurations take exactly the historical
+	// path: one CPU, one hypervisor).
+	for _, h := range m.Hosts {
+		h.CPU.StartWindow()
+	}
 	m.Conns.StartWindow()
 	m.Work.StartWindow()
-	if m.Hyp != nil {
-		m.Hyp.StartWindow()
+	for _, h := range m.Hosts {
+		if h.Hyp != nil {
+			h.Hyp.StartWindow()
+		}
 	}
 	for _, n := range m.IntelNICs {
 		n.E.StartWindow()
@@ -214,14 +252,19 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 		n.E.StartWindow()
 		n.Coal.Fires.StartWindow()
 	}
+	if m.Fabric != nil {
+		m.Fabric.StartWindow()
+	}
 
 	m.Eng.Run(cfg.Warmup + cfg.Duration)
-	m.CPU.EndWindow()
+	for _, h := range m.Hosts {
+		h.CPU.EndWindow()
+	}
 
 	res := Result{
 		Config:      cfg,
 		Mbps:        m.Conns.DeliveredMbps(cfg.Duration),
-		Profile:     m.CPU.Profile(),
+		Profile:     m.profile(),
 		Retransmits: m.Conns.Retransmits(),
 		Fairness:    m.Conns.FairnessIndex(),
 		Events:      m.Eng.Fired(),
@@ -233,8 +276,10 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	res.FlowsPerSec = m.Work.Flows.Rate(cfg.Duration)
 	res.MsgLatP50us = m.Work.Latency.Quantile(0.5)
 	res.MsgLatP99us = m.Work.Latency.Quantile(0.99)
-	if m.Hyp != nil {
-		res.PhysIRQPerSec = m.Hyp.PhysIRQs.Rate(cfg.Duration)
+	for _, h := range m.Hosts {
+		if h.Hyp != nil {
+			res.PhysIRQPerSec += h.Hyp.PhysIRQs.Rate(cfg.Duration)
+		}
 	}
 
 	for _, n := range m.IntelNICs {
@@ -243,6 +288,14 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	for _, n := range m.RiceNICs {
 		res.Drops += n.E.RxDrops.Window()
 		res.Faults += n.E.Faults.Window()
+	}
+	if m.Fabric != nil {
+		res.FabricDrops = m.Fabric.Drops.Window()
+		for i := 0; i < m.Fabric.NumPorts(); i++ {
+			if d := m.Fabric.Port(i).MaxDepth(); d > res.FabricMaxDepth {
+				res.FabricMaxDepth = d
+			}
+		}
 	}
 
 	switch cfg.Mode {
@@ -255,17 +308,47 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 		}
 		res.GuestIntrPerSec = float64(fires) / cfg.Duration.Seconds()
 	default:
-		if cfg.Mode == ModeXen {
-			// All physical NIC interrupts route to the driver domain.
-			res.DriverIntrPerSec = m.Hyp.PhysIRQs.Rate(cfg.Duration)
-		} else {
-			res.DriverIntrPerSec = m.dom0.Virqs.Rate(cfg.Duration)
+		var drv, g float64
+		for _, h := range m.Hosts {
+			if cfg.Mode == ModeXen {
+				// All physical NIC interrupts route to the driver domain.
+				drv += h.Hyp.PhysIRQs.Rate(cfg.Duration)
+			} else {
+				drv += h.dom0.Virqs.Rate(cfg.Duration)
+			}
+			for _, d := range h.guestDoms {
+				g += d.Virqs.Rate(cfg.Duration)
+			}
 		}
-		var g float64
-		for _, d := range m.guestDoms {
-			g += d.Virqs.Rate(cfg.Duration)
-		}
+		res.DriverIntrPerSec = drv
 		res.GuestIntrPerSec = g
 	}
 	return m, res, nil
+}
+
+// profile returns the execution profile of the machine: the single
+// host's (the historical column), or the equal-weight mean over all
+// hosts of a cluster (each host is one CPU).
+func (m *Machine) profile() stats.Profile {
+	if len(m.Hosts) == 1 {
+		return m.Hosts[0].CPU.Profile()
+	}
+	var p stats.Profile
+	for _, h := range m.Hosts {
+		hp := h.CPU.Profile()
+		p.Hyp += hp.Hyp
+		p.DriverOS += hp.DriverOS
+		p.DriverUser += hp.DriverUser
+		p.GuestOS += hp.GuestOS
+		p.GuestUser += hp.GuestUser
+		p.Idle += hp.Idle
+	}
+	n := float64(len(m.Hosts))
+	p.Hyp /= n
+	p.DriverOS /= n
+	p.DriverUser /= n
+	p.GuestOS /= n
+	p.GuestUser /= n
+	p.Idle /= n
+	return p
 }

@@ -14,6 +14,7 @@ import (
 	"cdna/internal/ricenic"
 	"cdna/internal/ring"
 	"cdna/internal/sim"
+	"cdna/internal/topo"
 	"cdna/internal/transport"
 	"cdna/internal/workload"
 	"cdna/internal/xen"
@@ -84,33 +85,95 @@ func (d Direction) String() string {
 	}
 }
 
-// Machine is an assembled testbed: the system under test, its NICs, the
-// external peer, and the benchmark connections.
-type Machine struct {
-	Eng   *sim.Engine
+// Host is one physical machine on the fabric: its CPU, memory,
+// hypervisor (nil in native mode), NICs, guest stacks and drivers. The
+// classic single-host experiment is one Host plus the CPU-less peer;
+// multi-host configurations (Config.Hosts > 1) assemble N of these onto
+// a simulated top-of-rack switch (internal/topo).
+type Host struct {
+	Index int
 	CPU   *cpu.CPU
 	Mem   *mem.Memory
 	Hyp   *xen.Hypervisor // nil in native mode
+
+	IntelNICs []*intelnic.NIC
+	RiceNICs  []*ricenic.NIC
+	CtxMgrs   []*core.ContextManager // per RiceNIC
+	Drivers   []*guest.CDNADriver    // CDNA drivers on this host
+	Stacks    []*guest.Stack         // one per guest (native: the host OS)
+
+	guestDoms []*xen.Domain
+	dom0      *xen.Domain
+
+	// devs is the wiring roster: devs[guest][nic] is the guest-visible
+	// network device, the attachment point for benchmark connections.
+	devs [][]guest.NetDevice
+}
+
+// Machine is an assembled testbed: the system under test (one host plus
+// the external peer, or a whole rack on a switched fabric), its NICs,
+// and the benchmark connections. The flat NIC/driver slices aggregate
+// over all hosts in host order, so single-host callers are unaffected
+// by the multi-host extension.
+type Machine struct {
+	Eng   *sim.Engine
+	CPU   *cpu.CPU        // host 0's CPU
+	Mem   *mem.Memory     // host 0's memory
+	Hyp   *xen.Hypervisor // host 0's hypervisor; nil in native mode
 	Conns transport.Group
 	// Work drives traffic over the connections according to the
 	// configuration's workload spec.
 	Work *workload.Generator
 
+	// Hosts are the machines under test, in index order. Single-host
+	// configurations have exactly one.
+	Hosts []*Host
+	// Fabric is the top-of-rack switch connecting the hosts; nil for
+	// the classic single-host topology (whose far end is the peer).
+	Fabric *topo.Switch
+
 	IntelNICs []*intelnic.NIC
 	RiceNICs  []*ricenic.NIC
 	CtxMgrs   []*core.ContextManager // per RiceNIC
-	Drivers   []*guest.CDNADriver    // all CDNA drivers (ordered by guest, NIC)
-
-	guestDoms []*xen.Domain
-	dom0      *xen.Domain
+	Drivers   []*guest.CDNADriver    // all CDNA drivers (ordered by host, guest, NIC)
 
 	// Tracer is attached by RunTraced (cdnasim -trace).
 	Tracer *sim.Tracer
 }
 
+// hostEnv is the assembly context a per-mode host builder runs in: it
+// hides whether the host's links terminate at the CPU-less peer (the
+// classic topology) or at a switch port (multi-host), and how MACs and
+// domain names are made unique across hosts. One builder path serves
+// both fabrics.
+type hostEnv struct {
+	eng *sim.Engine
+	h   *Host
+
+	// newLink allocates the host's next access link and returns
+	// (nicOut, hostIn): the pipe the host NIC transmits into, and the
+	// pipe that delivers fabric frames to the host (the builder connects
+	// it to the NIC's Receive).
+	newLink func() (*ether.Pipe, *ether.Pipe)
+
+	// wire attaches benchmark connections for the guest stack's device
+	// on NIC nicIdx. nil when wiring is deferred (multi-host patterns
+	// wire after every host exists).
+	wire func(st *guest.Stack, guestIdx, nicIdx int, dev guest.NetDevice) error
+
+	// name qualifies a domain name with the host identity (identity for
+	// single-host, "hN." prefixed for multi-host).
+	name func(string) string
+
+	// macIndex folds the host index into a MakeMAC index so device
+	// addresses stay unique across the fabric (identity for
+	// single-host).
+	macIndex func(int) int
+}
+
 // peer is the traffic generator/sink machine on the far end of every
-// link. The paper tuned it to never be the bottleneck; here it has no
-// CPU model at all.
+// link in the single-host topology. The paper tuned it to never be the
+// bottleneck; here it has no CPU model at all.
 type peer struct {
 	outs []*ether.Pipe
 	macs []ether.MAC
@@ -161,15 +224,21 @@ func startBackground(eng *sim.Engine, d *cpu.Domain, period, kernel, user sim.Ti
 	tm.ArmAfter(period)
 }
 
-// Build assembles a machine for the configuration.
+// identity is the single-host hostEnv name/macIndex mapping.
+func identity(s string) string { return s }
+func identityIdx(i int) int    { return i }
+
+// Build assembles a machine for the configuration: the classic
+// host-plus-peer testbed, or — when cfg.Hosts > 1 — a rack of hosts on
+// a switched fabric (cluster.go).
 func Build(cfg Config) (*Machine, error) {
+	if cfg.Hosts > 1 {
+		return buildCluster(cfg)
+	}
 	cal := cfg.Cal
 	eng := sim.NewWithResolution(cal.EventResolution())
-	m := &Machine{
-		Eng: eng,
-		CPU: cpu.New(eng, cal.CPU),
-		Mem: mem.New(),
-	}
+	h := &Host{Index: 0, CPU: cpu.New(eng, cal.CPU), Mem: mem.New()}
+	m := &Machine{Eng: eng, CPU: h.CPU, Mem: h.Mem, Hosts: []*Host{h}}
 	// The workload generator drives whatever connections the topology
 	// builders wire below; direction decides which RPC message is
 	// payload-heavy.
@@ -191,40 +260,64 @@ func Build(cfg Config) (*Machine, error) {
 		stacks = 1
 	}
 	m.Conns.Grow(stacks * cfg.NICs * cfg.ConnsPerGuestPerNIC * 2)
-	m.IntelNICs = make([]*intelnic.NIC, 0, cfg.NICs)
-	m.RiceNICs = make([]*ricenic.NIC, 0, cfg.NICs)
-	m.CtxMgrs = make([]*core.ContextManager, 0, cfg.NICs)
-	m.Drivers = make([]*guest.CDNADriver, 0, stacks*cfg.NICs)
+	h.IntelNICs = make([]*intelnic.NIC, 0, cfg.NICs)
+	h.RiceNICs = make([]*ricenic.NIC, 0, cfg.NICs)
+	h.CtxMgrs = make([]*core.ContextManager, 0, cfg.NICs)
+	h.Drivers = make([]*guest.CDNADriver, 0, stacks*cfg.NICs)
 	pr.outs = make([]*ether.Pipe, 0, cfg.NICs)
 	pr.macs = make([]ether.MAC, 0, cfg.NICs)
 
-	// Links and peer ports, one per NIC.
-	newLink := func() (*ether.Pipe, *ether.Pipe) {
-		l := ether.NewDuplex(eng, 1.0, 500*sim.Nanosecond)
-		i := len(pr.outs)
-		pr.outs = append(pr.outs, l.BtoA)
-		pr.macs = append(pr.macs, ether.MakeMAC(200, i))
-		l.AtoB.Connect(pr.port(i))
-		return l.AtoB, l.BtoA // (NIC out, peer out)
+	env := hostEnv{
+		eng: eng,
+		h:   h,
+		// Links and peer ports, one per NIC.
+		newLink: func() (*ether.Pipe, *ether.Pipe) {
+			l := ether.NewDuplex(eng, 1.0, 500*sim.Nanosecond)
+			i := len(pr.outs)
+			pr.outs = append(pr.outs, l.BtoA)
+			pr.macs = append(pr.macs, ether.MakeMAC(200, i))
+			l.AtoB.Connect(pr.port(i))
+			return l.AtoB, l.BtoA // (NIC out, fabric-to-host)
+		},
+		wire: func(st *guest.Stack, guestIdx, nicIdx int, dev guest.NetDevice) error {
+			return m.wireConns(cfg, pr, st, guestIdx, nicIdx, dev)
+		},
+		name:     identity,
+		macIndex: identityIdx,
 	}
 
+	if err := buildHost(cfg, env); err != nil {
+		return nil, err
+	}
+	m.adoptHost(h)
+	return m, nil
+}
+
+// buildHost assembles one host in the environment's fabric according to
+// the configured I/O architecture.
+func buildHost(cfg Config, env hostEnv) error {
 	switch cfg.Mode {
 	case ModeNative:
-		if err := buildNative(cfg, m, pr, newLink); err != nil {
-			return nil, err
-		}
+		return buildNative(cfg, env)
 	case ModeXen:
-		if err := buildXen(cfg, m, pr, newLink); err != nil {
-			return nil, err
-		}
+		return buildXen(cfg, env)
 	case ModeCDNA:
-		if err := buildCDNA(cfg, m, pr, newLink); err != nil {
-			return nil, err
-		}
+		return buildCDNA(cfg, env)
 	default:
-		return nil, fmt.Errorf("bench: unknown mode %v", cfg.Mode)
+		return fmt.Errorf("bench: unknown mode %v", cfg.Mode)
 	}
-	return m, nil
+}
+
+// adoptHost folds a built host's components into the machine's
+// aggregate views (and the host-0 convenience aliases).
+func (m *Machine) adoptHost(h *Host) {
+	if h.Index == 0 {
+		m.Hyp = h.Hyp
+	}
+	m.IntelNICs = append(m.IntelNICs, h.IntelNICs...)
+	m.RiceNICs = append(m.RiceNICs, h.RiceNICs...)
+	m.CtxMgrs = append(m.CtxMgrs, h.CtxMgrs...)
+	m.Drivers = append(m.Drivers, h.Drivers...)
 }
 
 // wireConns creates the benchmark connection slots between a guest
@@ -232,14 +325,18 @@ func Build(cfg Config) (*Machine, error) {
 // with the machine's workload generator. Bulk/churn/burst slots are one
 // connection in the configured direction (Both = one each way);
 // request/response slots are a forward-request/reverse-response pair.
-func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, dev guest.NetDevice) error {
+func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, guestIdx, nicIdx int, dev guest.NetDevice) error {
+	local := transport.Addr{Host: 0, Guest: guestIdx, Port: nicIdx}
+	remote := transport.Addr{Host: transport.PeerHost, Guest: transport.PeerHost, Port: nicIdx}
 	wire := func(dir Direction) *transport.Conn {
 		conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
 		conn.RTO = 200 * sim.Millisecond
 		if dir == Tx {
+			conn.Local, conn.Remote = local, remote
 			conn.AttachSender(st.Sender(dev, pr.macs[nicIdx]))
 			conn.AttachReceiver(pr.sender(nicIdx, dev.MAC()))
 		} else {
+			conn.Local, conn.Remote = remote, local
 			conn.AttachSender(pr.sender(nicIdx, dev.MAC()))
 			conn.AttachReceiver(st.Sender(dev, pr.macs[nicIdx]))
 		}
@@ -253,6 +350,7 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, d
 			// which message is payload-heavy (spec resolution).
 			ep := workload.Endpoint{
 				Fwd: wire(Tx), Rev: wire(Rx),
+				Local: local, Remote: remote,
 				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
 			}
 			if err := m.Work.Add(ep); err != nil {
@@ -267,6 +365,8 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, d
 		for _, dir := range dirs {
 			ep := workload.Endpoint{
 				Fwd:         wire(dir),
+				Local:       local,
+				Remote:      remote,
 				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
 			}
 			if err := m.Work.Add(ep); err != nil {
@@ -277,17 +377,27 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, nicIdx int, d
 	return nil
 }
 
-func buildNative(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+// recordDev files a guest device into the host's wiring roster.
+func (h *Host) recordDev(guestIdx int, dev guest.NetDevice) {
+	for len(h.devs) <= guestIdx {
+		h.devs = append(h.devs, nil)
+	}
+	h.devs[guestIdx] = append(h.devs[guestIdx], dev)
+}
+
+func buildNative(cfg Config, env hostEnv) error {
 	cal := cfg.Cal
-	hostDom := m.CPU.NewDomain("host", cpu.KindGuest)
+	h := env.h
+	hostDom := h.CPU.NewDomain(env.name("host"), cpu.KindGuest)
 	const hostID = mem.Dom0 + 1
 	st := guest.NewStack(hostDom, cal.StackNative)
+	h.Stacks = []*guest.Stack{st}
 	for i := 0; i < cfg.NICs; i++ {
-		nicOut, _ := newLink()
-		b := bus.New(m.Eng, cal.Bus)
-		n := intelnic.New(m.Eng, b, m.Mem, nicOut, cal.Intel, ether.MakeMAC(1, i))
-		pr.outs[i].Connect(ether.PortFunc(n.Receive))
-		drv, err := guest.NewNativeDriver(hostDom, hostID, m.Mem, n, cal.NativeDrv)
+		nicOut, hostIn := env.newLink()
+		b := bus.New(env.eng, cal.Bus)
+		n := intelnic.New(env.eng, b, h.Mem, nicOut, cal.Intel, ether.MakeMAC(1, env.macIndex(i)))
+		hostIn.Connect(ether.PortFunc(n.Receive))
+		drv, err := guest.NewNativeDriver(hostDom, hostID, h.Mem, n, cal.NativeDrv)
 		if err != nil {
 			return err
 		}
@@ -295,23 +405,27 @@ func buildNative(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, 
 		n.SetIRQ(drv.OnInterrupt)
 		drv.Start()
 		st.AttachDevice(drv)
-		m.IntelNICs = append(m.IntelNICs, n)
-		if err := m.wireConns(cfg, pr, st, i, drv); err != nil {
-			return err
+		h.IntelNICs = append(h.IntelNICs, n)
+		h.recordDev(0, drv)
+		if env.wire != nil {
+			if err := env.wire(st, 0, i, drv); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+func buildXen(cfg Config, env hostEnv) error {
 	cal := cfg.Cal
+	h := env.h
 	// Xen trusts the driver domain (§2.2): the only rings on a CDNA NIC
 	// in this topology belong to dom0 and are not validated.
-	hyp := xen.New(m.Eng, m.CPU, m.Mem, cal.Hyp, core.ModeOff)
-	m.Hyp = hyp
-	dom0 := hyp.NewDomain("dom0", cpu.KindDriver)
-	m.dom0 = dom0
-	startBackground(m.Eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
+	hyp := xen.New(env.eng, h.CPU, h.Mem, cal.Hyp, core.ModeOff)
+	h.Hyp = hyp
+	dom0 := hyp.NewDomain(env.name("dom0"), cpu.KindDriver)
+	h.dom0 = dom0
+	startBackground(env.eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
 
 	guests := make([]*xen.Domain, cfg.Guests)
 	stacks := make([]*guest.Stack, cfg.Guests)
@@ -320,30 +434,31 @@ func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *et
 		stackCosts = cal.StackNoTSO // RiceNIC lacks TSO (§5.1)
 	}
 	for g := range guests {
-		guests[g] = hyp.NewDomain(fmt.Sprintf("guest%d", g+1), cpu.KindGuest)
+		guests[g] = hyp.NewDomain(env.name(fmt.Sprintf("guest%d", g+1)), cpu.KindGuest)
 		stacks[g] = guest.NewStack(guests[g].VCPU, stackCosts)
 	}
-	m.guestDoms = guests
+	h.guestDoms = guests
+	h.Stacks = stacks
 
 	for i := 0; i < cfg.NICs; i++ {
-		nicOut, _ := newLink()
-		b := bus.New(m.Eng, cal.Bus)
+		nicOut, hostIn := env.newLink()
+		b := bus.New(env.eng, cal.Bus)
 
 		// Physical device owned by the driver domain.
 		var phys guest.NetDevice
 		switch cfg.NIC {
 		case NICIntel:
-			n := intelnic.New(m.Eng, b, m.Mem, nicOut, cal.Intel, ether.MakeMAC(1, i))
-			pr.outs[i].Connect(ether.PortFunc(n.Receive))
-			drv, err := guest.NewNativeDriver(dom0.VCPU, dom0.ID, m.Mem, n, cal.NativeDrv)
+			n := intelnic.New(env.eng, b, h.Mem, nicOut, cal.Intel, ether.MakeMAC(1, env.macIndex(i)))
+			hostIn.Connect(ether.PortFunc(n.Receive))
+			drv, err := guest.NewNativeDriver(dom0.VCPU, dom0.ID, h.Mem, n, cal.NativeDrv)
 			if err != nil {
 				return err
 			}
 			ch := hyp.NewChannel(dom0, "nic", drv.OnInterrupt)
-			irq := hyp.NewIRQ(fmt.Sprintf("intel%d", i), ch.Notify)
+			irq := hyp.NewIRQ(env.name(fmt.Sprintf("intel%d", i)), ch.Notify)
 			n.SetIRQ(irq.Raise)
 			drv.Start()
-			m.IntelNICs = append(m.IntelNICs, n)
+			h.IntelNICs = append(h.IntelNICs, n)
 			phys = drv
 		case NICRice:
 			// RiceNIC under software virtualization: one context assigned
@@ -352,41 +467,44 @@ func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *et
 			// validation, exactly like a conventional NIC's driver.
 			rice := cal.Rice
 			rice.SeqCheck = false
-			n, err := ricenic.New(m.Eng, b, m.Mem, nicOut, rice)
+			n, err := ricenic.New(env.eng, b, h.Mem, nicOut, rice)
 			if err != nil {
 				return err
 			}
-			pr.outs[i].Connect(ether.PortFunc(n.Receive))
+			hostIn.Connect(ether.PortFunc(n.Receive))
 			cm := core.NewContextManager(hyp.Prot)
 			cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
-			tx, rx, err := makeRings(m.Mem, dom0.ID, fmt.Sprintf("dom0.nic%d", i))
+			tx, rx, err := makeRings(h.Mem, dom0.ID, fmt.Sprintf("dom0.nic%d", i))
 			if err != nil {
 				return err
 			}
-			ctx, err := cm.Assign(dom0.ID, ether.MakeMAC(1, i), tx, rx)
+			ctx, err := cm.Assign(dom0.ID, ether.MakeMAC(1, env.macIndex(i)), tx, rx)
 			if err != nil {
 				return err
 			}
 			n.SetPromiscuous(ctx.ID)
-			drv := guest.NewCDNADriver(dom0, m.Mem, n, ctx, cal.CDNADrv, hyp.Prot, true, cal.DirectPerDesc)
+			drv := guest.NewCDNADriver(dom0, h.Mem, n, ctx, cal.CDNADrv, hyp.Prot, true, cal.DirectPerDesc)
 			ch := hyp.NewChannel(dom0, "cdna", drv.OnVirq)
 			channels := make([]*xen.EventChannel, core.NumContexts)
 			channels[ctx.ID] = ch
-			irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+			irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
 			n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 			drv.Start()
-			m.RiceNICs = append(m.RiceNICs, n)
-			m.CtxMgrs = append(m.CtxMgrs, cm)
-			m.Drivers = append(m.Drivers, drv)
+			h.RiceNICs = append(h.RiceNICs, n)
+			h.CtxMgrs = append(h.CtxMgrs, cm)
+			h.Drivers = append(h.Drivers, drv)
 			phys = drv
 		}
 
 		nb := backend.NewNetback(hyp, dom0, phys, cal.Back)
 		for g := range guests {
-			front := nb.AddVif(guests[g], ether.MakeMAC(10+i, g), cal.Front)
+			front := nb.AddVif(guests[g], ether.MakeMAC(10+i, env.macIndex(g)), cal.Front)
 			stacks[g].AttachDevice(front)
-			if err := m.wireConns(cfg, pr, stacks[g], i, front); err != nil {
-				return err
+			h.recordDev(g, front)
+			if env.wire != nil {
+				if err := env.wire(stacks[g], g, i, front); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -394,21 +512,23 @@ func buildXen(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *et
 	return nil
 }
 
-func buildCDNA(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *ether.Pipe)) error {
+func buildCDNA(cfg Config, env hostEnv) error {
 	cal := cfg.Cal
-	hyp := xen.New(m.Eng, m.CPU, m.Mem, cal.Hyp, cfg.Protection)
-	m.Hyp = hyp
-	dom0 := hyp.NewDomain("dom0", cpu.KindDriver)
-	m.dom0 = dom0
-	startBackground(m.Eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
+	h := env.h
+	hyp := xen.New(env.eng, h.CPU, h.Mem, cal.Hyp, cfg.Protection)
+	h.Hyp = hyp
+	dom0 := hyp.NewDomain(env.name("dom0"), cpu.KindDriver)
+	h.dom0 = dom0
+	startBackground(env.eng, dom0.VCPU, cal.BackgroundPeriod, cal.BackgroundKernel, cal.BackgroundUser)
 
 	guests := make([]*xen.Domain, cfg.Guests)
 	stacks := make([]*guest.Stack, cfg.Guests)
 	for g := range guests {
-		guests[g] = hyp.NewDomain(fmt.Sprintf("guest%d", g+1), cpu.KindGuest)
+		guests[g] = hyp.NewDomain(env.name(fmt.Sprintf("guest%d", g+1)), cpu.KindGuest)
 		stacks[g] = guest.NewStack(guests[g].VCPU, cal.StackNoTSO)
 	}
-	m.guestDoms = guests
+	h.guestDoms = guests
+	h.Stacks = stacks
 
 	direct := cfg.Protection != core.ModeHypercall
 	rice := cal.Rice
@@ -419,40 +539,43 @@ func buildCDNA(cfg Config, m *Machine, pr *peer, newLink func() (*ether.Pipe, *e
 	}
 
 	for i := 0; i < cfg.NICs; i++ {
-		nicOut, _ := newLink()
-		b := bus.New(m.Eng, cal.Bus)
-		n, err := ricenic.New(m.Eng, b, m.Mem, nicOut, rice)
+		nicOut, hostIn := env.newLink()
+		b := bus.New(env.eng, cal.Bus)
+		n, err := ricenic.New(env.eng, b, h.Mem, nicOut, rice)
 		if err != nil {
 			return err
 		}
-		pr.outs[i].Connect(ether.PortFunc(n.Receive))
+		hostIn.Connect(ether.PortFunc(n.Receive))
 		cm := core.NewContextManager(hyp.Prot)
 		cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
 		channels := make([]*xen.EventChannel, core.NumContexts)
-		irq := hyp.NewIRQ(fmt.Sprintf("rice%d", i), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+		irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
 		n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 
 		for g := range guests {
-			tx, rx, err := makeRings(m.Mem, guests[g].ID, fmt.Sprintf("g%d.nic%d", g, i))
+			tx, rx, err := makeRings(h.Mem, guests[g].ID, fmt.Sprintf("g%d.nic%d", g, i))
 			if err != nil {
 				return err
 			}
-			ctx, err := cm.Assign(guests[g].ID, ether.MakeMAC(10+i, g), tx, rx)
+			ctx, err := cm.Assign(guests[g].ID, ether.MakeMAC(10+i, env.macIndex(g)), tx, rx)
 			if err != nil {
 				return err
 			}
-			drv := guest.NewCDNADriver(guests[g], m.Mem, n, ctx, cal.CDNADrv, hyp.Prot, direct, cal.DirectPerDesc)
+			drv := guest.NewCDNADriver(guests[g], h.Mem, n, ctx, cal.CDNADrv, hyp.Prot, direct, cal.DirectPerDesc)
 			drv.MaxBatch = cfg.MaxEnqueueBatch
 			channels[ctx.ID] = hyp.NewChannel(guests[g], "cdna", drv.OnVirq)
 			drv.Start()
 			stacks[g].AttachDevice(drv)
-			m.Drivers = append(m.Drivers, drv)
-			if err := m.wireConns(cfg, pr, stacks[g], i, drv); err != nil {
-				return err
+			h.Drivers = append(h.Drivers, drv)
+			h.recordDev(g, drv)
+			if env.wire != nil {
+				if err := env.wire(stacks[g], g, i, drv); err != nil {
+					return err
+				}
 			}
 		}
-		m.RiceNICs = append(m.RiceNICs, n)
-		m.CtxMgrs = append(m.CtxMgrs, cm)
+		h.RiceNICs = append(h.RiceNICs, n)
+		h.CtxMgrs = append(h.CtxMgrs, cm)
 	}
 	hyp.StartTimers()
 	return nil

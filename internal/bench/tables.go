@@ -333,6 +333,68 @@ func ExtensionMoreNICs(o Opts, guests []int) (*stats.Table, []Result, error) {
 	return t, results, nil
 }
 
+// topologyConfigs builds the Xen-vs-CDNA transmit grid for one
+// cross-host pattern over a list of rack sizes.
+func topologyConfigs(hosts []int, pat Pattern) []Config {
+	var cfgs []Config
+	for _, h := range hosts {
+		for _, mode := range []Mode{ModeXen, ModeCDNA} {
+			nic := NICIntel
+			if mode == ModeCDNA {
+				nic = NICRice
+			}
+			cfg := DefaultConfig(mode, nic, Tx)
+			cfg.Hosts = h
+			cfg.Pattern = pat
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// TopologyIncast sweeps the rack size under N→1 incast on the switched
+// fabric: every host's guests converge on host 0, so the switch's
+// root-port egress queues are the bottleneck and the two architectures
+// differ in how much of the fan-in their receive path can absorb before
+// the queue tail-drops. Columns report aggregate goodput, the fabric's
+// drop count and deepest egress queue, and transport retransmissions.
+func TopologyIncast(o Opts, hosts []int) (*stats.Table, []Result, error) {
+	cfgs := topologyConfigs(hosts, PatternIncast)
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Hosts", "System", "Mb/s", "Fairness", "SwitchDrops", "MaxQ", "Retrans"}}
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(fmt.Sprintf("%d", cfg.Hosts), fmt.Sprintf("%v/%v", cfg.Mode, cfg.NIC),
+			fmt.Sprintf("%.0f", res.Mbps), fmt.Sprintf("%.3f", res.Fairness),
+			fmt.Sprintf("%d", res.FabricDrops), fmt.Sprintf("%d", res.FabricMaxDepth),
+			fmt.Sprintf("%d", res.Retransmits))
+	}
+	return t, results, nil
+}
+
+// TopologyAllToAll runs the uniform shuffle at fixed rack sizes: every
+// guest's connections spread round-robin over all remote hosts, the
+// traffic matrix of a rack-scale distributed job.
+func TopologyAllToAll(o Opts, hosts []int) (*stats.Table, []Result, error) {
+	cfgs := topologyConfigs(hosts, PatternAllToAll)
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Hosts", "System", "Mb/s", "Fairness", "SwitchDrops", "MaxQ", "p90 lat (us)"}}
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(fmt.Sprintf("%d", cfg.Hosts), fmt.Sprintf("%v/%v", cfg.Mode, cfg.NIC),
+			fmt.Sprintf("%.0f", res.Mbps), fmt.Sprintf("%.3f", res.Fairness),
+			fmt.Sprintf("%d", res.FabricDrops), fmt.Sprintf("%d", res.FabricMaxDepth),
+			fmt.Sprintf("%.0f", res.LatencyP90us))
+	}
+	return t, results, nil
+}
+
 // AblationIOMMU reproduces §5.3's discussion: protection by hypercall,
 // by a context-aware IOMMU (guest enqueues directly), and disabled.
 func AblationIOMMU(o Opts) (*stats.Table, []Result, error) {

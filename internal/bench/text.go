@@ -57,6 +57,44 @@ func (m *Mode) UnmarshalText(b []byte) error {
 	return nil
 }
 
+// ParsePattern parses a cross-host traffic pattern name:
+// pairs | incast | all2all.
+func ParsePattern(s string) (Pattern, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "pairs", "pairwise":
+		return PatternPairs, nil
+	case "incast":
+		return PatternIncast, nil
+	case "all2all", "all-to-all", "alltoall":
+		return PatternAllToAll, nil
+	}
+	return 0, fmt.Errorf("bench: unknown pattern %q (want pairs | incast | all2all)", s)
+}
+
+// MarshalText encodes the pattern as its canonical token.
+func (p Pattern) MarshalText() ([]byte, error) {
+	switch p {
+	case PatternPairs, PatternIncast, PatternAllToAll:
+		return []byte(p.String()), nil
+	}
+	return []byte(strconv.Itoa(int(p))), nil
+}
+
+// UnmarshalText decodes a pattern token (or its decimal fallback form;
+// see Mode.UnmarshalText).
+func (p *Pattern) UnmarshalText(b []byte) error {
+	if n, err := strconv.Atoi(string(b)); err == nil {
+		*p = Pattern(n)
+		return nil
+	}
+	v, err := ParsePattern(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // ParseNICKind parses a NIC model name: intel | ricenic.
 func ParseNICKind(s string) (NICKind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {

@@ -21,6 +21,13 @@ type Grid struct {
 	NICCounts   []int             `json:"nic_counts,omitempty"`
 	Protections []core.Mode       `json:"protections,omitempty"`
 
+	// Hosts is the fabric-size axis (machines on the top-of-rack
+	// switch); empty or 1 collapses to the classic host-plus-peer
+	// topology. Patterns is the cross-host scenario axis, collapsed for
+	// single-host points where it is meaningless.
+	Hosts    []int           `json:"hosts,omitempty"`
+	Patterns []bench.Pattern `json:"patterns,omitempty"`
+
 	// Workloads is the traffic-shape axis; empty collapses to the
 	// default bulk workload (the paper's benchmark).
 	Workloads []workload.Spec `json:"workloads,omitempty"`
@@ -73,6 +80,15 @@ func workloadsOr(v []workload.Spec) []workload.Spec {
 	return v
 }
 
+// patternsFor collapses the pattern axis for single-host points, where
+// the builder ignores it.
+func (g Grid) patternsFor(hosts int) []bench.Pattern {
+	if hosts <= 1 || len(g.Patterns) == 0 {
+		return []bench.Pattern{bench.PatternPairs}
+	}
+	return g.Patterns
+}
+
 // nicsFor returns the NIC axis for one mode: only Xen supports both
 // device models; native always drives the Intel NIC and CDNA always
 // the RiceNIC, so their NIC axis collapses.
@@ -122,38 +138,46 @@ func (g Grid) Points() []bench.Config {
 				for _, wl := range workloadsOr(g.Workloads) {
 					for _, gs := range guests {
 						for _, nn := range intsOr(g.NICCounts, 2) {
-							for _, prot := range g.protectionsFor(mode) {
-								for _, batch := range batches {
-									for _, irq := range irqs {
-										for _, coal := range coals {
-											cfg := bench.DefaultConfig(mode, nic, dir)
-											cfg.Workload = wl
-											cfg.Guests = gs
-											cfg.NICs = nn
-											cfg.Protection = prot
-											cfg.MaxEnqueueBatch = batch
-											cfg.DirectPerContextIRQ = irq
-											cfg.TxCoalescePkts = coal
-											cfg.ConnsPerGuestPerNIC = g.Conns
-											// Invalid guest counts stay as-is here and fail
-											// Config.Validate with a per-point error record.
-											if g.Conns <= 0 && gs >= 1 {
-												cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
-											}
-											if g.Window > 0 {
-												cfg.Window = g.Window
-											}
-											if g.Warmup > 0 {
-												cfg.Warmup = g.Warmup
-											}
-											if g.Duration > 0 {
-												cfg.Duration = g.Duration
-											}
-											key := cfg
-											key.Cal = bench.Calibration{}
-											if !seen[key] {
-												seen[key] = true
-												cfgs = append(cfgs, cfg)
+							for _, hosts := range intsOr(g.Hosts, 1) {
+								for _, pat := range g.patternsFor(hosts) {
+									for _, prot := range g.protectionsFor(mode) {
+										for _, batch := range batches {
+											for _, irq := range irqs {
+												for _, coal := range coals {
+													cfg := bench.DefaultConfig(mode, nic, dir)
+													cfg.Workload = wl
+													cfg.Guests = gs
+													cfg.NICs = nn
+													if hosts > 1 {
+														cfg.Hosts = hosts
+														cfg.Pattern = pat
+													}
+													cfg.Protection = prot
+													cfg.MaxEnqueueBatch = batch
+													cfg.DirectPerContextIRQ = irq
+													cfg.TxCoalescePkts = coal
+													cfg.ConnsPerGuestPerNIC = g.Conns
+													// Invalid guest counts stay as-is here and fail
+													// Config.Validate with a per-point error record.
+													if g.Conns <= 0 && gs >= 1 {
+														cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
+													}
+													if g.Window > 0 {
+														cfg.Window = g.Window
+													}
+													if g.Warmup > 0 {
+														cfg.Warmup = g.Warmup
+													}
+													if g.Duration > 0 {
+														cfg.Duration = g.Duration
+													}
+													key := cfg
+													key.Cal = bench.Calibration{}
+													if !seen[key] {
+														seen[key] = true
+														cfgs = append(cfgs, cfg)
+													}
+												}
 											}
 										}
 									}
@@ -261,6 +285,24 @@ func WorkloadGrids() []Grid {
 		{Kind: workload.Burst},
 	}
 	return []Grid{{Modes: allModes, Workloads: shapes}}
+}
+
+// TopologyGrids is the cross-host scenario campaign over the switched
+// fabric (internal/topo): an incast host sweep (the N→1 fan-in whose
+// tail drops live in the switch's root-port egress queue), pairwise and
+// all-to-all shuffles at a fixed rack size, and connection churn across
+// the fabric — each for both I/O architectures, so the question "does
+// CDNA's advantage survive a congested fabric?" has a one-command
+// answer.
+func TopologyGrids() []Grid {
+	tx := []bench.Direction{bench.Tx}
+	xenCDNA := []bench.Mode{bench.ModeXen, bench.ModeCDNA}
+	return []Grid{
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{2, 4, 8}, Patterns: []bench.Pattern{bench.PatternIncast}},
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternPairs, bench.PatternAllToAll}},
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternIncast},
+			Workloads: []workload.Spec{{Kind: workload.Churn}}},
+	}
 }
 
 // PaperGrids is the whole evaluation: Tables 1–4, Figures 3–4, and the

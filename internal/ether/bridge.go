@@ -18,6 +18,10 @@ type Bridge struct {
 
 	Forwarded stats.Counter
 	Flooded   stats.Counter
+	// Moves counts source MACs re-learned on a different port — a
+	// station that migrated across the fabric (or whose first frame
+	// arrived as part of a flood and was then seen elsewhere).
+	Moves stats.Counter
 }
 
 // NewBridge creates an empty bridge.
@@ -44,8 +48,20 @@ func (b *Bridge) Lookup(m MAC) int {
 
 // Input processes a frame arriving on ingress port `in`: learns the
 // source and forwards or floods.
+//
+// Source learning is unconditional: every frame re-learns its source
+// MAC on the ingress port, whether or not the forwarding database
+// already has an entry and regardless of how the frame is about to be
+// forwarded (known unicast, flood, or suppressed hairpin). A MAC that
+// moves ports — including one whose first appearance was on a frame the
+// bridge flooded — is therefore re-pointed by its very next frame, never
+// pinned to a stale port. The regression tests in ether_test.go hold
+// this invariant.
 func (b *Bridge) Input(in int, f *Frame) {
 	if !f.Src.IsBroadcast() {
+		if old, ok := b.fdb[f.Src]; ok && old != in {
+			b.Moves.Inc()
+		}
 		b.fdb[f.Src] = in
 	}
 	if !f.Dst.IsBroadcast() {

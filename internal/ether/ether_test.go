@@ -186,6 +186,99 @@ func TestBridgeHairpinSuppressed(t *testing.T) {
 	}
 }
 
+// Regression: a station whose first frame arrived as part of a flood
+// (destination unknown at the time) and which then moves to another
+// port must be re-learned on its very next frame — source learning is
+// unconditional, never first-writer-wins.
+func TestBridgeRelearnAfterFloodMove(t *testing.T) {
+	b := NewBridge()
+	var got [3][]*Frame
+	for i := 0; i < 3; i++ {
+		i := i
+		b.AddPort(PortFunc(func(f *Frame) { got[i] = append(got[i], f) }))
+	}
+	macA, macB := MakeMAC(1, 1), MakeMAC(1, 2)
+	// A's first frame (dst unknown) floods; A is learned on port 0.
+	b.Input(0, &Frame{Src: macA, Dst: macB, Size: 100})
+	if b.Lookup(macA) != 0 {
+		t.Fatalf("A learned on %d, want 0", b.Lookup(macA))
+	}
+	// A moves to port 1 (live migration) and speaks again — still a
+	// flood (B is still unknown), but A must be re-learned regardless.
+	b.Input(1, &Frame{Src: macA, Dst: macB, Size: 100})
+	if b.Lookup(macA) != 1 {
+		t.Fatalf("A not re-learned after move: Lookup = %d, want 1", b.Lookup(macA))
+	}
+	if b.Moves.Total() != 1 {
+		t.Fatalf("Moves = %d, want 1", b.Moves.Total())
+	}
+	// Traffic to A now unicasts to the new port only.
+	before := len(got[1])
+	b.Input(2, &Frame{Src: macB, Dst: macA, Size: 100})
+	if len(got[1]) != before+1 || len(got[0]) != 1 {
+		t.Fatalf("post-move delivery: port1 got %d (want %d), port0 got %d (want 1, the original flood)",
+			len(got[1]), before+1, len(got[0]))
+	}
+}
+
+// Regression: a move is re-learned even when the triggering frame's
+// forwarding is a suppressed hairpin (dst learned on the ingress port),
+// the earliest-returning path through Input.
+func TestBridgeRelearnOnHairpinFrame(t *testing.T) {
+	b := NewBridge()
+	b.AddPort(PortFunc(func(f *Frame) {}))
+	b.AddPort(PortFunc(func(f *Frame) {}))
+	macA, macB := MakeMAC(1, 1), MakeMAC(1, 2)
+	b.Input(0, &Frame{Src: macA, Dst: Broadcast, Size: 60}) // A @ 0
+	b.Input(1, &Frame{Src: macB, Dst: Broadcast, Size: 60}) // B @ 1
+	// B moves to port 0 and sends to A: dst A is learned on ingress 0,
+	// so forwarding hairpin-suppresses — but B must still move to 0.
+	b.Input(0, &Frame{Src: macB, Dst: macA, Size: 100})
+	if b.Lookup(macB) != 0 {
+		t.Fatalf("B not re-learned on hairpin frame: Lookup = %d, want 0", b.Lookup(macB))
+	}
+}
+
+// Property: wherever a station last transmitted from is where the
+// bridge delivers its traffic — across any interleaving of moves.
+func TestBridgeAlwaysTracksLastIngressProperty(t *testing.T) {
+	f := func(moves []uint8) bool {
+		const n = 4
+		b := NewBridge()
+		delivered := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			b.AddPort(PortFunc(func(f *Frame) { delivered[i]++ }))
+		}
+		mac := MakeMAC(3, 1)
+		probe := MakeMAC(3, 2)
+		b.Input(0, &Frame{Src: probe, Dst: Broadcast, Size: 60}) // prober @ 0
+		last := -1
+		for _, mv := range moves {
+			port := int(mv) % n
+			b.Input(port, &Frame{Src: mac, Dst: probe, Size: 100})
+			last = port
+			if b.Lookup(mac) != port {
+				return false
+			}
+		}
+		if last < 0 {
+			return true
+		}
+		// A frame to the station goes to its last ingress port (unless
+		// that is the prober's own port — hairpin).
+		before := delivered[last]
+		b.Input(0, &Frame{Src: probe, Dst: mac, Size: 100})
+		if last == 0 {
+			return delivered[0] == before
+		}
+		return delivered[last] == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: after the bridge has learned a unicast MAC, a frame to it is
 // delivered to exactly one port.
 func TestBridgeSingleDeliveryProperty(t *testing.T) {

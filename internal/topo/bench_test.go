@@ -1,0 +1,12 @@
+package topo_test
+
+import (
+	"testing"
+
+	"cdna/internal/topo/topobench"
+)
+
+// The switch hot path, runnable via `go test -bench` (CI's short
+// benchmark smoke); cmd/cdnabench runs the same function for the
+// committed BENCH_sim.json row.
+func BenchmarkSwitchForward(b *testing.B) { topobench.Forward(b) }

@@ -1,0 +1,228 @@
+// Package topo is the multi-host topology layer: a simulated top-of-rack
+// switch that connects N benchmark hosts onto one shared fabric. It is a
+// store-and-forward extension of the learning bridge in internal/ether —
+// the switch reuses ether.Bridge verbatim for its forwarding database and
+// flood semantics — with the two things a software bridge inside a driver
+// domain does not have: per-port egress serialization onto a real
+// ether.Pipe link, and bounded per-port egress FIFOs that tail-drop under
+// fan-in overload (the incast regime) with full drop/backpressure
+// accounting.
+//
+// The switch is hardware: it charges no CPU to any host. Its costs are
+// pure latency and queueing — a fixed store-and-forward ForwardLatency
+// per frame between full-frame reception and the egress enqueue, then
+// line-rate serialization (plus link propagation) out the egress pipe.
+// Ingress needs no queue of its own: a frame arrives from an ingress
+// pipe only once its last bit is in, so the ingress pipe *is* the
+// store-and-forward receive buffer. The hot path allocates nothing in
+// steady state: pending frames ride a sim.FIFO, forwarding and
+// per-port transmit-done callbacks are bound once at construction, and
+// the pooled event core does the rest.
+package topo
+
+import (
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Params are the fabric constants. They are properties of the simulated
+// rack hardware, not of the paper's calibrated host model.
+type Params struct {
+	// LinkGbps is the access-link rate between each host NIC and its
+	// switch port (1 Gb/s, matching the single-host evaluation links).
+	LinkGbps float64
+	// PropDelay is the one-way cable propagation delay per access link.
+	PropDelay sim.Time
+	// ForwardLatency is the switch's fixed per-frame processing delay
+	// between full-frame reception on ingress and the egress enqueue —
+	// the "forwarding" half of store-and-forward (the "store" half is
+	// the ingress link's own last-bit serialization).
+	ForwardLatency sim.Time
+	// EgressCap bounds each port's egress FIFO in frames; a frame
+	// arriving at a full queue is tail-dropped and counted.
+	EgressCap int
+}
+
+// DefaultParams returns the standard rack fabric: GbE access links with
+// the same 500 ns propagation the single-host testbed links use, a 2 us
+// store-and-forward processing latency, and a 128-frame egress queue per
+// port (a shallow-buffered ToR).
+func DefaultParams() Params {
+	return Params{
+		LinkGbps:       1.0,
+		PropDelay:      500 * sim.Nanosecond,
+		ForwardLatency: 2 * sim.Microsecond,
+		EgressCap:      128,
+	}
+}
+
+// pending is one fully received frame waiting out the switch's
+// forwarding latency.
+type pending struct {
+	f  *ether.Frame
+	in int32
+}
+
+// Switch is the store-and-forward top-of-rack switch. Create it with
+// New, then AddPort each host link.
+type Switch struct {
+	eng    *sim.Engine
+	p      Params
+	bridge *ether.Bridge // forwarding database + unicast/flood decision
+	ports  []*Port
+
+	// Frames between full reception and the forwarding decision.
+	// ForwardLatency is constant, so completion order is issue order and
+	// one bound callback serves every frame.
+	pendQ     sim.FIFO[pending]
+	forwardFn func()
+
+	// Inputs counts frames the switch received (post store-and-forward).
+	Inputs stats.Counter
+	// Drops counts egress tail drops across all ports.
+	Drops stats.Counter
+}
+
+// New creates an empty switch on the engine.
+func New(eng *sim.Engine, p Params) *Switch {
+	if p.EgressCap <= 0 {
+		p.EgressCap = DefaultParams().EgressCap
+	}
+	s := &Switch{eng: eng, p: p, bridge: ether.NewBridge()}
+	s.forwardFn = s.forward
+	return s
+}
+
+// Params returns the fabric constants the switch was built with.
+func (s *Switch) Params() Params { return s.p }
+
+// Port is one switch port: the egress FIFO and the transmit pacing onto
+// the port's downstream pipe.
+type Port struct {
+	sw   *Switch
+	id   int
+	out  *ether.Pipe
+	q    sim.FIFO[*ether.Frame]
+	busy bool
+	// txDone fires when the egress pipe finishes serializing the current
+	// frame, freeing the wire for the next queued one.
+	txDone *sim.Timer
+
+	// Enqueued counts frames accepted into the egress FIFO; Dropped
+	// counts tail drops. Enqueued = delivered + still-queued, and
+	// Enqueued + Dropped = forwarding decisions toward this port — the
+	// conservation ledger the property tests check.
+	Enqueued stats.Counter
+	Dropped  stats.Counter
+	maxDepth int
+}
+
+// AddPort attaches a full-duplex host link. in carries frames from the
+// host toward the switch (the switch connects its ingress handler to
+// it); out carries frames toward the host — the switch is its only
+// sender and paces it at line rate through the bounded egress FIFO. The
+// caller connects out's destination (the host NIC's Receive). in may be
+// nil for a port that only ever transmits (a sink in tests).
+func (s *Switch) AddPort(in, out *ether.Pipe) int {
+	p := &Port{sw: s, id: len(s.ports), out: out}
+	p.txDone = s.eng.NewTimer("topo.txdone", p.onWireFree)
+	s.ports = append(s.ports, p)
+	s.bridge.AddPort(p)
+	if in != nil {
+		in.Connect(ether.PortFunc(func(f *ether.Frame) { s.Input(p.id, f) }))
+	}
+	return p.id
+}
+
+// NumPorts returns the number of attached ports.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Lookup returns the port the switch has learned for a MAC, or -1.
+func (s *Switch) Lookup(m ether.MAC) int { return s.bridge.Lookup(m) }
+
+// Forwarded returns the bridge's known-unicast counter.
+func (s *Switch) Forwarded() *stats.Counter { return &s.bridge.Forwarded }
+
+// Flooded returns the bridge's unknown-unicast/broadcast counter.
+func (s *Switch) Flooded() *stats.Counter { return &s.bridge.Flooded }
+
+// Input accepts a fully received frame on ingress port `in`. The frame
+// waits out the store-and-forward processing latency, then the bridge
+// logic learns its source and resolves the egress port(s). Ingress
+// pipes attached by AddPort call this; tests may call it directly.
+func (s *Switch) Input(in int, f *ether.Frame) {
+	s.Inputs.Inc()
+	s.pendQ.Push(pending{f: f, in: int32(in)})
+	s.eng.After(s.p.ForwardLatency, "topo.forward", s.forwardFn)
+}
+
+// forward runs after ForwardLatency: standard learning-bridge semantics,
+// with the bridge's output ports being the bounded egress queues.
+func (s *Switch) forward() {
+	pf := s.pendQ.Pop()
+	s.bridge.Input(int(pf.in), pf.f)
+}
+
+// Receive implements ether.Port for the embedded bridge's output side:
+// a forwarding decision toward this port. Full queue = tail drop.
+func (p *Port) Receive(f *ether.Frame) {
+	if p.q.Len() >= p.sw.p.EgressCap {
+		p.Dropped.Inc()
+		p.sw.Drops.Inc()
+		return
+	}
+	p.q.Push(f)
+	p.Enqueued.Inc()
+	if d := p.q.Len(); d > p.maxDepth {
+		p.maxDepth = d
+	}
+	if !p.busy {
+		p.startTx()
+	}
+}
+
+// startTx puts the head-of-line frame on the wire and arms the
+// wire-free timer for when its last bit leaves the switch.
+func (p *Port) startTx() {
+	f := p.q.Pop()
+	p.busy = true
+	p.out.Send(f)
+	p.txDone.Arm(p.out.NextFree())
+}
+
+func (p *Port) onWireFree() {
+	p.busy = false
+	if p.q.Len() > 0 {
+		p.startTx()
+	}
+}
+
+// Depth returns the current egress queue depth (excluding the frame on
+// the wire).
+func (p *Port) Depth() int { return p.q.Len() }
+
+// MaxDepth returns the high-water mark of the egress queue since the
+// last StartWindow (or since creation).
+func (p *Port) MaxDepth() int { return p.maxDepth }
+
+// Out returns the port's downstream pipe (for delivery accounting).
+func (p *Port) Out() *ether.Pipe { return p.out }
+
+// StartWindow resets the switch's windowed counters (total and
+// per-port, including the egress-depth high-water marks), so warmup
+// traffic is excluded from reported drop rates and queue depths.
+func (s *Switch) StartWindow() {
+	s.Inputs.StartWindow()
+	s.Drops.StartWindow()
+	s.bridge.Forwarded.StartWindow()
+	s.bridge.Flooded.StartWindow()
+	for _, p := range s.ports {
+		p.Enqueued.StartWindow()
+		p.Dropped.StartWindow()
+		p.maxDepth = p.q.Len()
+	}
+}

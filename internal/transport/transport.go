@@ -9,6 +9,8 @@
 package transport
 
 import (
+	"fmt"
+
 	"cdna/internal/ether"
 	"cdna/internal/sim"
 	"cdna/internal/stats"
@@ -22,6 +24,32 @@ const TCPIPOverhead = 52
 // DefaultSegSize is the per-segment payload (1448 bytes, the standard
 // MSS with TCP timestamps on a 1500-byte MTU).
 const DefaultSegSize = 1448
+
+// PeerHost is the Addr.Host value for the CPU-less peer machine of the
+// classic single-host topology — the far end that is not a modelled
+// host on the fabric.
+const PeerHost = -1
+
+// Addr identifies a connection endpoint on the simulated fabric: which
+// host, which guest on it, and which of the host's NIC ports the
+// endpoint's traffic uses. The machine builders fill these in when they
+// wire connections, so workloads and tests can see (and target) any
+// remote guest; Host is PeerHost for the off-fabric peer and Guest 0 is
+// the first guest (or the native host OS).
+type Addr struct {
+	Host  int `json:"host"`
+	Guest int `json:"guest"`
+	Port  int `json:"port"`
+}
+
+// String formats the address as "h<host>.g<guest>.p<port>" ("peer.p<n>"
+// for the off-fabric peer).
+func (a Addr) String() string {
+	if a.Host == PeerHost {
+		return fmt.Sprintf("peer.p%d", a.Port)
+	}
+	return fmt.Sprintf("h%d.g%d.p%d", a.Host, a.Guest, a.Port)
+}
 
 // Segment is one transport PDU; it rides in ether.Frame.Payload.
 type Segment struct {
@@ -56,6 +84,10 @@ type Conn struct {
 	SegSize  int
 	Window   int // max unacknowledged segments in flight
 	AckEvery int
+
+	// Local and Remote identify the endpoints on the fabric (data flows
+	// Local → Remote). Set by the machine builders; informational.
+	Local, Remote Addr
 
 	eng *sim.Engine
 	// RTO is the retransmission timeout (default 3ms; the benchmark

@@ -22,6 +22,14 @@ type Endpoint struct {
 	Fwd *transport.Conn
 	Rev *transport.Conn
 
+	// Local and Remote identify the endpoint's guest and the remote
+	// guest it targets on the fabric (transport.PeerHost for the
+	// classic off-fabric peer). The machine builder threads them
+	// through so a generator's slots are addressable: cross-host
+	// patterns (incast, all-to-all, pairwise) differ only in how these
+	// are chosen.
+	Local, Remote transport.Addr
+
 	// OnFlowSetup/OnFlowTeardown charge the owning guest's stack for
 	// opening and closing a short-lived flow, so churn is not free.
 	OnFlowSetup    func()
@@ -68,6 +76,17 @@ func NewGenerator(eng *sim.Engine, spec Spec) (*Generator, error) {
 
 // Spec returns the generator's resolved spec.
 func (g *Generator) Spec() Spec { return g.spec }
+
+// Endpoints returns the registered endpoint descriptors in registration
+// order — the wiring roster tests and diagnostics read to see which
+// remote guest each traffic slot targets.
+func (g *Generator) Endpoints() []Endpoint {
+	eps := make([]Endpoint, len(g.eps))
+	for i, e := range g.eps {
+		eps[i] = e.Endpoint
+	}
+	return eps
+}
 
 // NeedsReverse reports whether the workload requires a reverse
 // connection per endpoint (the machine builder wires one only then).
