@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check smoke topo-smoke cover tables paper bench bench-check clean
+.PHONY: all build vet test check smoke topo-smoke snap-smoke cover tables paper bench bench-check clean
 
 all: check
 
@@ -29,11 +29,20 @@ topo-smoke:
 	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx -hosts 2,4 \
 		-patterns incast,all2all -warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
 
+# snap-smoke drives the checkpoint/restore layer end to end through
+# cdnasweep: a fault-scenario grid (link flap, switch-port failure,
+# whole-fabric blackout) warm-start forked from one shared warmup
+# snapshot, with very short windows. Wired into CI next to topo-smoke.
+snap-smoke:
+	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx -hosts 3 \
+		-patterns incast -faults none,linkflap,portfail,blackout \
+		-warmfork -warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+
 # cover is the ratcheted coverage gate for the fabric-critical packages
-# (the switch, the bridge/link layer it extends, and the event core
-# under them). Floors only move up: raise them when coverage rises,
-# never lower them to make a change pass. Current measured coverage is
-# a few points above each floor.
+# (the switch, the bridge/link layer it extends, the event core under
+# them, and the snapshot envelope). Floors only move up: raise them
+# when coverage rises, never lower them to make a change pass. Current
+# measured coverage is a few points above each floor.
 cover:
 	@set -e; \
 	check() { \
@@ -43,9 +52,10 @@ cover:
 		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN{print (p+0 >= f+0) ? 1 : 0}'); \
 		if [ "$$ok" != 1 ]; then echo "FAIL: $$1 coverage $$pct% below floor $$2%"; exit 1; fi; \
 	}; \
-	check ./internal/ether/ 85; \
-	check ./internal/topo/ 90; \
-	check ./internal/sim/ 92
+	check ./internal/ether/ 90; \
+	check ./internal/topo/ 92; \
+	check ./internal/sim/ 92; \
+	check ./internal/snap/ 90
 
 # tables regenerates the paper's tables with short windows.
 tables:

@@ -12,6 +12,8 @@
 //	cdnasim -mode xen -workload churn -v
 //	cdnasim -mode cdna -hosts 4 -pattern incast -v
 //	cdnasim -mode xen -hosts 8 -pattern all2all
+//	cdnasim -mode cdna -hosts 3 -pattern incast -fault linkflap
+//	cdnasim -mode cdna -hosts 3 -fault portfail -fault-at 0.2 -fault-outage 0.1 -fault-target 2
 package main
 
 import (
@@ -37,6 +39,10 @@ func main() {
 	wl := flag.String("workload", "bulk", "traffic shape: bulk | rr | churn | burst")
 	hosts := flag.Int("hosts", 1, "machines on the switched fabric (1 = classic host+peer topology)")
 	pattern := flag.String("pattern", "pairs", "cross-host scenario (hosts > 1): pairs | incast | all2all")
+	fault := flag.String("fault", "none", "fault scenario: none | linkflap | portfail | blackout")
+	faultAt := flag.Float64("fault-at", 0, "fault injection offset from window open, simulated seconds (0 = a quarter into the window)")
+	faultOutage := flag.Float64("fault-outage", 0, "fault duration before healing, simulated seconds (0 = a quarter window)")
+	faultTarget := flag.Int("fault-target", 0, "victim link (linkflap) or switch port (portfail)")
 	duration := flag.Float64("duration", 1.0, "measurement window, simulated seconds")
 	warmup := flag.Float64("warmup", 0.3, "warmup, simulated seconds")
 	verbose := flag.Bool("v", false, "print extra diagnostics")
@@ -79,6 +85,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
+	fk, err := bench.ParseFaultKind(*fault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 	if *hosts <= 1 && pat != bench.PatternPairs {
 		fmt.Fprintf(os.Stderr, "-pattern %v requires -hosts > 1 (the classic topology has no fabric)\n", pat)
 		os.Exit(2)
@@ -101,6 +112,15 @@ func main() {
 	}
 	cfg.Duration = sim.Time(*duration * float64(sim.Second))
 	cfg.Warmup = sim.Time(*warmup * float64(sim.Second))
+	if fk != bench.FaultNone {
+		// A zero outage selects the default quarter-window schedule.
+		cfg.Fault = bench.FaultSpec{
+			Kind:   fk,
+			After:  sim.Time(*faultAt * float64(sim.Second)),
+			Outage: sim.Time(*faultOutage * float64(sim.Second)),
+			Target: *faultTarget,
+		}
+	}
 
 	var res bench.Result
 	if *trace > 0 {
@@ -130,5 +150,12 @@ func main() {
 	if cfg.Hosts > 1 {
 		fmt.Printf("fabric %v over %d hosts: switch drops: %d  max egress depth: %d frames\n",
 			cfg.Pattern, cfg.Hosts, res.FabricDrops, res.FabricMaxDepth)
+	}
+	if fk != bench.FaultNone {
+		// The effective schedule comes from the result's config: Prepare
+		// fills the default quarter-window timing.
+		f := res.Config.Fault
+		fmt.Printf("fault %v at +%v for %v: link drops: %d  floods: %d  retransmits: %d\n",
+			f.Kind, f.After, f.Outage, res.LinkDrops, res.FabricFlooded, res.Retransmits)
 	}
 }

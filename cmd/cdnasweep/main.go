@@ -15,6 +15,8 @@
 //	cdnasweep -preset topology -json topo.json
 //	cdnasweep -hosts 8 -preset topology
 //	cdnasweep -modes xen,cdna -hosts 2,4,8 -patterns incast,all2all
+//	cdnasweep -preset faults -json faults.json
+//	cdnasweep -modes cdna -hosts 3 -patterns incast -faults none,linkflap,blackout -warmfork
 //	cdnasweep -spec grid.json -workers 4
 //
 // The -modes/-nics/-dirs/... axis flags define one cross-product grid;
@@ -74,10 +76,12 @@ func presetGrids(name string) []campaign.Grid {
 		return campaign.WorkloadGrids()
 	case "topology":
 		return campaign.TopologyGrids()
+	case "faults":
+		return campaign.FaultGrids()
 	case "paper":
 		return campaign.PaperGrids()
 	}
-	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | topology | paper)", name)
+	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | topology | faults | paper)", name)
 	return nil
 }
 
@@ -97,6 +101,7 @@ func main() {
 	workloads := flag.String("workloads", "", "comma list: bulk | rr | churn | burst (per-kind defaults; use -spec for knobs)")
 	hosts := flag.String("hosts", "", "comma list of fabric host counts (1 = classic host+peer; also overrides a preset's host axis)")
 	patterns := flag.String("patterns", "", "comma list: pairs | incast | all2all (cross-host scenarios, hosts > 1)")
+	faults := flag.String("faults", "", "comma list: none | linkflap | portfail | blackout (default quarter-window schedule; use -spec for exact timing)")
 	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
 	window := flag.Int("window", 0, "transport window in segments (0 = default)")
 
@@ -106,6 +111,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "-", "JSON output path (- = stdout, empty = none)")
 	csvPath := flag.String("csv", "", "CSV output path (- = stdout)")
+	warmfork := flag.Bool("warmfork", false, "share one simulated warmup among grid points that differ only in fault (checkpoint/restore forking; results stay byte-identical to cold runs)")
 	progress := flag.Bool("progress", true, "report per-experiment completion on stderr")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -121,7 +127,7 @@ func main() {
 		"modes": true, "nics": true, "dirs": true, "guests": true,
 		"niccounts": true, "protections": true, "batches": true,
 		"irqs": true, "coalesce": true, "conns": true, "window": true,
-		"workloads": true, "patterns": true,
+		"workloads": true, "patterns": true, "faults": true,
 	}
 	if *preset != "" || *spec != "" {
 		flag.Visit(func(f *flag.Flag) {
@@ -164,8 +170,12 @@ func main() {
 			}),
 			Hosts:    splitList("hosts", *hosts, strconv.Atoi),
 			Patterns: splitList("patterns", *patterns, bench.ParsePattern),
-			Conns:    *conns,
-			Window:   *window,
+			Faults: splitList("faults", *faults, func(s string) (bench.FaultSpec, error) {
+				k, err := bench.ParseFaultKind(s)
+				return bench.FaultSpec{Kind: k}, err
+			}),
+			Conns:  *conns,
+			Window: *window,
 		}
 		if len(g.Dirs) == 0 {
 			g.Dirs = []bench.Direction{bench.Tx}
@@ -213,7 +223,27 @@ func main() {
 		}
 	}
 	start := time.Now()
-	outs := campaign.Run(cfgs, opt)
+	var outs []bench.Outcome
+	if *warmfork {
+		// Warm-start forking runs groups sequentially (each group shares
+		// one snapshot image); the per-point progress callback still
+		// fires, via the stats line below instead of the worker pool.
+		var ws bench.WarmStats
+		var err error
+		outs, ws, err = bench.RunWarmForked(cfgs)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *progress {
+			for i, out := range outs {
+				opt.Progress(i+1, len(outs), out)
+			}
+			fmt.Fprintf(os.Stderr, "warm-start: %d runs forked from %d shared warmups (%d warmup events simulated, %d saved, %d snapshot bytes)\n",
+				ws.Runs, ws.Groups, ws.WarmupEvents, ws.EventsSaved, ws.SnapshotBytes)
+		}
+	} else {
+		outs = campaign.Run(cfgs, opt)
+	}
 	if *progress {
 		fmt.Fprintf(os.Stderr, "%d experiments in %.1fs wall clock\n", len(outs), time.Since(start).Seconds())
 	}

@@ -60,7 +60,7 @@ type Netfront struct {
 	txIn sim.FIFO[*ether.Frame]
 	rxUp sim.FIFO[*ether.Frame]
 
-	txInFn, rxUpFn, virqFn, notifyFn func()
+	txInFn, rxUpFn, virqFn, notifyFn sim.Fn
 }
 
 // MAC implements guest.NetDevice.
@@ -137,7 +137,7 @@ type Vif struct {
 	txOut sim.FIFO[*ether.Frame] // toward the bridge/wire
 	rxOut sim.FIFO[*ether.Frame] // toward this guest
 
-	visitFn, notifyFn, txOutFn, rxOutFn func()
+	visitFn, notifyFn, txOutFn, rxOutFn sim.Fn
 }
 
 // Netback is the driver domain's back-end driver plus bridge for one
@@ -156,7 +156,7 @@ type Netback struct {
 	// Frames arriving from the physical driver, queued into the bridge
 	// traversal task; wireInFn is bound once in NewNetback.
 	wireIn   sim.FIFO[*ether.Frame]
-	wireInFn func()
+	wireInFn sim.Fn
 
 	PktsToWire   stats.Counter
 	PktsToGuests stats.Counter
@@ -165,7 +165,7 @@ type Netback struct {
 // NewNetback creates the back end bridged onto the physical device.
 func NewNetback(hyp *xen.Hypervisor, dom0 *xen.Domain, phys guest.NetDevice, costs BackCosts) *Netback {
 	nb := &Netback{Dom0: dom0, Hyp: hyp, Costs: costs, Bridge: ether.NewBridge(), phys: phys}
-	nb.wireInFn = nb.wireInTask
+	nb.wireInFn = hyp.Eng.Bind(nb.wireInTask)
 	nb.physPort = nb.Bridge.AddPort(ether.PortFunc(func(f *ether.Frame) {
 		nb.PktsToWire.Inc()
 		phys.StartXmit(f)
@@ -180,17 +180,18 @@ func NewNetback(hyp *xen.Hypervisor, dom0 *xen.Domain, phys guest.NetDevice, cos
 // The per-vif packet callbacks are bound here, once, so the per-packet
 // paths below never allocate a capturing closure.
 func (nb *Netback) AddVif(gdom *xen.Domain, mac ether.MAC, fc FrontCosts) *Netfront {
+	eng := nb.Hyp.Eng
 	front := &Netfront{Dom: gdom, Costs: fc, mac: mac}
-	front.txInFn = front.txInTask
-	front.rxUpFn = front.rxUpTask
-	front.virqFn = front.virqTask
-	front.notifyFn = front.notifyTask
+	front.txInFn = eng.Bind(front.txInTask)
+	front.rxUpFn = eng.Bind(front.rxUpTask)
+	front.virqFn = eng.Bind(front.virqTask)
+	front.notifyFn = eng.Bind(front.notifyTask)
 	vif := &Vif{Front: front, back: nb}
 	front.vif = vif
-	vif.visitFn = func() { nb.visitTask(vif) }
-	vif.notifyFn = func() { nb.frontNotifyTask(vif) }
-	vif.txOutFn = func() { nb.txOutTask(vif) }
-	vif.rxOutFn = func() { nb.rxOutTask(vif) }
+	vif.visitFn = eng.Bind(func() { nb.visitTask(vif) })
+	vif.notifyFn = eng.Bind(func() { nb.frontNotifyTask(vif) })
+	vif.txOutFn = eng.Bind(func() { nb.txOutTask(vif) })
+	vif.rxOutFn = eng.Bind(func() { nb.rxOutTask(vif) })
 	vif.port = nb.Bridge.AddPort(ether.PortFunc(func(f *ether.Frame) {
 		nb.deliverToGuest(vif, f)
 	}))
@@ -226,7 +227,7 @@ func (nb *Netback) visitTask(v *Vif) {
 	v.txQ = v.txQ[n:]
 	for _, f := range frames {
 		v.txOut.Push(f)
-		nb.Dom0.VCPU.Exec(cpu.CatHyp, nb.Costs.FlipPerPkt, "netback.flip", nil)
+		nb.Dom0.VCPU.Exec(cpu.CatHyp, nb.Costs.FlipPerPkt, "netback.flip", sim.Fn{})
 		nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.TxPerPkt, f.Size)+nb.Costs.BridgePerPkt, "netback.tx", v.txOutFn)
 	}
 	if len(frames) > 0 {
@@ -270,7 +271,7 @@ func (nb *Netback) deliverToGuest(v *Vif, f *ether.Frame) {
 		flip = nb.Costs.FlipPerPkt / 2
 	}
 	v.rxOut.Push(f)
-	nb.Dom0.VCPU.Exec(cpu.CatHyp, flip, "netback.rxflip", nil)
+	nb.Dom0.VCPU.Exec(cpu.CatHyp, flip, "netback.rxflip", sim.Fn{})
 	nb.Dom0.VCPU.Exec(cpu.CatKernel, guest.ScaleCost(nb.Costs.RxPerPkt, f.Size), "netback.rx", v.rxOutFn)
 }
 

@@ -103,6 +103,7 @@ func buildCluster(cfg Config) (*Machine, error) {
 				p := m.Fabric.Params()
 				l := ether.NewDuplex(eng, p.LinkGbps, p.PropDelay)
 				m.Fabric.AddPort(l.AtoB, l.BtoA)
+				h.Links = append(h.Links, l.AtoB, l.BtoA)
 				return l.AtoB, l.BtoA
 			},
 			wire:     nil, // pattern wiring runs after every host exists
@@ -120,6 +121,8 @@ func buildCluster(cfg Config) (*Machine, error) {
 	if err := m.wirePattern(cfg); err != nil {
 		return nil, err
 	}
+	m.cfg = cfg
+	m.faults = newFaultInjector(m)
 	return m, nil
 }
 

@@ -25,14 +25,19 @@ func TestMultiGuestDoubleRunByteIdentical(t *testing.T) {
 		nic     NICKind
 		hosts   int
 		pattern Pattern
+		fault   FaultKind
 	}{
-		{"Xen/RiceNIC", ModeXen, NICRice, 0, PatternPairs},
-		{"Xen/Intel", ModeXen, NICIntel, 0, PatternPairs},
-		{"CDNA", ModeCDNA, NICRice, 0, PatternPairs},
+		{"Xen/RiceNIC", ModeXen, NICRice, 0, PatternPairs, FaultNone},
+		{"Xen/Intel", ModeXen, NICIntel, 0, PatternPairs, FaultNone},
+		{"CDNA", ModeCDNA, NICRice, 0, PatternPairs, FaultNone},
 		// Multi-host: the switched fabric (per-port egress FIFOs, drops,
 		// cross-host acks) must be just as byte-deterministic.
-		{"CDNA/3h-incast", ModeCDNA, NICRice, 3, PatternIncast},
-		{"Xen/4h-all2all", ModeXen, NICIntel, 4, PatternAllToAll},
+		{"CDNA/3h-incast", ModeCDNA, NICRice, 3, PatternIncast, FaultNone},
+		{"Xen/4h-all2all", ModeXen, NICIntel, 4, PatternAllToAll, FaultNone},
+		// Fault injection mid-window (link flap under incast): the
+		// outage, the drops it forces, and the recovery must all replay
+		// bit-for-bit.
+		{"CDNA/3h-incast-flap", ModeCDNA, NICRice, 3, PatternIncast, FaultLinkFlap},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig(tc.mode, tc.nic, Tx)
@@ -47,6 +52,9 @@ func TestMultiGuestDoubleRunByteIdentical(t *testing.T) {
 				cfg.Protection = core.ModeHypercall
 			}
 			cfg.Warmup, cfg.Duration = opts.Warmup, opts.Duration
+			if tc.fault != FaultNone {
+				cfg.Fault = FaultSpec{Kind: tc.fault, After: cfg.Duration / 4, Outage: cfg.Duration / 4}
+			}
 			run := func() []byte {
 				res, err := Run(cfg)
 				if err != nil {
@@ -61,6 +69,44 @@ func TestMultiGuestDoubleRunByteIdentical(t *testing.T) {
 			first, second := run(), run()
 			if string(first) != string(second) {
 				t.Fatalf("reruns differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+			}
+		})
+	}
+}
+
+// TestRestoreMidRunByteIdentical is the doublerun contract with a
+// checkpoint in the loop: a run snapshotted mid-window and resumed in
+// a fresh machine must be byte-identical to the uninterrupted run —
+// including across a live link-flap outage.
+func TestRestoreMidRunByteIdentical(t *testing.T) {
+	opts := Opts{Warmup: 20 * sim.Millisecond, Duration: 60 * sim.Millisecond}
+	for _, tc := range []struct {
+		name  string
+		hosts int
+		fault FaultKind
+	}{
+		{"CDNA/single", 0, FaultNone},
+		{"CDNA/3h-incast-flap", 3, FaultLinkFlap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+			cfg.Guests = 2
+			cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+			if tc.hosts > 1 {
+				cfg.Hosts = tc.hosts
+				cfg.Pattern = PatternIncast
+			}
+			cfg.Warmup, cfg.Duration = opts.Warmup, opts.Duration
+			if tc.fault != FaultNone {
+				cfg.Fault = FaultSpec{Kind: tc.fault, After: cfg.Duration / 4, Outage: cfg.Duration / 4}
+			}
+			// Snapshot mid-window, between injection and healing.
+			snapAt := cfg.Warmup + cfg.Duration*3/8
+			cold, img := runWithSnapshot(t, cfg, snapAt)
+			resumed := resumeFromSnapshot(t, cfg, snapAt, img)
+			a, b := resultJSON(t, cold), resultJSON(t, resumed)
+			if a != b {
+				t.Fatalf("resumed run diverged:\n--- cold ---\n%s\n--- resumed ---\n%s", a, b)
 			}
 		})
 	}

@@ -48,6 +48,11 @@ type Config struct {
 	// coalescing threshold (ablation A5; 0 = calibrated default).
 	TxCoalescePkts int `json:"tx_coalesce_pkts,omitempty"`
 
+	// Fault schedules a fault/churn scenario inside the measurement
+	// window (fault.go). The zero value injects nothing, so legacy
+	// configs and records are unchanged.
+	Fault FaultSpec `json:"fault,omitzero"`
+
 	Warmup   sim.Time `json:"warmup_ns"`
 	Duration sim.Time `json:"duration_ns"`
 
@@ -75,6 +80,7 @@ func (c Config) Name() string {
 		name += fmt.Sprintf("/coal=%d", c.TxCoalescePkts)
 	}
 	name += c.Workload.Suffix()
+	name += c.Fault.Suffix()
 	return name
 }
 
@@ -137,11 +143,22 @@ type Result struct {
 	Events        uint64  `json:"events"` // simulator events executed (diagnostics)
 
 	// Fabric columns (multi-host only; zero for the classic topology),
-	// both scoped to the measurement window: FabricDrops is egress tail
+	// all scoped to the measurement window: FabricDrops is egress tail
 	// drops at the switch; FabricMaxDepth the deepest egress queue any
-	// port reached.
+	// port reached. FabricFlooded and FabricMoves gauge forwarding-
+	// database churn: a port failure unlearns every station behind the
+	// port, so traffic toward them floods until they re-learn; Moves
+	// counts stations re-learned on a *different* port (zero on a
+	// single-switch star, where re-learning lands on the same port).
 	FabricDrops    uint64 `json:"fabric_drops,omitempty"`
 	FabricMaxDepth int    `json:"fabric_max_depth,omitempty"`
+	FabricFlooded  uint64 `json:"fabric_flooded,omitempty"`
+	FabricMoves    uint64 `json:"fabric_fdb_moves,omitempty"`
+
+	// LinkDrops counts frames discarded at down access links — nonzero
+	// only under fault scenarios, where it measures how much traffic
+	// the outage destroyed.
+	LinkDrops uint64 `json:"link_drops,omitempty"`
 
 	// Workload columns (zero for bulk). MsgLat* is message-completion
 	// latency: RPC issue→response for request/response, flow
@@ -195,6 +212,9 @@ func (c Config) Validate() error {
 	if err := c.Workload.Validate(); err != nil {
 		return err
 	}
+	if err := c.Fault.validate(c); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -211,29 +231,60 @@ func RunTraced(cfg Config, traceN int) (*Machine, Result, error) {
 	return runMachine(cfg, traceN)
 }
 
+// runMachine is the canonical experiment lifecycle. Its phases are
+// exported separately so checkpoint flows can recompose them: a
+// warm-start fork replaces Launch-plus-warmup with a Restore, and a
+// round-trip test snapshots between any two phases — every path runs
+// the same code in the same order, which is what makes restored runs
+// byte-identical to cold ones.
 func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, Result{}, err
-	}
-	if cfg.ConnsPerGuestPerNIC <= 0 {
-		cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
-	}
-	m, err := Build(cfg)
+	m, err := Prepare(cfg)
 	if err != nil {
 		return nil, Result{}, err
 	}
 	if traceN > 0 {
 		m.Tracer = m.Eng.Attach(traceN)
 	}
-	// The workload layer owns traffic start (staggered over the first
-	// part of warmup so initial windows do not arrive as one
-	// synchronized burst; for bulk this is the historical schedule).
-	m.Work.Launch(cfg.Warmup)
-	m.Eng.Run(cfg.Warmup)
+	m.Launch()
+	m.RunTo(m.cfg.Warmup)
+	m.OpenWindow()
+	m.RunTo(m.cfg.Warmup + m.cfg.Duration)
+	return m, m.Collect(), nil
+}
 
-	// Open the measurement window. Per-host components are reset in
-	// host order (single-host configurations take exactly the historical
-	// path: one CPU, one hypervisor).
+// Prepare validates and normalizes a configuration and builds its
+// machine (normalization fills the balanced connection count, so the
+// recorded Result.Config is explicit).
+func Prepare(cfg Config) (*Machine, error) {
+	cfg.Fault = cfg.Fault.withDefaults(cfg.Duration)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ConnsPerGuestPerNIC <= 0 {
+		cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+	}
+	return Build(cfg)
+}
+
+// Config returns the machine's normalized configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Launch starts the workload. The workload layer owns traffic start
+// (staggered over the first part of warmup so initial windows do not
+// arrive as one synchronized burst; for bulk this is the historical
+// schedule).
+func (m *Machine) Launch() { m.Work.Launch(m.cfg.Warmup) }
+
+// RunTo advances the simulation to absolute time t.
+func (m *Machine) RunTo(t sim.Time) { m.Eng.Run(t) }
+
+// OpenWindow opens the measurement window: per-host components are
+// reset in host order (single-host configurations take exactly the
+// historical path: one CPU, one hypervisor), then the configured fault
+// scenario is armed. Arming here — not at build or launch — keeps the
+// pre-window event sequence identical between a fault variant and its
+// fault-free base, so a warm-start fork restores cleanly into either.
+func (m *Machine) OpenWindow() {
 	for _, h := range m.Hosts {
 		h.CPU.StartWindow()
 	}
@@ -255,8 +306,17 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 	if m.Fabric != nil {
 		m.Fabric.StartWindow()
 	}
+	for _, h := range m.Hosts {
+		for _, l := range h.Links {
+			l.StartWindow()
+		}
+	}
+	m.faults.arm(m.cfg.Fault)
+}
 
-	m.Eng.Run(cfg.Warmup + cfg.Duration)
+// Collect closes the measurement window and gathers the result row.
+func (m *Machine) Collect() Result {
+	cfg := m.cfg
 	for _, h := range m.Hosts {
 		h.CPU.EndWindow()
 	}
@@ -289,8 +349,15 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 		res.Drops += n.E.RxDrops.Window()
 		res.Faults += n.E.Faults.Window()
 	}
+	for _, h := range m.Hosts {
+		for _, l := range h.Links {
+			res.LinkDrops += l.Dropped.Window()
+		}
+	}
 	if m.Fabric != nil {
 		res.FabricDrops = m.Fabric.Drops.Window()
+		res.FabricFlooded = m.Fabric.Flooded().Window()
+		res.FabricMoves = m.Fabric.Moves().Window()
 		for i := 0; i < m.Fabric.NumPorts(); i++ {
 			if d := m.Fabric.Port(i).MaxDepth(); d > res.FabricMaxDepth {
 				res.FabricMaxDepth = d
@@ -323,7 +390,7 @@ func runMachine(cfg Config, traceN int) (*Machine, Result, error) {
 		res.DriverIntrPerSec = drv
 		res.GuestIntrPerSec = g
 	}
-	return m, res, nil
+	return res
 }
 
 // profile returns the execution profile of the machine: the single

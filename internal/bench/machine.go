@@ -102,6 +102,15 @@ type Host struct {
 	Drivers   []*guest.CDNADriver    // CDNA drivers on this host
 	Stacks    []*guest.Stack         // one per guest (native: the host OS)
 
+	// Checkpoint rosters, in creation order: every bus, access-link pipe
+	// (both directions, NIC order), netback and native driver built into
+	// the host. The snapshot walk (snapshot.go) iterates these; identity
+	// is the index, which deterministic construction reproduces.
+	Buses      []*bus.Bus
+	Links      []*ether.Pipe
+	Netbacks   []*backend.Netback
+	NativeDrvs []*guest.NativeDriver
+
 	guestDoms []*xen.Domain
 	dom0      *xen.Domain
 
@@ -139,6 +148,9 @@ type Machine struct {
 
 	// Tracer is attached by RunTraced (cdnasim -trace).
 	Tracer *sim.Tracer
+
+	cfg    Config
+	faults *faultInjector
 }
 
 // hostEnv is the assembly context a per-mode host builder runs in: it
@@ -217,8 +229,8 @@ func makeRings(m *mem.Memory, dom mem.DomID, name string) (*ring.Ring, *ring.Rin
 func startBackground(eng *sim.Engine, d *cpu.Domain, period, kernel, user sim.Time) {
 	var tm *sim.Timer
 	tm = eng.NewTimer("bg", func() {
-		d.Exec(cpu.CatKernel, kernel, "bg.kernel", nil)
-		d.Exec(cpu.CatUser, user, "bg.user", nil)
+		d.Exec(cpu.CatKernel, kernel, "bg.kernel", sim.Fn{})
+		d.Exec(cpu.CatUser, user, "bg.user", sim.Fn{})
 		tm.ArmAfter(period)
 	})
 	tm.ArmAfter(period)
@@ -277,6 +289,7 @@ func Build(cfg Config) (*Machine, error) {
 			pr.outs = append(pr.outs, l.BtoA)
 			pr.macs = append(pr.macs, ether.MakeMAC(200, i))
 			l.AtoB.Connect(pr.port(i))
+			h.Links = append(h.Links, l.AtoB, l.BtoA)
 			return l.AtoB, l.BtoA // (NIC out, fabric-to-host)
 		},
 		wire: func(st *guest.Stack, guestIdx, nicIdx int, dev guest.NetDevice) error {
@@ -290,6 +303,8 @@ func Build(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m.adoptHost(h)
+	m.cfg = cfg
+	m.faults = newFaultInjector(m)
 	return m, nil
 }
 
@@ -395,6 +410,7 @@ func buildNative(cfg Config, env hostEnv) error {
 	for i := 0; i < cfg.NICs; i++ {
 		nicOut, hostIn := env.newLink()
 		b := bus.New(env.eng, cal.Bus)
+		h.Buses = append(h.Buses, b)
 		n := intelnic.New(env.eng, b, h.Mem, nicOut, cal.Intel, ether.MakeMAC(1, env.macIndex(i)))
 		hostIn.Connect(ether.PortFunc(n.Receive))
 		drv, err := guest.NewNativeDriver(hostDom, hostID, h.Mem, n, cal.NativeDrv)
@@ -406,6 +422,7 @@ func buildNative(cfg Config, env hostEnv) error {
 		drv.Start()
 		st.AttachDevice(drv)
 		h.IntelNICs = append(h.IntelNICs, n)
+		h.NativeDrvs = append(h.NativeDrvs, drv)
 		h.recordDev(0, drv)
 		if env.wire != nil {
 			if err := env.wire(st, 0, i, drv); err != nil {
@@ -443,6 +460,7 @@ func buildXen(cfg Config, env hostEnv) error {
 	for i := 0; i < cfg.NICs; i++ {
 		nicOut, hostIn := env.newLink()
 		b := bus.New(env.eng, cal.Bus)
+		h.Buses = append(h.Buses, b)
 
 		// Physical device owned by the driver domain.
 		var phys guest.NetDevice
@@ -459,6 +477,7 @@ func buildXen(cfg Config, env hostEnv) error {
 			n.SetIRQ(irq.Raise)
 			drv.Start()
 			h.IntelNICs = append(h.IntelNICs, n)
+			h.NativeDrvs = append(h.NativeDrvs, drv)
 			phys = drv
 		case NICRice:
 			// RiceNIC under software virtualization: one context assigned
@@ -487,7 +506,8 @@ func buildXen(cfg Config, env hostEnv) error {
 			ch := hyp.NewChannel(dom0, "cdna", drv.OnVirq)
 			channels := make([]*xen.EventChannel, core.NumContexts)
 			channels[ctx.ID] = ch
-			irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+			dec := hyp.NewBitVecDecoder(n.BitVec, channels)
+			irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), dec.HandleIRQ)
 			n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 			drv.Start()
 			h.RiceNICs = append(h.RiceNICs, n)
@@ -497,6 +517,7 @@ func buildXen(cfg Config, env hostEnv) error {
 		}
 
 		nb := backend.NewNetback(hyp, dom0, phys, cal.Back)
+		h.Netbacks = append(h.Netbacks, nb)
 		for g := range guests {
 			front := nb.AddVif(guests[g], ether.MakeMAC(10+i, env.macIndex(g)), cal.Front)
 			stacks[g].AttachDevice(front)
@@ -541,6 +562,7 @@ func buildCDNA(cfg Config, env hostEnv) error {
 	for i := 0; i < cfg.NICs; i++ {
 		nicOut, hostIn := env.newLink()
 		b := bus.New(env.eng, cal.Bus)
+		h.Buses = append(h.Buses, b)
 		n, err := ricenic.New(env.eng, b, h.Mem, nicOut, rice)
 		if err != nil {
 			return err
@@ -549,7 +571,8 @@ func buildCDNA(cfg Config, env hostEnv) error {
 		cm := core.NewContextManager(hyp.Prot)
 		cm.OnRevoke = func(c *core.Context) { n.DetachContext(c.ID) }
 		channels := make([]*xen.EventChannel, core.NumContexts)
-		irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), func() { hyp.HandleBitVectorIRQ(n.BitVec, channels) })
+		dec := hyp.NewBitVecDecoder(n.BitVec, channels)
+		irq := hyp.NewIRQ(env.name(fmt.Sprintf("rice%d", i)), dec.HandleIRQ)
 		n.SetHost(irq.Raise, func(f *core.Fault) { hyp.HandleFault(cm, f) })
 
 		for g := range guests {

@@ -395,6 +395,51 @@ func TopologyAllToAll(o Opts, hosts []int) (*stats.Table, []Result, error) {
 	return t, results, nil
 }
 
+// ScenarioFaults runs the fault/churn scenarios on a switched rack
+// under incast: a fault-free baseline, then each fault kind, Xen vs
+// CDNA. The fault fires a quarter of the way into the measurement
+// window and heals a quarter later (blackouts an eighth), targeting
+// host 0's first access link/port — the incast root, so recovery is on
+// the critical path. Columns report goodput plus the recovery gauges:
+// retransmissions (RTO recovery), switch drops (frames lost to the
+// dead link/port), FDB station moves (re-learning churn after a port
+// failure), and tail latency.
+func ScenarioFaults(o Opts, hosts int) (*stats.Table, []Result, error) {
+	faults := []FaultSpec{
+		{},
+		{Kind: FaultLinkFlap, After: o.Duration / 4, Outage: o.Duration / 4},
+		{Kind: FaultPortFail, After: o.Duration / 4, Outage: o.Duration / 4},
+		{Kind: FaultBlackout, After: o.Duration / 4, Outage: o.Duration / 8},
+	}
+	var cfgs []Config
+	for _, f := range faults {
+		for _, mode := range []Mode{ModeXen, ModeCDNA} {
+			nic := NICIntel
+			if mode == ModeCDNA {
+				nic = NICRice
+			}
+			cfg := DefaultConfig(mode, nic, Tx)
+			cfg.Hosts = hosts
+			cfg.Pattern = PatternIncast
+			cfg.Fault = f
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Fault", "System", "Mb/s", "LinkDrops", "SwitchDrops", "Flooded", "Retrans", "p90 lat (us)"}}
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(cfg.Fault.Kind.String(), fmt.Sprintf("%v/%v", cfg.Mode, cfg.NIC),
+			fmt.Sprintf("%.0f", res.Mbps), fmt.Sprintf("%d", res.LinkDrops),
+			fmt.Sprintf("%d", res.FabricDrops), fmt.Sprintf("%d", res.FabricFlooded),
+			fmt.Sprintf("%d", res.Retransmits), fmt.Sprintf("%.0f", res.LatencyP90us))
+	}
+	return t, results, nil
+}
+
 // AblationIOMMU reproduces §5.3's discussion: protection by hypercall,
 // by a context-aware IOMMU (guest enqueues directly), and disabled.
 func AblationIOMMU(o Opts) (*stats.Table, []Result, error) {

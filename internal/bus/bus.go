@@ -48,9 +48,9 @@ func (b *Bus) transferTime(size int) sim.Time {
 // DMA queues a transfer of size bytes and invokes fn when it completes.
 // Transfers are serviced FIFO — completions fire in issue order — so
 // callers needing per-transfer state can pair a sim.FIFO with one
-// callback bound at construction instead of capturing a fresh closure
-// per transfer. name is the event name as it appears in traces.
-func (b *Bus) DMA(size int, name string, fn func()) {
+// callback bound at construction instead of capturing it in a fresh
+// closure per transfer. name is the event name as it appears in traces.
+func (b *Bus) DMA(size int, name string, fn sim.Fn) {
 	if size < 0 {
 		panic("bus: negative DMA size")
 	}
@@ -62,13 +62,8 @@ func (b *Bus) DMA(size int, name string, fn func()) {
 	b.busyUntil = done
 	b.Transfers.Inc()
 	b.Bytes.Add(uint64(size))
-	if fn == nil {
-		fn = nop
-	}
-	b.eng.At(done, name, fn)
+	b.eng.AtFn(done, name, fn)
 }
-
-func nop() {}
 
 // Backlog returns how far in the future the bus frees up.
 func (b *Bus) Backlog() sim.Time {

@@ -1,0 +1,27 @@
+package bus
+
+import (
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// State is the bus's checkpoint image: the FIFO server's horizon plus
+// the traffic counters. In-flight DMA completions are events and ride
+// the engine snapshot.
+type State struct {
+	BusyUntil sim.Time
+	Transfers stats.CounterState
+	Bytes     stats.CounterState
+}
+
+// State captures the bus.
+func (b *Bus) State() State {
+	return State{BusyUntil: b.busyUntil, Transfers: b.Transfers.State(), Bytes: b.Bytes.State()}
+}
+
+// SetState restores the bus from a State image.
+func (b *Bus) SetState(s State) {
+	b.busyUntil = s.BusyUntil
+	b.Transfers.SetState(s.Transfers)
+	b.Bytes.SetState(s.Bytes)
+}

@@ -32,6 +32,14 @@ type Grid struct {
 	// default bulk workload (the paper's benchmark).
 	Workloads []workload.Spec `json:"workloads,omitempty"`
 
+	// Faults is the fault/churn scenario axis; empty collapses to the
+	// fault-free run. A spec with zero Outage gets the default schedule
+	// (injection a quarter into the window, quarter-window outage), so
+	// an axis can name just the kinds. Single-host points drop
+	// FaultPortFail, which needs a switched fabric, the same way the
+	// pattern axis collapses.
+	Faults []bench.FaultSpec `json:"faults,omitempty"`
+
 	// Ablation axes (CDNA only; see bench.Config).
 	MaxEnqueueBatches []int  `json:"max_enqueue_batches,omitempty"` // A2
 	IRQDeliveries     []bool `json:"irq_deliveries,omitempty"`      // A1: DirectPerContextIRQ
@@ -89,6 +97,27 @@ func (g Grid) patternsFor(hosts int) []bench.Pattern {
 	return g.Patterns
 }
 
+// faultsFor collapses fabric-only fault scenarios out of the axis for
+// single-host points (a port failure needs a switch to fail).
+func (g Grid) faultsFor(hosts int) []bench.FaultSpec {
+	if len(g.Faults) == 0 {
+		return []bench.FaultSpec{{}}
+	}
+	if hosts > 1 {
+		return g.Faults
+	}
+	var specs []bench.FaultSpec
+	for _, f := range g.Faults {
+		if f.Kind != bench.FaultPortFail {
+			specs = append(specs, f)
+		}
+	}
+	if len(specs) == 0 {
+		return []bench.FaultSpec{{}}
+	}
+	return specs
+}
+
 // nicsFor returns the NIC axis for one mode: only Xen supports both
 // device models; native always drives the Intel NIC and CDNA always
 // the RiceNIC, so their NIC axis collapses.
@@ -140,42 +169,45 @@ func (g Grid) Points() []bench.Config {
 						for _, nn := range intsOr(g.NICCounts, 2) {
 							for _, hosts := range intsOr(g.Hosts, 1) {
 								for _, pat := range g.patternsFor(hosts) {
-									for _, prot := range g.protectionsFor(mode) {
-										for _, batch := range batches {
-											for _, irq := range irqs {
-												for _, coal := range coals {
-													cfg := bench.DefaultConfig(mode, nic, dir)
-													cfg.Workload = wl
-													cfg.Guests = gs
-													cfg.NICs = nn
-													if hosts > 1 {
-														cfg.Hosts = hosts
-														cfg.Pattern = pat
-													}
-													cfg.Protection = prot
-													cfg.MaxEnqueueBatch = batch
-													cfg.DirectPerContextIRQ = irq
-													cfg.TxCoalescePkts = coal
-													cfg.ConnsPerGuestPerNIC = g.Conns
-													// Invalid guest counts stay as-is here and fail
-													// Config.Validate with a per-point error record.
-													if g.Conns <= 0 && gs >= 1 {
-														cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
-													}
-													if g.Window > 0 {
-														cfg.Window = g.Window
-													}
-													if g.Warmup > 0 {
-														cfg.Warmup = g.Warmup
-													}
-													if g.Duration > 0 {
-														cfg.Duration = g.Duration
-													}
-													key := cfg
-													key.Cal = bench.Calibration{}
-													if !seen[key] {
-														seen[key] = true
-														cfgs = append(cfgs, cfg)
+									for _, flt := range g.faultsFor(hosts) {
+										for _, prot := range g.protectionsFor(mode) {
+											for _, batch := range batches {
+												for _, irq := range irqs {
+													for _, coal := range coals {
+														cfg := bench.DefaultConfig(mode, nic, dir)
+														cfg.Workload = wl
+														cfg.Guests = gs
+														cfg.NICs = nn
+														if hosts > 1 {
+															cfg.Hosts = hosts
+															cfg.Pattern = pat
+														}
+														cfg.Fault = flt
+														cfg.Protection = prot
+														cfg.MaxEnqueueBatch = batch
+														cfg.DirectPerContextIRQ = irq
+														cfg.TxCoalescePkts = coal
+														cfg.ConnsPerGuestPerNIC = g.Conns
+														// Invalid guest counts stay as-is here and fail
+														// Config.Validate with a per-point error record.
+														if g.Conns <= 0 && gs >= 1 {
+															cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
+														}
+														if g.Window > 0 {
+															cfg.Window = g.Window
+														}
+														if g.Warmup > 0 {
+															cfg.Warmup = g.Warmup
+														}
+														if g.Duration > 0 {
+															cfg.Duration = g.Duration
+														}
+														key := cfg
+														key.Cal = bench.Calibration{}
+														if !seen[key] {
+															seen[key] = true
+															cfgs = append(cfgs, cfg)
+														}
 													}
 												}
 											}
@@ -302,6 +334,27 @@ func TopologyGrids() []Grid {
 		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternPairs, bench.PatternAllToAll}},
 		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternIncast},
 			Workloads: []workload.Spec{{Kind: workload.Churn}}},
+	}
+}
+
+// FaultGrids is the fault/churn campaign over the switched fabric: a
+// 3-host incast under each fault scenario (none as the baseline, an
+// access-link flap, a switch-port failure with its FDB re-learning
+// churn, and a whole-fabric blackout whose healing synchronizes the
+// retransmission timers), for both I/O architectures. Default
+// schedules (quarter-window) keep every scenario valid at any window
+// length, so `-quick` sweeps and full-length runs use the same grid.
+func FaultGrids() []Grid {
+	tx := []bench.Direction{bench.Tx}
+	xenCDNA := []bench.Mode{bench.ModeXen, bench.ModeCDNA}
+	return []Grid{
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{3}, Patterns: []bench.Pattern{bench.PatternIncast},
+			Faults: []bench.FaultSpec{
+				{},
+				{Kind: bench.FaultLinkFlap},
+				{Kind: bench.FaultPortFail},
+				{Kind: bench.FaultBlackout},
+			}},
 	}
 }
 

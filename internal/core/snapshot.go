@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"cdna/internal/mem"
+	"cdna/internal/stats"
+)
+
+// This file is the checkpoint layer for the CDNA protection machinery.
+// All structures here follow the repository's snapshot contract: plain
+// exported data, deterministic slice order (never map iteration), and
+// SetState methods that treat the image as authoritative. Ring indices
+// and ring/bit-vector memory bytes are restored elsewhere (by the
+// owning driver layer and internal/mem respectively); this layer owns
+// the hypervisor- and NIC-side protection bookkeeping.
+
+// State/SetState for the sequence validators: the free-running counter
+// is the entire mutable state (the space is construction geometry).
+
+// State captures the checker's free-running expected counter.
+func (s *SeqChecker) State() uint32 { return s.next }
+
+// SetState restores the checker's free-running expected counter.
+func (s *SeqChecker) SetState(v uint32) { s.next = v }
+
+// State captures the assigner's free-running counter.
+func (s *SeqAssigner) State() uint32 { return s.next }
+
+// SetState restores the assigner's free-running counter.
+func (s *SeqAssigner) SetState(v uint32) { s.next = v }
+
+// PinState is one pinned descriptor: its free-running ring index and
+// the frames it holds references on.
+type PinState struct {
+	Idx  uint32
+	PFNs []mem.PFN
+}
+
+// RingProtState is the protection bookkeeping for the n-th ring ever
+// registered. Registered distinguishes rings still under management
+// from ones unregistered before the snapshot.
+type RingProtState struct {
+	Registered bool
+	Owner      mem.DomID
+	SeqNext    uint32
+	Active     bool
+	Pins       []PinState
+}
+
+// ProtectionState is the Protection engine's checkpoint image.
+type ProtectionState struct {
+	Rings       []RingProtState
+	Validated   stats.CounterState
+	Rejected    stats.CounterState
+	Reaped      stats.CounterState
+	PinnedPages stats.CounterState
+}
+
+// State captures the protection engine. Ring identity is registration
+// order (the append-only roster), which a freshly built machine
+// reproduces exactly.
+func (p *Protection) State() ProtectionState {
+	s := ProtectionState{
+		Rings:       make([]RingProtState, len(p.order)),
+		Validated:   p.Validated.State(),
+		Rejected:    p.Rejected.State(),
+		Reaped:      p.Reaped.State(),
+		PinnedPages: p.PinnedPages.State(),
+	}
+	for i, r := range p.order {
+		st, ok := p.rings[r]
+		if !ok {
+			continue
+		}
+		rs := RingProtState{
+			Registered: true,
+			Owner:      st.owner,
+			SeqNext:    st.seq.State(),
+			Active:     st.active,
+			Pins:       make([]PinState, len(st.pins)),
+		}
+		for j, pin := range st.pins {
+			rs.Pins[j] = PinState{Idx: pin.idx, PFNs: append([]mem.PFN(nil), pin.pfns...)}
+		}
+		s.Rings[i] = rs
+	}
+	return s
+}
+
+// SetState restores the protection engine. The receiver must be a
+// freshly built machine whose registration roster matches the donor's —
+// restore does not touch simulated memory (page refcounts and the
+// hypervisor-exclusive bits arrive with the mem image).
+func (p *Protection) SetState(s ProtectionState) error {
+	if len(s.Rings) != len(p.order) {
+		return fmt.Errorf("core: protection roster mismatch: snapshot has %d rings, machine has %d",
+			len(s.Rings), len(p.order))
+	}
+	for i, rs := range s.Rings {
+		r := p.order[i]
+		st, ok := p.rings[r]
+		if rs.Registered != ok {
+			return fmt.Errorf("core: ring %d (%q) registration mismatch: snapshot=%v machine=%v",
+				i, r.Name, rs.Registered, ok)
+		}
+		if !ok {
+			continue
+		}
+		st.owner = rs.Owner
+		st.seq.SetState(rs.SeqNext)
+		st.active = rs.Active
+		st.pins = st.pins[:0]
+		for _, pin := range rs.Pins {
+			st.pins = append(st.pins, pinned{idx: pin.Idx, pfns: append([]mem.PFN(nil), pin.PFNs...)})
+		}
+	}
+	p.Validated.SetState(s.Validated)
+	p.Rejected.SetState(s.Rejected)
+	p.Reaped.SetState(s.Reaped)
+	p.PinnedPages.SetState(s.PinnedPages)
+	return nil
+}
+
+// ContextState is one hardware-context slot's checkpoint image.
+type ContextState struct {
+	Present bool
+	Active  bool
+	Faulted bool
+	TxSeq   uint32
+	RxSeq   uint32
+}
+
+// ContextManagerState is the context manager's checkpoint image: one
+// entry per hardware-context slot.
+type ContextManagerState struct {
+	Contexts [NumContexts]ContextState
+}
+
+// State captures the context manager and the NIC-side sequence
+// checkers living on each assigned context.
+func (cm *ContextManager) State() ContextManagerState {
+	var s ContextManagerState
+	for i, c := range cm.contexts {
+		if c == nil {
+			continue
+		}
+		s.Contexts[i] = ContextState{
+			Present: true,
+			Active:  c.Active,
+			Faulted: c.Faulted,
+			TxSeq:   c.TxSeq.State(),
+			RxSeq:   c.RxSeq.State(),
+		}
+	}
+	return s
+}
+
+// SetState restores the context manager. Slot occupancy must match the
+// donor's (snapshots taken after a runtime revocation need the restored
+// machine to have revoked identically, which construction does not do —
+// those snapshots are refused at capture by the machine layer).
+func (cm *ContextManager) SetState(s ContextManagerState) error {
+	for i, cs := range s.Contexts {
+		c := cm.contexts[i]
+		if cs.Present != (c != nil) {
+			return fmt.Errorf("core: context slot %d occupancy mismatch: snapshot=%v machine=%v",
+				i, cs.Present, c != nil)
+		}
+		if c == nil {
+			continue
+		}
+		c.Active = cs.Active
+		c.Faulted = cs.Faulted
+		c.TxSeq.SetState(cs.TxSeq)
+		c.RxSeq.SetState(cs.RxSeq)
+	}
+	return nil
+}
+
+// BitVectorQueueState is the interrupt bit-vector queue's checkpoint
+// image. The circular buffer's bytes live in hypervisor memory and are
+// captured by the mem layer; this is the NIC- and host-side index state.
+type BitVectorQueueState struct {
+	ProdShadow  uint32
+	Cons        uint32
+	PendingBits uint32
+	Posted      stats.CounterState
+	Merged      stats.CounterState
+	Drained     stats.CounterState
+}
+
+// State captures the queue indices and counters.
+func (q *BitVectorQueue) State() BitVectorQueueState {
+	return BitVectorQueueState{
+		ProdShadow:  q.prodShadow,
+		Cons:        q.cons,
+		PendingBits: q.pendingBits,
+		Posted:      q.Posted.State(),
+		Merged:      q.Merged.State(),
+		Drained:     q.Drained.State(),
+	}
+}
+
+// SetState restores the queue indices and counters.
+func (q *BitVectorQueue) SetState(s BitVectorQueueState) {
+	q.prodShadow = s.ProdShadow
+	q.cons = s.Cons
+	q.pendingBits = s.PendingBits
+	q.Posted.SetState(s.Posted)
+	q.Merged.SetState(s.Merged)
+	q.Drained.SetState(s.Drained)
+}

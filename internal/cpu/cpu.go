@@ -48,7 +48,7 @@ type Task struct {
 	Cat  Cat
 	Dur  sim.Time
 	Name string
-	Fn   func() // runs on completion, in scheduling order; may be nil
+	Fn   sim.Fn // runs on completion, in scheduling order; may be the zero Fn
 }
 
 // Domain is a schedulable virtual machine (or the native host OS).
@@ -138,7 +138,7 @@ type CPU struct {
 	pendTask Task
 	pendISR  Task
 
-	switchDoneFn, taskDoneFn, isrDoneFn func()
+	switchDoneFn, taskDoneFn, isrDoneFn sim.Fn
 
 	// window accounting
 	hypT, idleT sim.Time
@@ -149,9 +149,9 @@ type CPU struct {
 // New creates a CPU attached to the engine.
 func New(eng *sim.Engine, p Params) *CPU {
 	c := &CPU{eng: eng, params: p, idleSince: eng.Now()}
-	c.switchDoneFn = c.switchDone
-	c.taskDoneFn = c.taskDone
-	c.isrDoneFn = c.isrDone
+	c.switchDoneFn = eng.Bind(c.switchDone)
+	c.taskDoneFn = eng.Bind(c.taskDone)
+	c.isrDoneFn = eng.Bind(c.isrDone)
 	return c
 }
 
@@ -165,10 +165,17 @@ func (c *CPU) NewDomain(name string, kind Kind) *Domain {
 // Domains returns all registered domains.
 func (c *CPU) Domains() []*Domain { return c.domains }
 
+// Engine returns the engine the CPU is attached to — layers above use
+// it to bind their completion callbacks.
+func (c *CPU) Engine() *sim.Engine { return c.eng }
+
+// Engine returns the engine of the CPU the domain runs on.
+func (d *Domain) Engine() *sim.Engine { return d.cpu.eng }
+
 // Exec queues a task on the domain. If the domain was blocked it becomes
 // runnable (boosted). Duration must be non-negative; zero-duration tasks
 // are allowed for pure control flow.
-func (d *Domain) Exec(cat Cat, dur sim.Time, name string, fn func()) {
+func (d *Domain) Exec(cat Cat, dur sim.Time, name string, fn sim.Fn) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative task duration for %s", name))
 	}
@@ -186,7 +193,7 @@ func (d *Domain) Exec(cat Cat, dur sim.Time, name string, fn func()) {
 // domain-local interrupt path (a virtual interrupt's top half preempts
 // process context inside the guest, it does not wait behind queued
 // kernel work).
-func (d *Domain) ExecFront(cat Cat, dur sim.Time, name string, fn func()) {
+func (d *Domain) ExecFront(cat Cat, dur sim.Time, name string, fn sim.Fn) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative task duration for %s", name))
 	}
@@ -209,7 +216,7 @@ func (d *Domain) Wakes() *stats.Counter { return &d.wakes }
 // ExecISR queues hypervisor interrupt-service work. ISRs preempt domains
 // at task boundaries (tasks are short, so dispatch latency is bounded by
 // a few microseconds, matching real top-half latency).
-func (c *CPU) ExecISR(dur sim.Time, name string, fn func()) {
+func (c *CPU) ExecISR(dur sim.Time, name string, fn sim.Fn) {
 	if dur < 0 {
 		panic(fmt.Sprintf("cpu: negative ISR duration for %s", name))
 	}
@@ -292,7 +299,7 @@ func (c *CPU) dispatch() {
 		// switchCost is always params.SwitchCost here, so the callback
 		// needs only the pending domain.
 		c.pendDom = d
-		c.eng.After(switchCost, "cpu.switch", c.switchDoneFn)
+		c.eng.AfterFn(switchCost, "cpu.switch", c.switchDoneFn)
 		return
 	}
 	c.startDomainTask(d)
@@ -317,16 +324,14 @@ func (c *CPU) startDomainTask(d *Domain) {
 	if c.eng.Traced() {
 		name = "cpu.task:" + t.Name
 	}
-	c.eng.After(t.Dur, name, c.taskDoneFn)
+	c.eng.AfterFn(t.Dur, name, c.taskDoneFn)
 }
 
 func (c *CPU) taskDone() {
 	d, t := c.pendDom, c.pendTask
-	c.pendTask.Fn = nil // release the callback before t.Fn reschedules
+	c.pendTask.Fn = sim.Fn{} // release the callback before t.Fn reschedules
 	c.accountDomain(d, t)
-	if t.Fn != nil {
-		t.Fn()
-	}
+	t.Fn.Call()
 	c.afterDomainTask(d)
 }
 
@@ -372,16 +377,14 @@ func (c *CPU) runTask(d *Domain, t Task) {
 	if c.eng.Traced() {
 		name = "cpu.isr:" + t.Name
 	}
-	c.eng.After(t.Dur, name, c.isrDoneFn)
+	c.eng.AfterFn(t.Dur, name, c.isrDoneFn)
 }
 
 func (c *CPU) isrDone() {
 	t := c.pendISR
-	c.pendISR.Fn = nil
+	c.pendISR.Fn = sim.Fn{}
 	c.hypT += t.Dur
-	if t.Fn != nil {
-		t.Fn()
-	}
+	t.Fn.Call()
 	c.dispatch()
 }
 

@@ -1,0 +1,237 @@
+package cpu
+
+import (
+	"fmt"
+
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// TaskState is one queued task's checkpoint image: the completion
+// callback serializes as its bind-registry ID.
+type TaskState struct {
+	Cat  Cat
+	Dur  sim.Time
+	Name string
+	Fn   int32
+}
+
+func captureTask(t Task) (TaskState, error) {
+	id := t.Fn.ID()
+	if id < 0 {
+		return TaskState{}, fmt.Errorf("cpu: task %q carries an unregistered callback", t.Name)
+	}
+	return TaskState{Cat: t.Cat, Dur: t.Dur, Name: t.Name, Fn: id}, nil
+}
+
+func (c *CPU) restoreTask(s TaskState) (Task, error) {
+	fn, err := c.eng.ResolveFn(s.Fn)
+	if err != nil {
+		return Task{}, fmt.Errorf("cpu: task %q: %w", s.Name, err)
+	}
+	return Task{Cat: s.Cat, Dur: s.Dur, Name: s.Name, Fn: fn}, nil
+}
+
+func captureTaskFIFO(q *sim.FIFO[Task]) ([]TaskState, error) {
+	out := make([]TaskState, q.Len())
+	for i := 0; i < q.Len(); i++ {
+		ts, err := captureTask(q.At(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ts
+	}
+	return out, nil
+}
+
+func (c *CPU) restoreTaskFIFO(q *sim.FIFO[Task], ss []TaskState) error {
+	q.Clear()
+	for _, s := range ss {
+		t, err := c.restoreTask(s)
+		if err != nil {
+			return err
+		}
+		q.Push(t)
+	}
+	return nil
+}
+
+// DomainState is one domain's checkpoint image.
+type DomainState struct {
+	Queue          []TaskState
+	State          uint8
+	Boosted        bool
+	SliceEnd       sim.Time
+	SeqAtDesched   uint64
+	RanBefore      bool
+	PendingPenalty sim.Time
+
+	KernelT, UserT, HypT sim.Time
+	Wakes                stats.CounterState
+}
+
+// CPUState is the scheduler's checkpoint image. Domains in the run
+// queues serialize as registration indices; the pending task/ISR slots
+// are captured verbatim (their completion events ride the engine
+// snapshot).
+type CPUState struct {
+	Domains []DomainState
+
+	BoostQ, RunQ []int32
+	ISRQ         []TaskState
+
+	Cur         int32 // domain index; -1 for none
+	Busy        bool
+	IdleSince   sim.Time
+	SwitchSeq   uint64
+	BoostStreak int
+
+	PendDom  int32 // domain index; -1 for none
+	PendTask TaskState
+	PendISR  TaskState
+
+	HypT, IdleT sim.Time
+	WinStart    sim.Time
+	Switches    stats.CounterState
+}
+
+func domIndex(d *Domain) int32 {
+	if d == nil {
+		return -1
+	}
+	return int32(d.ID)
+}
+
+func captureDomFIFO(q *sim.FIFO[*Domain]) []int32 {
+	out := make([]int32, q.Len())
+	for i := 0; i < q.Len(); i++ {
+		out[i] = domIndex(q.At(i))
+	}
+	return out
+}
+
+func (c *CPU) domAt(i int32) (*Domain, error) {
+	if i == -1 {
+		return nil, nil
+	}
+	if i < 0 || int(i) >= len(c.domains) {
+		return nil, fmt.Errorf("cpu: snapshot references domain %d of %d", i, len(c.domains))
+	}
+	return c.domains[i], nil
+}
+
+func (c *CPU) restoreDomFIFO(q *sim.FIFO[*Domain], is []int32) error {
+	q.Clear()
+	for _, i := range is {
+		d, err := c.domAt(i)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return fmt.Errorf("cpu: nil domain in run-queue image")
+		}
+		q.Push(d)
+	}
+	return nil
+}
+
+// State captures the CPU and every registered domain.
+func (c *CPU) State() (CPUState, error) {
+	s := CPUState{
+		Domains:     make([]DomainState, len(c.domains)),
+		BoostQ:      captureDomFIFO(&c.boostQ),
+		RunQ:        captureDomFIFO(&c.runQ),
+		Cur:         domIndex(c.cur),
+		Busy:        c.busy,
+		IdleSince:   c.idleSince,
+		SwitchSeq:   c.switchSeq,
+		BoostStreak: c.boostStreak,
+		PendDom:     domIndex(c.pendDom),
+		HypT:        c.hypT,
+		IdleT:       c.idleT,
+		WinStart:    c.winStart,
+		Switches:    c.switches.State(),
+	}
+	var err error
+	for i, d := range c.domains {
+		ds := DomainState{
+			State:          uint8(d.state),
+			Boosted:        d.boosted,
+			SliceEnd:       d.sliceEnd,
+			SeqAtDesched:   d.seqAtDesched,
+			RanBefore:      d.ranBefore,
+			PendingPenalty: d.pendingPenalty,
+			KernelT:        d.kernelT,
+			UserT:          d.userT,
+			HypT:           d.hypT,
+			Wakes:          d.wakes.State(),
+		}
+		if ds.Queue, err = captureTaskFIFO(&d.q); err != nil {
+			return CPUState{}, err
+		}
+		s.Domains[i] = ds
+	}
+	if s.ISRQ, err = captureTaskFIFO(&c.isrQ); err != nil {
+		return CPUState{}, err
+	}
+	if s.PendTask, err = captureTask(c.pendTask); err != nil {
+		return CPUState{}, err
+	}
+	if s.PendISR, err = captureTask(c.pendISR); err != nil {
+		return CPUState{}, err
+	}
+	return s, nil
+}
+
+// SetState restores the CPU into a freshly built machine with the same
+// domain roster.
+func (c *CPU) SetState(s CPUState) error {
+	if len(s.Domains) != len(c.domains) {
+		return fmt.Errorf("cpu: domain roster mismatch: snapshot has %d, machine has %d",
+			len(s.Domains), len(c.domains))
+	}
+	for i, ds := range s.Domains {
+		d := c.domains[i]
+		if err := c.restoreTaskFIFO(&d.q, ds.Queue); err != nil {
+			return err
+		}
+		d.state = domState(ds.State)
+		d.boosted = ds.Boosted
+		d.sliceEnd = ds.SliceEnd
+		d.seqAtDesched = ds.SeqAtDesched
+		d.ranBefore = ds.RanBefore
+		d.pendingPenalty = ds.PendingPenalty
+		d.kernelT, d.userT, d.hypT = ds.KernelT, ds.UserT, ds.HypT
+		d.wakes.SetState(ds.Wakes)
+	}
+	if err := c.restoreDomFIFO(&c.boostQ, s.BoostQ); err != nil {
+		return err
+	}
+	if err := c.restoreDomFIFO(&c.runQ, s.RunQ); err != nil {
+		return err
+	}
+	if err := c.restoreTaskFIFO(&c.isrQ, s.ISRQ); err != nil {
+		return err
+	}
+	var err error
+	if c.cur, err = c.domAt(s.Cur); err != nil {
+		return err
+	}
+	c.busy = s.Busy
+	c.idleSince = s.IdleSince
+	c.switchSeq = s.SwitchSeq
+	c.boostStreak = s.BoostStreak
+	if c.pendDom, err = c.domAt(s.PendDom); err != nil {
+		return err
+	}
+	if c.pendTask, err = c.restoreTask(s.PendTask); err != nil {
+		return err
+	}
+	if c.pendISR, err = c.restoreTask(s.PendISR); err != nil {
+		return err
+	}
+	c.hypT, c.idleT = s.HypT, s.IdleT
+	c.winStart = s.WinStart
+	c.switches.SetState(s.Switches)
+	return nil
+}

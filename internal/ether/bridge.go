@@ -46,6 +46,21 @@ func (b *Bridge) Lookup(m MAC) int {
 	return -1
 }
 
+// Unlearn removes every forwarding-database entry pointing at port and
+// returns how many were dropped. A switch uses it when a port fails:
+// stations behind the port must be re-learned (flooded to) wherever
+// they reappear.
+func (b *Bridge) Unlearn(port int) int {
+	n := 0
+	for m, p := range b.fdb {
+		if p == port {
+			delete(b.fdb, m)
+			n++
+		}
+	}
+	return n
+}
+
 // Input processes a frame arriving on ingress port `in`: learns the
 // source and forwards or floods.
 //

@@ -32,16 +32,24 @@ type Pipe struct {
 	// issue order and the per-frame delivery closure reduces to one
 	// bound callback plus a queue.
 	inflight  sim.FIFO[*Frame]
-	deliverFn func()
+	deliverFn sim.Fn
+
+	// down models a failed link (fault injection): while set, Send
+	// discards the frame at the transmitter. Frames already serialized
+	// onto the wire still deliver — their bits left the NIC before the
+	// failure.
+	down bool
 
 	Frames stats.Counter
 	Bytes  stats.Counter
+	// Dropped counts frames discarded because the link was down.
+	Dropped stats.Counter
 }
 
 // NewPipe creates a unidirectional pipe at rate gbps.
 func NewPipe(eng *sim.Engine, gbps float64, propDelay sim.Time) *Pipe {
 	p := &Pipe{eng: eng, bytesPerNs: GbpsToBytesPerNs(gbps), propDelay: propDelay}
-	p.deliverFn = p.deliver
+	p.deliverFn = eng.Bind(p.deliver)
 	return p
 }
 
@@ -51,6 +59,10 @@ func (p *Pipe) Connect(dst Port) { p.dst = dst }
 // Send serializes the frame onto the wire. Delivery happens when the
 // last bit (plus propagation) arrives.
 func (p *Pipe) Send(f *Frame) {
+	if p.down {
+		p.Dropped.Inc()
+		return
+	}
 	start := p.eng.Now()
 	if p.busyUntil > start {
 		start = p.busyUntil
@@ -61,7 +73,7 @@ func (p *Pipe) Send(f *Frame) {
 	p.Bytes.Add(uint64(f.WireBytes()))
 	deliverAt := p.busyUntil + p.propDelay
 	p.inflight.Push(f)
-	p.eng.At(deliverAt, "ether.deliver", p.deliverFn)
+	p.eng.AtFn(deliverAt, "ether.deliver", p.deliverFn)
 }
 
 func (p *Pipe) deliver() {
@@ -88,10 +100,19 @@ func (p *Pipe) NextFree() sim.Time {
 	return p.busyUntil
 }
 
+// SetDown fails or restores the link direction. A down pipe silently
+// discards everything Send hands it, like a cable with its far end
+// unplugged.
+func (p *Pipe) SetDown(down bool) { p.down = down }
+
+// Down reports whether the pipe is failed.
+func (p *Pipe) Down() bool { return p.down }
+
 // StartWindow resets windowed counters.
 func (p *Pipe) StartWindow() {
 	p.Frames.StartWindow()
 	p.Bytes.StartWindow()
+	p.Dropped.StartWindow()
 }
 
 // Duplex is a full-duplex link: A→B and B→A pipes.

@@ -61,6 +61,13 @@ type CDNADriver struct {
 	enqRx                  bool
 	lastTxCons, lastRxCons uint32
 
+	// enqOps carries each staged batch through its asynchronous enqueue
+	// (hypercall or direct): the op is pushed when the charged task is
+	// scheduled and popped by the task body, in task-queue order. A
+	// queue instead of a captured closure keeps in-flight enqueues
+	// checkpointable.
+	enqOps sim.FIFO[enqOp]
+
 	rxHandler func(*ether.Frame)
 
 	// Per-packet frames threaded through domain tasks (FIFO order) plus
@@ -69,7 +76,8 @@ type CDNADriver struct {
 	txIn sim.FIFO[*ether.Frame]
 	rxUp sim.FIFO[*ether.Frame]
 
-	txInFn, rxUpFn, virqFn, txBatchFn, rxBatchFn, kickFn func()
+	txInFn, rxUpFn, virqFn, txBatchFn, rxBatchFn, kickFn sim.Fn
+	hcFn, directFn, rxPioFn                              sim.Fn
 
 	TxDropped   stats.Counter
 	EnqueueErrs stats.Counter
@@ -79,6 +87,16 @@ type stagedPkt struct {
 	desc  ring.Desc
 	frame *ether.Frame
 	pfn   mem.PFN
+}
+
+// enqOp is one staged descriptor batch in flight through its enqueue
+// call. tx carries the staged packets to complete; rx carries only the
+// buffer count (n) the descriptors were built from.
+type enqOp struct {
+	tx    bool
+	batch []stagedPkt
+	descs []ring.Desc
+	n     int
 }
 
 // NewCDNADriver binds a driver to an assigned context. The rings were
@@ -95,12 +113,16 @@ func NewCDNADriver(dom *xen.Domain, m *mem.Memory, n *ricenic.NIC, ctx *core.Con
 		txBufs: make([]mem.PFN, RingEntries), rxBufs: make([]mem.PFN, RingEntries),
 		inflight: make([]*ether.Frame, RingEntries),
 	}
-	d.txInFn = d.txEnqueueTask
-	d.rxUpFn = d.rxUpTask
-	d.virqFn = d.virqTask
-	d.txBatchFn = d.txBatchTask
-	d.rxBatchFn = d.rxBatchTask
-	d.kickFn = d.kickTask
+	eng := dom.VCPU.Engine()
+	d.txInFn = eng.Bind(d.txEnqueueTask)
+	d.rxUpFn = eng.Bind(d.rxUpTask)
+	d.virqFn = eng.Bind(d.virqTask)
+	d.txBatchFn = eng.Bind(d.txBatchTask)
+	d.rxBatchFn = eng.Bind(d.rxBatchTask)
+	d.kickFn = eng.Bind(d.kickTask)
+	d.hcFn = eng.Bind(d.hypercallTask)
+	d.directFn = eng.Bind(d.directTask)
+	d.rxPioFn = eng.Bind(d.kickRxTask)
 	d.txPool = m.Alloc(dom.ID, PoolPages)
 	d.rxPool = m.Alloc(dom.ID, PoolPages)
 	n.AttachContext(ctx, func(idx uint32) *ether.Frame { return d.inflight[idx&(RingEntries-1)] })
@@ -209,32 +231,78 @@ func (d *CDNADriver) txBatchTask() {
 	for i, s := range batch {
 		descs[i] = s.desc
 	}
-	done := func(n int, err error) {
+	d.issueEnqueue(enqOp{tx: true, batch: batch, descs: descs}, "cdna.direct")
+}
+
+// issueEnqueue schedules the charged enqueue call for an op: the direct
+// guest-kernel write (ModeIOMMU / ModeOff) or the validation hypercall.
+func (d *CDNADriver) issueEnqueue(op enqOp, directName string) {
+	d.enqOps.Push(op)
+	if d.Direct {
+		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(op.descs))*d.DirectPerDesc, directName, d.directFn)
+		return
+	}
+	d.Dom.Hypercall(d.Dom.CDNAEnqueueCost(op.descs), "cdna_enqueue", d.hcFn)
+}
+
+func (d *CDNADriver) opRing(op enqOp) *ring.Ring {
+	if op.tx {
+		return d.Ctx.TxRing
+	}
+	return d.Ctx.RxRing
+}
+
+func (d *CDNADriver) hypercallTask() {
+	op := d.enqOps.Pop()
+	n, err := d.Dom.CDNAValidate(d.opRing(op), op.descs)
+	d.finishEnqueue(op, n, err)
+}
+
+func (d *CDNADriver) directTask() {
+	op := d.enqOps.Pop()
+	n, err := d.Prot.DirectEnqueue(d.Dom.ID, d.opRing(op), op.descs)
+	d.finishEnqueue(op, n, err)
+}
+
+// finishEnqueue completes an op in the context of its enqueue call,
+// exactly what the per-batch completion closures used to do.
+func (d *CDNADriver) finishEnqueue(op enqOp, n int, err error) {
+	if op.tx {
 		if err != nil {
-			d.EnqueueErrs.Add(uint64(len(batch)))
-			for _, s := range batch {
+			d.EnqueueErrs.Add(uint64(len(op.batch)))
+			for _, s := range op.batch {
 				d.txPool = append(d.txPool, s.pfn)
 			}
 		} else {
 			base := d.Ctx.TxRing.Prod() - uint32(n)
-			for i, s := range batch {
+			for i, s := range op.batch {
 				idx := slot(base + uint32(i))
 				d.inflight[idx] = s.frame
 				d.txBufs[idx] = s.pfn
 			}
 			d.kickTx()
 		}
-		d.releaseStaged(batch)
-		d.descFree = append(d.descFree, descs)
-	}
-	if d.Direct {
-		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(len(descs))*d.DirectPerDesc, "cdna.direct", func() {
-			n, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
-			done(n, err)
-		})
+		d.releaseStaged(op.batch)
+		d.descFree = append(d.descFree, op.descs)
 		return
 	}
-	d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, done)
+	if err != nil {
+		d.EnqueueErrs.Add(uint64(op.n))
+		for i := 0; i < op.n; i++ {
+			d.rxPool = append(d.rxPool, op.descs[i].Addr.PFN())
+		}
+	} else {
+		base := d.Ctx.RxRing.Prod() - uint32(n)
+		for i := 0; i < n; i++ {
+			d.rxBufs[slot(base+uint32(i))] = op.descs[i].Addr.PFN()
+		}
+		d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", d.rxPioFn)
+	}
+	d.descFree = append(d.descFree, op.descs)
+}
+
+func (d *CDNADriver) kickRxTask() {
+	d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
 }
 
 func (d *CDNADriver) kickTx() {
@@ -342,31 +410,7 @@ func (d *CDNADriver) rxBatchTask() {
 		d.rxPool = d.rxPool[:len(d.rxPool)-1]
 		descs[i] = ring.Desc{Addr: pfn.Base(), Len: ether.HeaderBytes + ether.MTU + 86, Flags: ring.FlagValid}
 	}
-	done := func(cnt int, err error) {
-		if err != nil {
-			d.EnqueueErrs.Add(uint64(n))
-			for i := 0; i < n; i++ {
-				d.rxPool = append(d.rxPool, descs[i].Addr.PFN())
-			}
-		} else {
-			base := d.Ctx.RxRing.Prod() - uint32(cnt)
-			for i := 0; i < cnt; i++ {
-				d.rxBufs[slot(base+uint32(i))] = descs[i].Addr.PFN()
-			}
-			d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "cdna.rxpio", func() {
-				d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxRxProd), d.Ctx.RxRing.Prod())
-			})
-		}
-		d.descFree = append(d.descFree, descs)
-	}
-	if d.Direct {
-		d.Dom.VCPU.Exec(cpu.CatKernel, sim.Time(n)*d.DirectPerDesc, "cdna.rxdirect", func() {
-			cnt, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.RxRing, descs)
-			done(cnt, err)
-		})
-		return
-	}
-	d.Dom.CDNAEnqueue(d.Ctx.RxRing, descs, done)
+	d.issueEnqueue(enqOp{descs: descs, n: n}, "cdna.rxdirect")
 }
 
 // --- Misbehaving-driver entry points (fault-injection tests and the
@@ -377,20 +421,23 @@ func (d *CDNADriver) rxBatchTask() {
 func (d *CDNADriver) AttackForeignEnqueue(victim mem.Addr, cb func(error)) {
 	descs := []ring.Desc{{Addr: victim, Len: 1514, Flags: ring.FlagTx}}
 	if d.Direct {
-		d.Dom.VCPU.Exec(cpu.CatKernel, d.DirectPerDesc, "attack.direct", func() {
+		d.Dom.VCPU.Exec(cpu.CatKernel, d.DirectPerDesc, "attack.direct", sim.RawFn(func() {
 			_, err := d.Prot.DirectEnqueue(d.Dom.ID, d.Ctx.TxRing, descs)
 			cb(err)
-		})
+		}))
 		return
 	}
-	d.Dom.CDNAEnqueue(d.Ctx.TxRing, descs, func(_ int, err error) { cb(err) })
+	d.Dom.Hypercall(d.Dom.CDNAEnqueueCost(descs), "cdna_enqueue", sim.RawFn(func() {
+		_, err := d.Dom.CDNAValidate(d.Ctx.TxRing, descs)
+		cb(err)
+	}))
 }
 
 // AttackStaleProducer forges a producer-index mailbox write `extra`
 // slots past the last valid descriptor, exposing stale ring contents —
 // the replay the sequence numbers must catch.
 func (d *CDNADriver) AttackStaleProducer(extra uint32) {
-	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "attack.pio", func() {
+	d.Dom.VCPU.Exec(cpu.CatKernel, d.Costs.PIO, "attack.pio", sim.RawFn(func() {
 		d.NIC.PIOWrite(ricenic.MailboxPIOAddr(d.Ctx.ID, ricenic.MboxTxProd), d.Ctx.TxRing.Prod()+extra)
-	})
+	}))
 }

@@ -258,7 +258,8 @@ func newCDNARig(t *testing.T, protMode core.Mode) *cdnaRig {
 	r.drv = NewCDNADriver(r.gdom, m, r.nic, ctx, testDriverCosts(), r.hyp.Prot, direct, 100)
 	channels := make([]*xen.EventChannel, core.NumContexts)
 	channels[ctx.ID] = r.hyp.NewChannel(r.gdom, "cdna", r.drv.OnVirq)
-	irq := r.hyp.NewIRQ("rice", func() { r.hyp.HandleBitVectorIRQ(r.nic.BitVec, channels) })
+	dec := r.hyp.NewBitVecDecoder(r.nic.BitVec, channels)
+	irq := r.hyp.NewIRQ("rice", dec.HandleIRQ)
 	r.nic.SetHost(irq.Raise, func(f *core.Fault) { r.hyp.HandleFault(r.cm, f) })
 	r.drv.Start()
 	return r

@@ -57,7 +57,7 @@ type NativeDriver struct {
 	txIn sim.FIFO[*ether.Frame]
 	rxUp sim.FIFO[*ether.Frame]
 
-	txInFn, rxUpFn, irqFn, kickFn, rxKickFn func()
+	txInFn, rxUpFn, irqFn, kickFn, rxKickFn sim.Fn
 
 	TxDropped stats.Counter // backlog overflow (qdisc limit)
 }
@@ -70,11 +70,12 @@ func NewNativeDriver(dom *cpu.Domain, domID mem.DomID, m *mem.Memory, n *intelni
 		txBufs: make(map[uint32]mem.PFN), rxBufs: make(map[uint32]mem.PFN),
 		inflight: make(map[uint32]*ether.Frame),
 	}
-	d.txInFn = d.txEnqueueTask
-	d.rxUpFn = d.rxUpTask
-	d.irqFn = d.irqTask
-	d.kickFn = d.kickTask
-	d.rxKickFn = d.rxKickTask
+	eng := dom.Engine()
+	d.txInFn = eng.Bind(d.txEnqueueTask)
+	d.rxUpFn = eng.Bind(d.rxUpTask)
+	d.irqFn = eng.Bind(d.irqTask)
+	d.kickFn = eng.Bind(d.kickTask)
+	d.rxKickFn = eng.Bind(d.rxKickTask)
 	ringPages := (RingEntries*ring.DefaultLayout.Size + mem.PageSize - 1) / mem.PageSize
 	var err error
 	d.tx, err = ring.New("intel.tx", ring.DefaultLayout, m.Alloc(domID, ringPages)[0].Base(), RingEntries)

@@ -58,7 +58,7 @@ type NIC struct {
 	raiseIRQ func()
 	lookupTx func(idx uint32) *ether.Frame
 
-	writebackDoneFn func() // bound once: raise the IRQ after the writeback DMA
+	writebackDoneFn sim.Fn // bound once: raise the IRQ after the writeback DMA
 
 	rxDone []*ether.Frame // completed receive frames awaiting the driver
 }
@@ -66,11 +66,11 @@ type NIC struct {
 // New creates the NIC with its wire attachment.
 func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params, mac ether.MAC) *NIC {
 	n := &NIC{Name: "intel", MAC: mac, Params: p}
-	n.writebackDoneFn = func() {
+	n.writebackDoneFn = eng.Bind(func() {
 		if n.raiseIRQ != nil {
 			n.raiseIRQ()
 		}
-	}
+	})
 	n.E = nic.NewEngine(eng, b, m, out, p.Engine)
 	n.Coal = nic.NewCoalescer(eng, p.CoalesceDelay, p.CoalescePkts, func() {
 		// Consumer-index writeback then the physical interrupt.

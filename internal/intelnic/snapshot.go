@@ -1,0 +1,41 @@
+package intelnic
+
+import (
+	"cdna/internal/ether"
+	"cdna/internal/nic"
+)
+
+// State is the NIC's checkpoint image: the data engine, the coalescer,
+// and completed-but-undrained receive frames.
+type State struct {
+	Engine nic.EngineState
+	Coal   nic.CoalescerState
+	RxDone []ether.FrameState
+}
+
+// State captures the NIC.
+func (n *NIC) State(codec ether.PayloadCodec) (State, error) {
+	es, err := n.E.State(codec)
+	if err != nil {
+		return State{}, err
+	}
+	rx, err := ether.CaptureFrames(n.rxDone, codec)
+	if err != nil {
+		return State{}, err
+	}
+	return State{Engine: es, Coal: n.Coal.State(), RxDone: rx}, nil
+}
+
+// SetState restores the NIC into a freshly built machine.
+func (n *NIC) SetState(s State, codec ether.PayloadCodec) error {
+	if err := n.E.SetState(s.Engine, codec); err != nil {
+		return err
+	}
+	n.Coal.SetState(s.Coal)
+	rx, err := ether.RestoreFrames(s.RxDone, codec)
+	if err != nil {
+		return err
+	}
+	n.rxDone = rx
+	return nil
+}

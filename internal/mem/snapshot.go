@@ -1,0 +1,61 @@
+package mem
+
+// PageState is one physical page's checkpoint image. Data is nil when
+// the page has never been written (the allocator's lazy-zero state),
+// which keeps snapshots of mostly-untouched memory small.
+type PageState struct {
+	Owner   DomID
+	Ref     int
+	Freed   bool
+	HypOnly bool
+	Data    []byte
+}
+
+// State is the whole physical memory's checkpoint image. Pages is
+// indexed by PFN with entry 0 unused, mirroring the dense page table.
+type State struct {
+	Pages     []PageState
+	FreeQ     []PFN
+	NextPFN   PFN
+	DevWrites []uint64
+}
+
+// State captures the memory: ownership, refcounts, protection bits, and
+// byte contents of every page. Page data is copied so the snapshot is
+// immune to later DMA writes.
+func (m *Memory) State() State {
+	s := State{
+		Pages:     make([]PageState, len(m.pages)),
+		FreeQ:     append([]PFN(nil), m.freeQ...),
+		NextPFN:   m.nextPFN,
+		DevWrites: append([]uint64(nil), m.devWrites...),
+	}
+	for i := range m.pages {
+		pg := &m.pages[i]
+		ps := PageState{Owner: pg.owner, Ref: pg.ref, Freed: pg.freed, HypOnly: pg.hypOnly}
+		if pg.data != nil {
+			ps.Data = append([]byte(nil), pg.data...)
+		}
+		s.Pages[i] = ps
+	}
+	return s
+}
+
+// SetState restores the memory from a State image, replacing the entire
+// page table. The restored machine's construction-time allocations are
+// overwritten wholesale — the image is authoritative.
+func (m *Memory) SetState(s State) {
+	m.pages = make([]page, len(s.Pages))
+	for i := range s.Pages {
+		ps := &s.Pages[i]
+		pg := page{owner: ps.Owner, ref: ps.Ref, freed: ps.Freed, hypOnly: ps.HypOnly}
+		if ps.Data != nil {
+			pg.data = make([]byte, PageSize)
+			copy(pg.data, ps.Data)
+		}
+		m.pages[i] = pg
+	}
+	m.freeQ = append(m.freeQ[:0], s.FreeQ...)
+	m.nextPFN = s.NextPFN
+	m.devWrites = append(m.devWrites[:0], s.DevWrites...)
+}

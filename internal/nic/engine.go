@@ -86,7 +86,7 @@ type queue struct {
 	// outstanding, so the old per-fetch closure's captures live here.
 	txFetchN, rxFetchN         int
 	txFetchStart, rxFetchStart uint32
-	txDescDoneFn, rxDescDoneFn func()
+	txDescDoneFn, rxDescDoneFn sim.Fn
 
 	// On-NIC receive packet buffer: frames waiting for a descriptor
 	// fetch to complete (§4's per-context buffering).
@@ -127,9 +127,9 @@ type Engine struct {
 	txProcJobs, txDmaJobs sim.FIFO[txJob]
 	rxProcJobs, rxDmaJobs sim.FIFO[rxJob]
 
-	txProcDoneFn, txDmaDoneFn func()
-	rxProcDoneFn, rxDmaDoneFn func()
-	pumpStepFn                func()
+	txProcDoneFn, txDmaDoneFn sim.Fn
+	rxProcDoneFn, rxDmaDoneFn sim.Fn
+	pumpStepFn                sim.Fn
 
 	TxPackets  stats.Counter
 	RxPackets  stats.Counter
@@ -142,11 +142,11 @@ type Engine struct {
 // flows.
 func NewEngine(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) *Engine {
 	e := &Engine{Eng: eng, Bus: b, Mem: m, Out: out, Proc: NewServer(eng), Params: p}
-	e.txProcDoneFn = e.txProcDone
-	e.txDmaDoneFn = e.txDmaDone
-	e.rxProcDoneFn = e.rxProcDone
-	e.rxDmaDoneFn = e.rxDmaDone
-	e.pumpStepFn = e.pumpStep
+	e.txProcDoneFn = eng.Bind(e.txProcDone)
+	e.txDmaDoneFn = eng.Bind(e.txDmaDone)
+	e.rxProcDoneFn = eng.Bind(e.rxProcDone)
+	e.rxDmaDoneFn = eng.Bind(e.rxDmaDone)
+	e.pumpStepFn = eng.Bind(e.pumpStep)
 	return e
 }
 
@@ -154,8 +154,8 @@ func NewEngine(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Pa
 // queue id.
 func (e *Engine) AddQueue(tx, rx *ring.Ring) int {
 	q := &queue{id: len(e.queues), tx: tx, rx: rx, active: true}
-	q.txDescDoneFn = func() { e.txDescDone(q) }
-	q.rxDescDoneFn = func() { e.rxDescDone(q) }
+	q.txDescDoneFn = e.Eng.Bind(func() { e.txDescDone(q) })
+	q.rxDescDoneFn = e.Eng.Bind(func() { e.rxDescDone(q) })
 	e.queues = append(e.queues, q)
 	return q.id
 }
@@ -318,7 +318,7 @@ func (e *Engine) pumpStep() {
 	if e.Out != nil {
 		limit := sim.Time(e.Params.TxWindow) * slot
 		if bl := e.Out.Backlog(); bl > limit {
-			e.Eng.After(bl-limit, "nic.pace", e.pumpStepFn)
+			e.Eng.AfterFn(bl-limit, "nic.pace", e.pumpStepFn)
 			return
 		}
 	}

@@ -31,20 +31,15 @@ func NewServer(eng *sim.Engine) *Server { return &Server{eng: eng} }
 // Completions fire in issue order (FIFO), so callers can thread
 // per-item state through a sim.FIFO paired with a callback bound once
 // instead of capturing it in a fresh closure per call.
-func (s *Server) Do(cost sim.Time, name string, fn func()) {
+func (s *Server) Do(cost sim.Time, name string, fn sim.Fn) {
 	start := s.eng.Now()
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
 	s.busyUntil = start + cost
 	s.Ops.Inc()
-	if fn == nil {
-		fn = nop
-	}
-	s.eng.At(s.busyUntil, name, fn)
+	s.eng.AtFn(s.busyUntil, name, fn)
 }
-
-func nop() {}
 
 // Backlog returns the queued processing time.
 func (s *Server) Backlog() sim.Time {

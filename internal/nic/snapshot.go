@@ -1,0 +1,267 @@
+package nic
+
+import (
+	"fmt"
+
+	"cdna/internal/ether"
+	"cdna/internal/ring"
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// ServerState is the processing server's checkpoint image.
+type ServerState struct {
+	BusyUntil sim.Time
+	Ops       stats.CounterState
+}
+
+// State captures the server.
+func (s *Server) State() ServerState {
+	return ServerState{BusyUntil: s.busyUntil, Ops: s.Ops.State()}
+}
+
+// SetState restores the server.
+func (s *Server) SetState(st ServerState) {
+	s.busyUntil = st.BusyUntil
+	s.Ops.SetState(st.Ops)
+}
+
+// CoalescerState is the interrupt coalescer's checkpoint image. The
+// armed delay timer rides the engine snapshot via the timer registry.
+type CoalescerState struct {
+	Pending int
+	Fires   stats.CounterState
+}
+
+// State captures the coalescer.
+func (c *Coalescer) State() CoalescerState {
+	return CoalescerState{Pending: c.pending, Fires: c.Fires.State()}
+}
+
+// SetState restores the coalescer.
+func (c *Coalescer) SetState(s CoalescerState) {
+	c.pending = s.Pending
+	c.Fires.SetState(s.Fires)
+}
+
+// DescEntry is one fetched descriptor in a queue FIFO image.
+type DescEntry struct {
+	Idx  uint32
+	Desc ring.Desc
+}
+
+// QueueState is one queue pair's checkpoint image. The descriptor
+// rings' free-running indices are captured here because the engine is
+// the rings' consumer — the driver side shares the same ring objects
+// and relies on this restore.
+type QueueState struct {
+	Active         bool
+	TxRing, RxRing ring.State
+
+	TxProd, RxProd   uint32
+	TxFetch, RxFetch uint32
+
+	TxFifo, RxFifo         []DescEntry
+	TxFetching, RxFetching bool
+	TxConsumed, RxConsumed uint32
+
+	TxFetchN, RxFetchN         int
+	TxFetchStart, RxFetchStart uint32
+
+	RxHeld      []ether.FrameState
+	RxHeldBytes int
+}
+
+// TxJobState is one packet in the transmit pipeline image.
+type TxJobState struct {
+	Queue int
+	Entry DescEntry
+}
+
+// RxJobState is one packet in the receive pipeline image.
+type RxJobState struct {
+	Queue int
+	Frame ether.FrameState
+	Entry DescEntry
+}
+
+// EngineState is the data engine's checkpoint image, including its
+// processing server.
+type EngineState struct {
+	Queues  []QueueState
+	RRNext  int
+	Pumping bool
+
+	TxProcJobs, TxDmaJobs []TxJobState
+	RxProcJobs, RxDmaJobs []RxJobState
+
+	Proc ServerState
+
+	TxPackets  stats.CounterState
+	RxPackets  stats.CounterState
+	RxDrops    stats.CounterState
+	RxBuffered stats.CounterState
+	Faults     stats.CounterState
+}
+
+func captureDescFIFO(q *sim.FIFO[txEntry]) []DescEntry {
+	out := make([]DescEntry, q.Len())
+	for i := 0; i < q.Len(); i++ {
+		e := q.At(i)
+		out[i] = DescEntry{Idx: e.idx, Desc: e.desc}
+	}
+	return out
+}
+
+func restoreDescFIFO(q *sim.FIFO[txEntry], es []DescEntry) {
+	q.Clear()
+	for _, e := range es {
+		q.Push(txEntry{idx: e.Idx, desc: e.Desc})
+	}
+}
+
+// State captures the engine. In-flight packets referenced by the
+// processing/DMA job FIFOs serialize their queue as an index and their
+// frame by value via codec.
+func (e *Engine) State(codec ether.PayloadCodec) (EngineState, error) {
+	s := EngineState{
+		Queues:     make([]QueueState, len(e.queues)),
+		RRNext:     e.rrNext,
+		Pumping:    e.pumping,
+		Proc:       e.Proc.State(),
+		TxPackets:  e.TxPackets.State(),
+		RxPackets:  e.RxPackets.State(),
+		RxDrops:    e.RxDrops.State(),
+		RxBuffered: e.RxBuffered.State(),
+		Faults:     e.Faults.State(),
+	}
+	for i, q := range e.queues {
+		held, err := ether.CaptureFrameFIFO(&q.rxHeld, codec)
+		if err != nil {
+			return EngineState{}, err
+		}
+		s.Queues[i] = QueueState{
+			Active:       q.active,
+			TxRing:       q.tx.State(),
+			RxRing:       q.rx.State(),
+			TxProd:       q.txProd,
+			RxProd:       q.rxProd,
+			TxFetch:      q.txFetch,
+			RxFetch:      q.rxFetch,
+			TxFifo:       captureDescFIFO(&q.txFifo),
+			RxFifo:       captureDescFIFO(&q.rxFifo),
+			TxFetching:   q.txFetching,
+			RxFetching:   q.rxFetching,
+			TxConsumed:   q.txConsumed,
+			RxConsumed:   q.rxConsumed,
+			TxFetchN:     q.txFetchN,
+			RxFetchN:     q.rxFetchN,
+			TxFetchStart: q.txFetchStart,
+			RxFetchStart: q.rxFetchStart,
+			RxHeld:       held,
+			RxHeldBytes:  q.rxHeldBytes,
+		}
+	}
+	capTxJobs := func(q *sim.FIFO[txJob]) []TxJobState {
+		out := make([]TxJobState, q.Len())
+		for i := 0; i < q.Len(); i++ {
+			j := q.At(i)
+			out[i] = TxJobState{Queue: j.q.id, Entry: DescEntry{Idx: j.entry.idx, Desc: j.entry.desc}}
+		}
+		return out
+	}
+	capRxJobs := func(q *sim.FIFO[rxJob]) ([]RxJobState, error) {
+		out := make([]RxJobState, q.Len())
+		for i := 0; i < q.Len(); i++ {
+			j := q.At(i)
+			fs, err := ether.CaptureFrame(j.f, codec)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = RxJobState{Queue: j.q.id, Frame: fs, Entry: DescEntry{Idx: j.entry.idx, Desc: j.entry.desc}}
+		}
+		return out, nil
+	}
+	s.TxProcJobs = capTxJobs(&e.txProcJobs)
+	s.TxDmaJobs = capTxJobs(&e.txDmaJobs)
+	var err error
+	if s.RxProcJobs, err = capRxJobs(&e.rxProcJobs); err != nil {
+		return EngineState{}, err
+	}
+	if s.RxDmaJobs, err = capRxJobs(&e.rxDmaJobs); err != nil {
+		return EngineState{}, err
+	}
+	return s, nil
+}
+
+// SetState restores the engine into a freshly built machine whose queue
+// roster matches the donor's.
+func (e *Engine) SetState(s EngineState, codec ether.PayloadCodec) error {
+	if len(s.Queues) != len(e.queues) {
+		return fmt.Errorf("nic: queue roster mismatch: snapshot has %d, machine has %d",
+			len(s.Queues), len(e.queues))
+	}
+	for i, qs := range s.Queues {
+		q := e.queues[i]
+		q.active = qs.Active
+		q.tx.SetState(qs.TxRing)
+		q.rx.SetState(qs.RxRing)
+		q.txProd, q.rxProd = qs.TxProd, qs.RxProd
+		q.txFetch, q.rxFetch = qs.TxFetch, qs.RxFetch
+		restoreDescFIFO(&q.txFifo, qs.TxFifo)
+		restoreDescFIFO(&q.rxFifo, qs.RxFifo)
+		q.txFetching, q.rxFetching = qs.TxFetching, qs.RxFetching
+		q.txConsumed, q.rxConsumed = qs.TxConsumed, qs.RxConsumed
+		q.txFetchN, q.rxFetchN = qs.TxFetchN, qs.RxFetchN
+		q.txFetchStart, q.rxFetchStart = qs.TxFetchStart, qs.RxFetchStart
+		if err := ether.RestoreFrameFIFO(&q.rxHeld, qs.RxHeld, codec); err != nil {
+			return err
+		}
+		q.rxHeldBytes = qs.RxHeldBytes
+	}
+	e.rrNext = s.RRNext
+	e.pumping = s.Pumping
+	resTxJobs := func(q *sim.FIFO[txJob], js []TxJobState) error {
+		q.Clear()
+		for _, j := range js {
+			if j.Queue < 0 || j.Queue >= len(e.queues) {
+				return fmt.Errorf("nic: tx job references queue %d of %d", j.Queue, len(e.queues))
+			}
+			q.Push(txJob{q: e.queues[j.Queue], entry: txEntry{idx: j.Entry.Idx, desc: j.Entry.Desc}})
+		}
+		return nil
+	}
+	resRxJobs := func(q *sim.FIFO[rxJob], js []RxJobState) error {
+		q.Clear()
+		for _, j := range js {
+			if j.Queue < 0 || j.Queue >= len(e.queues) {
+				return fmt.Errorf("nic: rx job references queue %d of %d", j.Queue, len(e.queues))
+			}
+			f, err := ether.RestoreFrame(j.Frame, codec)
+			if err != nil {
+				return err
+			}
+			q.Push(rxJob{q: e.queues[j.Queue], f: f, entry: txEntry{idx: j.Entry.Idx, desc: j.Entry.Desc}})
+		}
+		return nil
+	}
+	if err := resTxJobs(&e.txProcJobs, s.TxProcJobs); err != nil {
+		return err
+	}
+	if err := resTxJobs(&e.txDmaJobs, s.TxDmaJobs); err != nil {
+		return err
+	}
+	if err := resRxJobs(&e.rxProcJobs, s.RxProcJobs); err != nil {
+		return err
+	}
+	if err := resRxJobs(&e.rxDmaJobs, s.RxDmaJobs); err != nil {
+		return err
+	}
+	e.Proc.SetState(s.Proc)
+	e.TxPackets.SetState(s.TxPackets)
+	e.RxPackets.SetState(s.RxPackets)
+	e.RxDrops.SetState(s.RxDrops)
+	e.RxBuffered.SetState(s.RxBuffered)
+	e.Faults.SetState(s.Faults)
+	return nil
+}

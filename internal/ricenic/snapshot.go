@@ -1,0 +1,137 @@
+package ricenic
+
+import (
+	"fmt"
+
+	"cdna/internal/core"
+	"cdna/internal/ether"
+	"cdna/internal/nic"
+	"cdna/internal/ring"
+)
+
+// MailboxState is the hardware mailbox unit's checkpoint image — the
+// two-level event bit vectors and the SRAM-held values, all plain data.
+type MailboxState struct {
+	Level1 uint32
+	Level2 [32]uint32
+	Values [32][NumMailboxes]uint32
+}
+
+// State captures the mailbox hardware.
+func (h *MailboxHW) State() MailboxState {
+	return MailboxState{Level1: h.level1, Level2: h.level2, Values: h.values}
+}
+
+// SetState restores the mailbox hardware.
+func (h *MailboxHW) SetState(s MailboxState) {
+	h.level1, h.level2, h.values = s.Level1, s.Level2, s.Values
+}
+
+// RxCompletionState is one undrained receive completion.
+type RxCompletionState struct {
+	Frame ether.FrameState
+	Desc  ring.Desc
+}
+
+// ContextState is one attached device context's checkpoint image,
+// identified by attach order. CtxID and Qid pin the identity so a
+// roster drift between snapshot and restore machine is an error, not a
+// silent mismatch.
+type ContextState struct {
+	CtxID  int
+	Qid    int
+	RxDone []RxCompletionState
+}
+
+// State is the NIC's checkpoint image. The engine, coalescers, mailbox
+// unit and bit-vector queue are bundled here because the NIC owns them;
+// the bit-vector circular buffer's bytes ride the mem image.
+type State struct {
+	Engine   nic.EngineState
+	Coal     nic.CoalescerState
+	RxCoal   nic.CoalescerState
+	Mbox     MailboxState
+	BitVec   core.BitVectorQueueState
+	Decoding bool
+	Posted   []uint32
+	Contexts []ContextState
+}
+
+// State captures the NIC and all attached device contexts.
+func (n *NIC) State(codec ether.PayloadCodec) (State, error) {
+	es, err := n.E.State(codec)
+	if err != nil {
+		return State{}, err
+	}
+	s := State{
+		Engine:   es,
+		Coal:     n.Coal.State(),
+		RxCoal:   n.RxCoal.State(),
+		Mbox:     n.Mbox.State(),
+		BitVec:   n.BitVec.State(),
+		Decoding: n.decoding,
+		Posted:   make([]uint32, n.postedVecs.Len()),
+		Contexts: make([]ContextState, len(n.attached)),
+	}
+	for i := 0; i < n.postedVecs.Len(); i++ {
+		s.Posted[i] = n.postedVecs.At(i)
+	}
+	for i, dc := range n.attached {
+		cs := ContextState{
+			CtxID:  dc.ctx.ID,
+			Qid:    dc.qid,
+			RxDone: make([]RxCompletionState, len(dc.rxDone)),
+		}
+		for j, rc := range dc.rxDone {
+			fs, err := ether.CaptureFrame(rc.Frame, codec)
+			if err != nil {
+				return State{}, err
+			}
+			cs.RxDone[j] = RxCompletionState{Frame: fs, Desc: rc.Desc}
+		}
+		s.Contexts[i] = cs
+	}
+	return s, nil
+}
+
+// SetState restores the NIC into a freshly built machine with the same
+// attach roster. The rxSpare recycling buffer restores empty — it is
+// never observable.
+func (n *NIC) SetState(s State, codec ether.PayloadCodec) error {
+	if len(s.Contexts) != len(n.attached) {
+		return fmt.Errorf("ricenic: context roster mismatch: snapshot has %d, machine has %d",
+			len(s.Contexts), len(n.attached))
+	}
+	for i, cs := range s.Contexts {
+		dc := n.attached[i]
+		if cs.CtxID != dc.ctx.ID || cs.Qid != dc.qid {
+			return fmt.Errorf("ricenic: attached context %d is (ctx %d, qid %d) in snapshot, (ctx %d, qid %d) in machine",
+				i, cs.CtxID, cs.Qid, dc.ctx.ID, dc.qid)
+		}
+	}
+	if err := n.E.SetState(s.Engine, codec); err != nil {
+		return err
+	}
+	n.Coal.SetState(s.Coal)
+	n.RxCoal.SetState(s.RxCoal)
+	n.Mbox.SetState(s.Mbox)
+	n.BitVec.SetState(s.BitVec)
+	n.decoding = s.Decoding
+	n.postedVecs.Clear()
+	for _, v := range s.Posted {
+		n.postedVecs.Push(v)
+	}
+	for i, cs := range s.Contexts {
+		dc := n.attached[i]
+		dc.rxDone = dc.rxDone[:0]
+		for _, rc := range cs.RxDone {
+			f, err := ether.RestoreFrame(rc.Frame, codec)
+			if err != nil {
+				return err
+			}
+			dc.rxDone = append(dc.rxDone, RxCompletion{Frame: f, Desc: rc.Desc})
+		}
+		dc.rxSpare = dc.rxSpare[:0]
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package ring
+
+// State is a Ring's checkpoint image: the two free-running indices.
+// The descriptor bytes themselves live in simulated host memory and are
+// captured by the mem layer; geometry (base, entries, layout) is
+// construction state the restored machine rebuilds identically.
+type State struct {
+	Prod uint32
+	Cons uint32
+}
+
+// State captures the ring indices.
+func (r *Ring) State() State { return State{Prod: r.prod, Cons: r.cons} }
+
+// SetState restores the ring indices from a State image.
+func (r *Ring) SetState(s State) { r.prod, r.cons = s.Prod, s.Cons }

@@ -60,6 +60,8 @@ type Event struct {
 	next  *Event // intrusive wheel-slot list links (nil when unqueued
 	prev  *Event // or when queued in the reference heap)
 	index int32  // queue position: heap index or wheel slot; -1 when not queued
+	fnID  int32  // callback registry identity (see fn.go); -1 raw, 0 none
+	tm    int32  // owning Timer's registry index (meaningful iff timer)
 	gen   uint32 // bumped on every recycle; stale Handles mismatch
 	timer bool   // owned by a Timer, never returned to the pool
 }
@@ -111,6 +113,13 @@ type Engine struct {
 	fired   uint64
 	tracer  *Tracer
 	q       queueImpl // the event queue; concrete type, see sched_select_*.go
+
+	// Checkpoint registries (fn.go, snapshot.go): callbacks bound and
+	// timers created during machine construction, in construction
+	// order. Deterministic construction makes the indices stable
+	// identities a snapshot can record.
+	binds  []func()
+	timers []*Timer
 }
 
 // New returns an Engine with the clock at zero and the finest (1 ns)
@@ -176,29 +185,42 @@ func (e *Engine) release(ev *Event) {
 	}
 	ev.gen++
 	ev.fn = nil
+	ev.fnID = 0
 	ev.name = ""
 	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it always indicates a model bug.
+// panics: it always indicates a model bug. The callback is raw (see
+// RawFn): fine for tests and tooling, but model layers schedule bound
+// callbacks through AtFn so pending events stay snapshotable.
 func (e *Engine) At(t Time, name string, fn func()) Handle {
+	return e.AtFn(t, name, RawFn(fn))
+}
+
+// AtFn schedules a registered callback to run at absolute time t.
+func (e *Engine) AtFn(t Time, name string, fn Fn) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
 	}
 	e.seq++
 	ev := e.alloc()
-	ev.at, ev.seq, ev.name, ev.fn = t, e.seq, name, fn
+	ev.at, ev.seq, ev.name, ev.fn, ev.fnID = t, e.seq, name, fn.f, fn.id
 	e.q.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
 func (e *Engine) After(d Time, name string, fn func()) Handle {
+	return e.AfterFn(d, name, RawFn(fn))
+}
+
+// AfterFn schedules a registered callback d nanoseconds from now.
+func (e *Engine) AfterFn(d Time, name string, fn Fn) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: event %q scheduled with negative delay %v", name, d))
 	}
-	return e.At(e.now+d, name, fn)
+	return e.AtFn(e.now+d, name, fn)
 }
 
 // fire executes the already-dequeued event ev. Pooled events are
@@ -212,7 +234,9 @@ func (e *Engine) fire(ev *Event) {
 		e.tracer.record(ev.at, ev.name)
 	}
 	e.release(ev)
-	fn()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Run executes events in order until the clock reaches the until

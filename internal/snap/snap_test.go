@@ -1,0 +1,106 @@
+package snap
+
+import (
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Ticks []uint64
+}
+
+func image(t *testing.T, h Header, state any) []byte {
+	t.Helper()
+	b, err := Encode(h, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := payload{Name: "m", Ticks: []uint64{1, 2, 3}}
+	b := image(t, Header{Config: "cfg", Binds: 4, Timers: 2}, in)
+
+	var out payload
+	h, err := Decode(b, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.Config != "cfg" || h.Binds != 4 || h.Timers != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+	if out.Name != in.Name || len(out.Ticks) != 3 || out.Ticks[2] != 3 {
+		t.Fatalf("state = %+v", out)
+	}
+
+	// Encode stamps the version even when the caller sets a bogus one.
+	b2 := image(t, Header{Version: 99, Config: "cfg"}, in)
+	h2, err := DecodeHeader(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Version != Version {
+		t.Fatalf("stamped version = %d, want %d", h2.Version, Version)
+	}
+}
+
+func TestDecodeHeaderOnly(t *testing.T) {
+	b := image(t, Header{Config: "x", Binds: 1, Timers: 1}, payload{Name: "y"})
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Config != "x" {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	var out payload
+	if _, err := Decode([]byte("definitely not a snapshot"), &out); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("garbage decode err = %v", err)
+	}
+	if _, err := Decode([]byte("CD"), &out); err == nil {
+		t.Fatal("short input decoded")
+	}
+	if _, err := DecodeHeader([]byte("CDNASNAP")); err == nil {
+		t.Fatal("truncated header decoded")
+	}
+	// Valid header, truncated state.
+	b := image(t, Header{Config: "x"}, payload{Name: "y", Ticks: make([]uint64, 64)})
+	if _, err := Decode(b[:len(b)-8], &out); err == nil {
+		t.Fatal("truncated state decoded")
+	}
+}
+
+func TestEncodeRejectsUnencodable(t *testing.T) {
+	if _, err := Encode(Header{Config: "x"}, func() {}); err == nil {
+		t.Fatal("encoded a func value")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	h := Header{Version: Version, Config: "a", Binds: 3, Timers: 5}
+	if err := h.Compatible(3, 5, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Compatible(3, 5, "other", "a"); err != nil {
+		t.Fatalf("multi-tag accept: %v", err)
+	}
+	if err := h.Compatible(3, 5, "other"); err == nil {
+		t.Fatal("accepted a foreign config tag")
+	}
+	if err := h.Compatible(4, 5, "a"); err == nil {
+		t.Fatal("accepted a bind-count mismatch")
+	}
+	if err := h.Compatible(3, 6, "a"); err == nil {
+		t.Fatal("accepted a timer-count mismatch")
+	}
+	old := h
+	old.Version = Version + 1
+	if err := old.Compatible(3, 5, "a"); err == nil {
+		t.Fatal("accepted a future format version")
+	}
+}

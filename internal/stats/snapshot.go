@@ -1,0 +1,41 @@
+package stats
+
+// CounterState is a Counter's checkpoint image: the plain-data form
+// internal/snap serializes. Capturing both the all-time total and the
+// window keeps a restored run byte-identical whether the snapshot was
+// taken before or after StartWindow.
+type CounterState struct {
+	Total   uint64
+	Window  uint64
+	Started bool
+}
+
+// State captures the counter.
+func (c *Counter) State() CounterState {
+	return CounterState{Total: c.total, Window: c.window, Started: c.started}
+}
+
+// SetState restores the counter from a State image.
+func (c *Counter) SetState(s CounterState) {
+	c.total, c.window, c.started = s.Total, s.Window, s.Started
+}
+
+// DistributionState is a Distribution's checkpoint image. The sample
+// slice is copied on capture so later Observes do not alias into the
+// snapshot; Sorted is preserved because Quantile's nearest-rank walk
+// sorts in place and a restored run must replay the same sort points.
+type DistributionState struct {
+	Samples []float64
+	Sorted  bool
+}
+
+// State captures the distribution.
+func (d *Distribution) State() DistributionState {
+	return DistributionState{Samples: append([]float64(nil), d.samples...), Sorted: d.sorted}
+}
+
+// SetState restores the distribution from a State image.
+func (d *Distribution) SetState(s DistributionState) {
+	d.samples = append(d.samples[:0], s.Samples...)
+	d.sorted = s.Sorted
+}

@@ -1,0 +1,100 @@
+package topo
+
+import (
+	"fmt"
+
+	"cdna/internal/ether"
+	"cdna/internal/stats"
+)
+
+// PendingState is one frame waiting out the forwarding latency.
+type PendingState struct {
+	Frame ether.FrameState
+	In    int32
+}
+
+// PortState is one switch port's checkpoint image. The armed txdone
+// timer rides the engine snapshot.
+type PortState struct {
+	Busy     bool
+	Failed   bool
+	Queue    []ether.FrameState
+	MaxDepth int
+	Enqueued stats.CounterState
+	Dropped  stats.CounterState
+}
+
+// SwitchState is the whole switch's checkpoint image.
+type SwitchState struct {
+	Bridge ether.BridgeState
+	PendQ  []PendingState
+	Ports  []PortState
+	Inputs stats.CounterState
+	Drops  stats.CounterState
+}
+
+// State captures the switch.
+func (s *Switch) State(codec ether.PayloadCodec) (SwitchState, error) {
+	st := SwitchState{
+		Bridge: s.bridge.State(),
+		PendQ:  make([]PendingState, s.pendQ.Len()),
+		Ports:  make([]PortState, len(s.ports)),
+		Inputs: s.Inputs.State(),
+		Drops:  s.Drops.State(),
+	}
+	for i := 0; i < s.pendQ.Len(); i++ {
+		pf := s.pendQ.At(i)
+		fs, err := ether.CaptureFrame(pf.f, codec)
+		if err != nil {
+			return SwitchState{}, err
+		}
+		st.PendQ[i] = PendingState{Frame: fs, In: pf.in}
+	}
+	for i, p := range s.ports {
+		q, err := ether.CaptureFrameFIFO(&p.q, codec)
+		if err != nil {
+			return SwitchState{}, err
+		}
+		st.Ports[i] = PortState{
+			Busy:     p.busy,
+			Failed:   p.failed,
+			Queue:    q,
+			MaxDepth: p.maxDepth,
+			Enqueued: p.Enqueued.State(),
+			Dropped:  p.Dropped.State(),
+		}
+	}
+	return st, nil
+}
+
+// SetState restores the switch into a freshly built fabric with the
+// same port count.
+func (s *Switch) SetState(st SwitchState, codec ether.PayloadCodec) error {
+	if len(st.Ports) != len(s.ports) {
+		return fmt.Errorf("topo: port roster mismatch: snapshot has %d, machine has %d",
+			len(st.Ports), len(s.ports))
+	}
+	s.bridge.SetState(st.Bridge)
+	s.pendQ.Clear()
+	for _, ps := range st.PendQ {
+		f, err := ether.RestoreFrame(ps.Frame, codec)
+		if err != nil {
+			return err
+		}
+		s.pendQ.Push(pending{f: f, in: ps.In})
+	}
+	for i, ps := range st.Ports {
+		p := s.ports[i]
+		p.busy = ps.Busy
+		p.failed = ps.Failed
+		if err := ether.RestoreFrameFIFO(&p.q, ps.Queue, codec); err != nil {
+			return err
+		}
+		p.maxDepth = ps.MaxDepth
+		p.Enqueued.SetState(ps.Enqueued)
+		p.Dropped.SetState(ps.Dropped)
+	}
+	s.Inputs.SetState(st.Inputs)
+	s.Drops.SetState(st.Drops)
+	return nil
+}

@@ -76,7 +76,7 @@ type Switch struct {
 	// ForwardLatency is constant, so completion order is issue order and
 	// one bound callback serves every frame.
 	pendQ     sim.FIFO[pending]
-	forwardFn func()
+	forwardFn sim.Fn
 
 	// Inputs counts frames the switch received (post store-and-forward).
 	Inputs stats.Counter
@@ -90,7 +90,7 @@ func New(eng *sim.Engine, p Params) *Switch {
 		p.EgressCap = DefaultParams().EgressCap
 	}
 	s := &Switch{eng: eng, p: p, bridge: ether.NewBridge()}
-	s.forwardFn = s.forward
+	s.forwardFn = eng.Bind(s.forward)
 	return s
 }
 
@@ -105,6 +105,9 @@ type Port struct {
 	out  *ether.Pipe
 	q    sim.FIFO[*ether.Frame]
 	busy bool
+	// failed marks a dead port (fault injection): forwarding decisions
+	// toward it drop, and its queued frames were discarded at failure.
+	failed bool
 	// txDone fires when the egress pipe finishes serializing the current
 	// frame, freeing the wire for the next queued one.
 	txDone *sim.Timer
@@ -150,6 +153,12 @@ func (s *Switch) Forwarded() *stats.Counter { return &s.bridge.Forwarded }
 // Flooded returns the bridge's unknown-unicast/broadcast counter.
 func (s *Switch) Flooded() *stats.Counter { return &s.bridge.Flooded }
 
+// Moves returns the bridge's station-move counter: source MACs
+// re-learned on a different port. Port failures drive it — every
+// station unlearned by FailPort re-learns on its next frame — so fault
+// scenarios read it as the FDB-churn gauge.
+func (s *Switch) Moves() *stats.Counter { return &s.bridge.Moves }
+
 // Input accepts a fully received frame on ingress port `in`. The frame
 // waits out the store-and-forward processing latency, then the bridge
 // logic learns its source and resolves the egress port(s). Ingress
@@ -157,7 +166,7 @@ func (s *Switch) Flooded() *stats.Counter { return &s.bridge.Flooded }
 func (s *Switch) Input(in int, f *ether.Frame) {
 	s.Inputs.Inc()
 	s.pendQ.Push(pending{f: f, in: int32(in)})
-	s.eng.After(s.p.ForwardLatency, "topo.forward", s.forwardFn)
+	s.eng.AfterFn(s.p.ForwardLatency, "topo.forward", s.forwardFn)
 }
 
 // forward runs after ForwardLatency: standard learning-bridge semantics,
@@ -170,6 +179,11 @@ func (s *Switch) forward() {
 // Receive implements ether.Port for the embedded bridge's output side:
 // a forwarding decision toward this port. Full queue = tail drop.
 func (p *Port) Receive(f *ether.Frame) {
+	if p.failed {
+		p.Dropped.Inc()
+		p.sw.Drops.Inc()
+		return
+	}
 	if p.q.Len() >= p.sw.p.EgressCap {
 		p.Dropped.Inc()
 		p.sw.Drops.Inc()
@@ -201,6 +215,29 @@ func (p *Port) onWireFree() {
 	}
 }
 
+// FailPort kills port i: its queued egress frames are discarded (and
+// counted as drops), every station learned behind it is unlearned from
+// the forwarding database — traffic toward those MACs floods until
+// they are re-learned — and future forwarding decisions toward the port
+// drop. The frame currently serializing, if any, still delivers.
+func (s *Switch) FailPort(i int) {
+	p := s.ports[i]
+	p.failed = true
+	for p.q.Len() > 0 {
+		p.q.Pop()
+		p.Dropped.Inc()
+		s.Drops.Inc()
+	}
+	s.bridge.Unlearn(i)
+}
+
+// RestorePort brings a failed port back. Stations behind it are
+// re-learned from their next frames.
+func (s *Switch) RestorePort(i int) { s.ports[i].failed = false }
+
+// Failed reports whether the port is failed.
+func (p *Port) Failed() bool { return p.failed }
+
 // Depth returns the current egress queue depth (excluding the frame on
 // the wire).
 func (p *Port) Depth() int { return p.q.Len() }
@@ -220,6 +257,7 @@ func (s *Switch) StartWindow() {
 	s.Drops.StartWindow()
 	s.bridge.Forwarded.StartWindow()
 	s.bridge.Flooded.StartWindow()
+	s.bridge.Moves.StartWindow()
 	for _, p := range s.ports {
 		p.Enqueued.StartWindow()
 		p.Dropped.StartWindow()

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// ConnState is a connection's checkpoint image: both endpoints' sliding
+// state plus metrics. The armed RTO timer itself rides the engine
+// snapshot via the timer registry; rtoUna is the callback's captured
+// state and lives here.
+type ConnState struct {
+	SndNext uint32
+	SndUna  uint32
+	Cwnd    int
+	Started bool
+	Bounded bool
+	Limit   uint32
+	RtoUna  uint32
+
+	RcvNext   uint32
+	Unacked   int
+	MarkArmed bool
+	RcvMark   uint32
+
+	Delivered   stats.CounterState
+	Retransmits stats.CounterState
+	DupDrops    stats.CounterState
+	AcksSent    stats.CounterState
+	Latency     stats.DistributionState
+}
+
+// State captures the connection.
+func (c *Conn) State() ConnState {
+	return ConnState{
+		SndNext:     c.sndNext,
+		SndUna:      c.sndUna,
+		Cwnd:        c.cwnd,
+		Started:     c.started,
+		Bounded:     c.bounded,
+		Limit:       c.limit,
+		RtoUna:      c.rtoUna,
+		RcvNext:     c.rcvNext,
+		Unacked:     c.unacked,
+		MarkArmed:   c.markArmed,
+		RcvMark:     c.rcvMark,
+		Delivered:   c.Delivered.State(),
+		Retransmits: c.Retransmits.State(),
+		DupDrops:    c.DupDrops.State(),
+		AcksSent:    c.AcksSent.State(),
+		Latency:     c.Latency.State(),
+	}
+}
+
+// SetState restores the connection.
+func (c *Conn) SetState(s ConnState) {
+	c.sndNext = s.SndNext
+	c.sndUna = s.SndUna
+	c.cwnd = s.Cwnd
+	c.started = s.Started
+	c.bounded = s.Bounded
+	c.limit = s.Limit
+	c.rtoUna = s.RtoUna
+	c.rcvNext = s.RcvNext
+	c.unacked = s.Unacked
+	c.markArmed = s.MarkArmed
+	c.rcvMark = s.RcvMark
+	c.Delivered.SetState(s.Delivered)
+	c.Retransmits.SetState(s.Retransmits)
+	c.DupDrops.SetState(s.DupDrops)
+	c.AcksSent.SetState(s.AcksSent)
+	c.Latency.SetState(s.Latency)
+}
+
+// Segment wire image: segments in flight (frame payloads, receive
+// queues) serialize to a fixed 22-byte record with the owning
+// connection replaced by its index in the machine's connection group.
+const segImageBytes = 4 + 4 + 4 + 1 + 4 + 8 // conn, seq, len, ack, ackseq, sentat
+
+// EncodeSegment converts a segment to its checkpoint bytes, using
+// connIndex as the connection's identity.
+func EncodeSegment(s *Segment, connIndex int) []byte {
+	b := make([]byte, segImageBytes)
+	binary.LittleEndian.PutUint32(b[0:], uint32(connIndex))
+	binary.LittleEndian.PutUint32(b[4:], s.Seq)
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.Len))
+	if s.Ack {
+		b[12] = 1
+	}
+	binary.LittleEndian.PutUint32(b[13:], s.AckSeq)
+	binary.LittleEndian.PutUint64(b[17:], uint64(s.SentAt))
+	return b
+}
+
+// DecodeSegment materializes a segment from its checkpoint bytes; the
+// caller resolves the returned connection index to a *Conn.
+func DecodeSegment(b []byte) (connIndex int, s *Segment, err error) {
+	if len(b) != segImageBytes {
+		return 0, nil, fmt.Errorf("transport: segment image is %d bytes, want %d", len(b), segImageBytes)
+	}
+	s = &Segment{
+		Seq:    binary.LittleEndian.Uint32(b[4:]),
+		Len:    int(binary.LittleEndian.Uint32(b[8:])),
+		Ack:    b[12] == 1,
+		AckSeq: binary.LittleEndian.Uint32(b[13:]),
+		SentAt: sim.Time(binary.LittleEndian.Uint64(b[17:])),
+	}
+	return int(binary.LittleEndian.Uint32(b[0:])), s, nil
+}

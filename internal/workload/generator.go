@@ -58,10 +58,11 @@ type Generator struct {
 type endpoint struct {
 	g *Generator
 	Endpoint
-	rng   *sim.RNG
-	timer *sim.Timer // think / gap / burst-phase timer
-	t0    sim.Time   // outstanding message's issue time
-	on    bool       // burst: currently in an on-period
+	rng     *sim.RNG
+	timer   *sim.Timer // think / gap / burst-phase timer
+	t0      sim.Time   // outstanding message's issue time
+	on      bool       // burst: currently in an on-period
+	startFn sim.Fn     // kind-appropriate Launch callback, bound at Add
 }
 
 // NewGenerator creates a generator for a resolved spec. Call
@@ -106,15 +107,20 @@ func (g *Generator) Add(ep Endpoint) error {
 	e := &endpoint{g: g, Endpoint: ep}
 	e.rng = sim.NewRNG(g.spec.Seed + uint64(len(g.eps))*0x9e3779b97f4a7c15)
 	switch g.spec.Kind {
+	case Bulk:
+		e.startFn = g.eng.Bind(ep.Fwd.Start)
 	case RequestResponse:
 		e.timer = g.eng.NewTimer("workload.think", e.issue)
+		e.startFn = g.eng.Bind(e.issue)
 		ep.Fwd.OnMark = e.serve
 		ep.Rev.OnMark = e.onResponse
 	case Churn:
 		e.timer = g.eng.NewTimer("workload.gap", e.openFlow)
+		e.startFn = g.eng.Bind(e.openFlow)
 		ep.Fwd.OnSendComplete = e.onFlowDone
 	case Burst:
 		e.timer = g.eng.NewTimer("workload.burst", e.togglePhase)
+		e.startFn = g.eng.Bind(e.startBurst)
 	}
 	g.eps = append(g.eps, e)
 	return nil
@@ -137,13 +143,13 @@ func (g *Generator) Launch(warmup sim.Time) {
 		at := 2*sim.Millisecond + sim.Time(i)*stagger/sim.Time(n)
 		switch g.spec.Kind {
 		case Bulk:
-			g.eng.At(at, "conn.start", e.Fwd.Start)
+			g.eng.AtFn(at, "conn.start", e.startFn)
 		case RequestResponse:
-			g.eng.At(at, "workload.issue", e.issue)
+			g.eng.AtFn(at, "workload.issue", e.startFn)
 		case Churn:
-			g.eng.At(at, "workload.flow", e.openFlow)
+			g.eng.AtFn(at, "workload.flow", e.startFn)
 		case Burst:
-			g.eng.At(at, "conn.start", e.startBurst)
+			g.eng.AtFn(at, "conn.start", e.startFn)
 		}
 	}
 }

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// EndpointState is one traffic slot's checkpoint image. The armed
+// think/gap/burst timer rides the engine snapshot via the timer
+// registry; this is the slot's own mutable state.
+type EndpointState struct {
+	RNG uint64
+	T0  sim.Time
+	On  bool
+}
+
+// GeneratorState is the generator's checkpoint image.
+type GeneratorState struct {
+	Endpoints []EndpointState
+	Requests  stats.CounterState
+	Flows     stats.CounterState
+	Latency   stats.DistributionState
+}
+
+// State captures the generator and every endpoint in registration order.
+func (g *Generator) State() GeneratorState {
+	s := GeneratorState{
+		Endpoints: make([]EndpointState, len(g.eps)),
+		Requests:  g.Requests.State(),
+		Flows:     g.Flows.State(),
+		Latency:   g.Latency.State(),
+	}
+	for i, e := range g.eps {
+		s.Endpoints[i] = EndpointState{RNG: e.rng.State(), T0: e.t0, On: e.on}
+	}
+	return s
+}
+
+// SetState restores the generator into a freshly built machine with the
+// same endpoint roster.
+func (g *Generator) SetState(s GeneratorState) error {
+	if len(s.Endpoints) != len(g.eps) {
+		return fmt.Errorf("workload: endpoint roster mismatch: snapshot has %d, machine has %d",
+			len(s.Endpoints), len(g.eps))
+	}
+	for i, es := range s.Endpoints {
+		e := g.eps[i]
+		e.rng.SetState(es.RNG)
+		e.t0 = es.T0
+		e.on = es.On
+	}
+	g.Requests.SetState(s.Requests)
+	g.Flows.SetState(s.Flows)
+	g.Latency.SetState(s.Latency)
+	return nil
+}

@@ -1,0 +1,87 @@
+package xen
+
+import (
+	"fmt"
+
+	"cdna/internal/stats"
+)
+
+// ChannelState is one event channel's checkpoint image. The scheduled
+// virq-delivery task, when one is pending, lives in the target VCPU's
+// queue (captured by the cpu layer); this is the channel's own bit.
+type ChannelState struct {
+	Pending  bool
+	Notifies stats.CounterState
+	Merged   stats.CounterState
+}
+
+// State is the hypervisor's checkpoint image: counters, per-domain virq
+// counters, every event channel, and every bit-vector decoder's drained
+// masks awaiting their charged decode. Channel and decoder identity is
+// creation order. The CDNA protection engine and context managers are
+// captured separately (the machine layer owns their walk).
+type State struct {
+	PhysIRQs stats.CounterState
+	Faults   stats.CounterState
+	Virqs    []stats.CounterState
+	Channels []ChannelState
+	Decoders [][]uint32
+}
+
+// State captures the hypervisor. A snapshot with a fielded-but-
+// unserviced protection fault is refused: faults only occur in attack
+// scenarios, and the pending operation holds a raw pointer pair with no
+// portable identity.
+func (h *Hypervisor) State() (State, error) {
+	if h.pendFaults.Len() > 0 {
+		return State{}, fmt.Errorf("xen: %d protection faults awaiting service; snapshot refused", h.pendFaults.Len())
+	}
+	s := State{
+		PhysIRQs: h.PhysIRQs.State(),
+		Faults:   h.Faults.State(),
+		Virqs:    make([]stats.CounterState, len(h.domains)),
+		Channels: make([]ChannelState, len(h.channels)),
+		Decoders: make([][]uint32, len(h.decoders)),
+	}
+	for i, d := range h.domains {
+		s.Virqs[i] = d.Virqs.State()
+	}
+	for i, ch := range h.channels {
+		s.Channels[i] = ChannelState{Pending: ch.pending, Notifies: ch.Notifies.State(), Merged: ch.Merged.State()}
+	}
+	for i, dec := range h.decoders {
+		masks := make([]uint32, dec.pend.Len())
+		for j := 0; j < dec.pend.Len(); j++ {
+			masks[j] = dec.pend.At(j)
+		}
+		s.Decoders[i] = masks
+	}
+	return s, nil
+}
+
+// SetState restores the hypervisor into a freshly built machine with
+// matching domain, channel and decoder rosters.
+func (h *Hypervisor) SetState(s State) error {
+	if len(s.Virqs) != len(h.domains) || len(s.Channels) != len(h.channels) || len(s.Decoders) != len(h.decoders) {
+		return fmt.Errorf("xen: roster mismatch: snapshot has %d domains/%d channels/%d decoders, machine has %d/%d/%d",
+			len(s.Virqs), len(s.Channels), len(s.Decoders), len(h.domains), len(h.channels), len(h.decoders))
+	}
+	h.PhysIRQs.SetState(s.PhysIRQs)
+	h.Faults.SetState(s.Faults)
+	for i, d := range h.domains {
+		d.Virqs.SetState(s.Virqs[i])
+	}
+	for i, ch := range h.channels {
+		ch.pending = s.Channels[i].Pending
+		ch.Notifies.SetState(s.Channels[i].Notifies)
+		ch.Merged.SetState(s.Channels[i].Merged)
+	}
+	for i, dec := range h.decoders {
+		dec.pend.Clear()
+		for _, m := range s.Decoders[i] {
+			dec.pend.Push(m)
+		}
+	}
+	h.pendFaults.Clear()
+	return nil
+}

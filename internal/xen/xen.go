@@ -20,6 +20,12 @@ import (
 	"cdna/internal/stats"
 )
 
+// faultOp is one fielded-but-unserviced protection fault.
+type faultOp struct {
+	cm *core.ContextManager
+	f  *core.Fault
+}
+
 // Params are the hypervisor cost constants. Derivations from the paper's
 // tables are documented in internal/bench/params.go, which owns the
 // top-level calibration.
@@ -70,6 +76,15 @@ type Hypervisor struct {
 	domains   []*Domain
 	nextDomID mem.DomID
 
+	// channels and decoders are append-only creation rosters; like the
+	// bind registry, ordinal position is the checkpoint identity of a
+	// channel or decoder, stable because construction is deterministic.
+	channels []*EventChannel
+	decoders []*BitVecDecoder
+
+	pendFaults sim.FIFO[faultOp]
+	faultFn    sim.Fn
+
 	PhysIRQs stats.Counter // physical interrupts fielded
 	Faults   stats.Counter // CDNA protection faults handled
 }
@@ -78,6 +93,7 @@ type Hypervisor struct {
 // mode configures the CDNA engine; pure Xen setups simply never use it.
 func New(eng *sim.Engine, c *cpu.CPU, m *mem.Memory, p Params, mode core.Mode) *Hypervisor {
 	h := &Hypervisor{Eng: eng, CPU: c, Mem: m, Params: p, nextDomID: mem.Dom0}
+	h.faultFn = eng.Bind(h.serviceFault)
 	h.Prot = core.NewProtection(m, mode)
 	h.CtxMgr = core.NewContextManager(h.Prot)
 	return h
@@ -109,7 +125,7 @@ func (h *Hypervisor) Domains() []*Domain { return h.domains }
 
 // Hypercall runs fn in the domain's context with the given cost charged
 // to the hypervisor category (on top of the fixed hypercall base cost).
-func (d *Domain) Hypercall(extra sim.Time, name string, fn func()) {
+func (d *Domain) Hypercall(extra sim.Time, name string, fn sim.Fn) {
 	d.VCPU.Exec(cpu.CatHyp, d.hyp.Params.HypercallBase+extra, "hc:"+name, fn)
 }
 
@@ -125,8 +141,8 @@ type EventChannel struct {
 
 	// Delivery/send callbacks and the rendered virq event name, built
 	// once at NewChannel so Notify allocates nothing per interrupt.
-	deliverFn func()
-	notifyFn  func()
+	deliverFn sim.Fn
+	notifyFn  sim.Fn
 	virqName  string
 
 	Notifies stats.Counter // send attempts
@@ -136,8 +152,9 @@ type EventChannel struct {
 // NewChannel creates an event channel delivering to handler in target.
 func (h *Hypervisor) NewChannel(target *Domain, name string, handler func()) *EventChannel {
 	ch := &EventChannel{Name: name, target: target, handler: handler, virqName: "virq:" + name}
-	ch.deliverFn = ch.deliver
-	ch.notifyFn = ch.Notify
+	ch.deliverFn = h.Eng.Bind(ch.deliver)
+	ch.notifyFn = h.Eng.Bind(ch.Notify)
+	h.channels = append(h.channels, ch)
 	return ch
 }
 
@@ -172,20 +189,20 @@ func (ch *EventChannel) NotifyFromGuest(sender *Domain) {
 type IRQLine struct {
 	Name    string
 	hyp     *Hypervisor
-	handler func() // runs in ISR (hypervisor) context
+	handler sim.Fn // runs in ISR (hypervisor) context
 }
 
 // NewIRQ allocates an interrupt line whose handler runs in the
 // hypervisor's ISR context.
 func (h *Hypervisor) NewIRQ(name string, handler func()) *IRQLine {
-	return &IRQLine{Name: name, hyp: h, handler: handler}
+	return &IRQLine{Name: "irq:" + name, hyp: h, handler: h.Eng.Bind(handler)}
 }
 
 // Raise fields the physical interrupt: the hypervisor's ISR runs at the
 // next task boundary and invokes the handler.
 func (l *IRQLine) Raise() {
 	l.hyp.PhysIRQs.Inc()
-	l.hyp.CPU.ExecISR(l.hyp.Params.ISRCost, "irq:"+l.Name, l.handler)
+	l.hyp.CPU.ExecISR(l.hyp.Params.ISRCost, l.Name, l.handler)
 }
 
 // StartTimers begins periodic timer ticks: a hypervisor timer ISR plus a
@@ -196,9 +213,9 @@ func (l *IRQLine) Raise() {
 func (h *Hypervisor) StartTimers() {
 	var tm *sim.Timer
 	tm = h.Eng.NewTimer("timer.tick", func() {
-		h.CPU.ExecISR(h.Params.TickISR, "timer", nil)
+		h.CPU.ExecISR(h.Params.TickISR, "timer", sim.Fn{})
 		for _, d := range h.domains {
-			d.VCPU.Exec(cpu.CatKernel, h.Params.TickCost, "tick", nil)
+			d.VCPU.Exec(cpu.CatKernel, h.Params.TickCost, "tick", sim.Fn{})
 		}
 		tm.ArmAfter(h.Params.TickPeriod)
 	})
@@ -207,36 +224,61 @@ func (h *Hypervisor) StartTimers() {
 
 // --- CDNA integration (§3.2–3.3) ---
 
-// CDNAEnqueue is the guest driver's hypercall to validate and enqueue a
-// batch of DMA descriptors (§3.3). Cost scales with the number of
-// descriptors and the pages they span; the protection engine runs inside
-// the hypercall and `done` receives its verdict in the guest's context.
-func (d *Domain) CDNAEnqueue(r *ring.Ring, descs []ring.Desc, done func(int, error)) {
+// CDNAEnqueueCost is the charged cost of a cdna_enqueue hypercall for a
+// descriptor batch (§3.3): it scales with the number of descriptors and
+// the pages they span. The guest driver issues the hypercall itself —
+// d.Hypercall(cost, "cdna_enqueue", fn) with its own bound callback —
+// so the pending operation lives in the driver's snapshotable queue
+// instead of a captured closure.
+func (d *Domain) CDNAEnqueueCost(descs []ring.Desc) sim.Time {
 	pages := 0
 	for _, desc := range descs {
 		pages += len(mem.RangePFNs(desc.Addr, int(desc.Len)))
 	}
-	cost := sim.Time(len(descs))*d.hyp.Params.CDNAPerDesc + sim.Time(pages)*d.hyp.Params.CDNAPerPage
-	d.Hypercall(cost, "cdna_enqueue", func() {
-		n, err := d.hyp.Prot.Enqueue(d.ID, r, descs)
-		if done != nil {
-			done(n, err)
-		}
-	})
+	return sim.Time(len(descs))*d.hyp.Params.CDNAPerDesc + sim.Time(pages)*d.hyp.Params.CDNAPerPage
 }
 
-// HandleBitVectorIRQ is the hypervisor's CDNA interrupt service path
-// (§3.2): drain the bit-vector queue, then notify the event channel of
-// every context with a set bit. The per-context decode cost is charged
-// as additional ISR work.
+// CDNAValidate runs the protection engine for a descriptor batch in the
+// domain's name — the body of the cdna_enqueue hypercall.
+func (d *Domain) CDNAValidate(r *ring.Ring, descs []ring.Desc) (int, error) {
+	return d.hyp.Prot.Enqueue(d.ID, r, descs)
+}
+
+// BitVecDecoder is the hypervisor's CDNA interrupt service path (§3.2)
+// for one NIC: drain the bit-vector queue, then notify the event channel
+// of every context with a set bit. The per-context decode cost is
+// charged as additional ISR work; the drained masks await that charged
+// decode in a queue rather than a captured closure, so in-flight
+// interrupts checkpoint cleanly.
 //
 // channels is indexed by context ID (nil entries are contexts without a
 // registered channel). A dense slice instead of a map keeps delivery
 // order structurally tied to ascending context ID — map iteration order
 // can never leak into the simulation — and makes the per-interrupt
-// decode loop allocation- and hash-free.
-func (h *Hypervisor) HandleBitVectorIRQ(q *core.BitVectorQueue, channels []*EventChannel) {
-	bits, _ := q.Drain()
+// decode loop allocation- and hash-free. The decoder keeps the slice
+// the builder hands it, so channels registered after construction are
+// seen as long as the backing array is shared.
+type BitVecDecoder struct {
+	hyp      *Hypervisor
+	q        *core.BitVectorQueue
+	channels []*EventChannel
+	pend     sim.FIFO[uint32] // drained masks awaiting the charged decode
+	decodeFn sim.Fn
+}
+
+// NewBitVecDecoder creates the ISR-side decoder for one NIC's
+// bit-vector queue.
+func (h *Hypervisor) NewBitVecDecoder(q *core.BitVectorQueue, channels []*EventChannel) *BitVecDecoder {
+	d := &BitVecDecoder{hyp: h, q: q, channels: channels}
+	d.decodeFn = h.Eng.Bind(d.decode)
+	h.decoders = append(h.decoders, d)
+	return d
+}
+
+// HandleIRQ drains the queue and schedules the charged decode. It is
+// the physical-IRQ handler body for a CDNA NIC.
+func (d *BitVecDecoder) HandleIRQ() {
+	bits, _ := d.q.Drain()
 	n := 0
 	for ctx := 0; ctx < core.NumContexts; ctx++ {
 		if bits&(1<<uint(ctx)) != 0 {
@@ -246,28 +288,41 @@ func (h *Hypervisor) HandleBitVectorIRQ(q *core.BitVectorQueue, channels []*Even
 	if n == 0 {
 		return
 	}
-	h.CPU.ExecISR(h.Params.BitvecBase+sim.Time(n)*h.Params.BitvecPerCtx, "cdna.bitvec", func() {
-		for ctx := 0; ctx < core.NumContexts && ctx < len(channels); ctx++ {
-			if bits&(1<<uint(ctx)) != 0 && channels[ctx] != nil {
-				channels[ctx].Notify()
-			}
+	d.pend.Push(bits)
+	d.hyp.CPU.ExecISR(d.hyp.Params.BitvecBase+sim.Time(n)*d.hyp.Params.BitvecPerCtx, "cdna.bitvec", d.decodeFn)
+}
+
+func (d *BitVecDecoder) decode() {
+	bits := d.pend.Pop()
+	for ctx := 0; ctx < core.NumContexts && ctx < len(d.channels); ctx++ {
+		if bits&(1<<uint(ctx)) != 0 && d.channels[ctx] != nil {
+			d.channels[ctx].Notify()
 		}
-	})
+	}
 }
 
 // HandleFault services a CDNA protection fault reported by the NIC: the
 // offending context is revoked (§3.3). Each CDNA NIC has its own
 // ContextManager (contexts are per-device); pass the manager for the
-// faulting NIC — or nil to use the hypervisor's default manager.
+// faulting NIC — or nil to use the hypervisor's default manager. Faults
+// awaiting service queue on the hypervisor (they only occur in attack
+// scenarios; a checkpoint with one outstanding is refused).
 func (h *Hypervisor) HandleFault(cm *core.ContextManager, f *core.Fault) {
 	if cm == nil {
 		cm = h.CtxMgr
 	}
 	h.Faults.Inc()
-	h.CPU.ExecISR(h.Params.ISRCost, "cdna.fault", func() {
-		cm.HandleFault(f)
-	})
+	h.pendFaults.Push(faultOp{cm: cm, f: f})
+	h.CPU.ExecISR(h.Params.ISRCost, "cdna.fault", h.faultFn)
 }
+
+func (h *Hypervisor) serviceFault() {
+	op := h.pendFaults.Pop()
+	op.cm.HandleFault(op.f)
+}
+
+// PendingFaults reports faults fielded but not yet serviced.
+func (h *Hypervisor) PendingFaults() int { return h.pendFaults.Len() }
 
 // StartWindow resets hypervisor-level windowed counters.
 func (h *Hypervisor) StartWindow() {

@@ -37,7 +37,7 @@ func TestHypercallChargedToHypervisor(t *testing.T) {
 	g := h.NewDomain("g", cpu.KindGuest)
 	h.CPU.StartWindow()
 	ran := false
-	g.Hypercall(sim.Microsecond, "test", func() { ran = true })
+	g.Hypercall(sim.Microsecond, "test", sim.RawFn(func() { ran = true }))
 	eng.Run(sim.Millisecond)
 	h.CPU.EndWindow()
 	if !ran {
@@ -85,9 +85,9 @@ func TestNotifyFromGuestChargesSender(t *testing.T) {
 	d0 := h.NewDomain("driver", cpu.KindDriver)
 	ch := h.NewChannel(d0, "back", func() {})
 	h.CPU.StartWindow()
-	g.VCPU.Exec(cpu.CatKernel, sim.Microsecond, "work", func() {
+	g.VCPU.Exec(cpu.CatKernel, sim.Microsecond, "work", sim.RawFn(func() {
 		ch.NotifyFromGuest(g)
-	})
+	}))
 	eng.Run(sim.Millisecond)
 	h.CPU.EndWindow()
 	p := h.CPU.Profile()
@@ -136,11 +136,12 @@ func TestCDNAEnqueueHypercall(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf := h.Mem.AllocOne(g.ID)
+	descs := []ring.Desc{{Addr: buf.Base(), Len: 1514}}
 	var gotN int
 	var gotErr error
-	g.CDNAEnqueue(r, []ring.Desc{{Addr: buf.Base(), Len: 1514}}, func(n int, err error) {
-		gotN, gotErr = n, err
-	})
+	g.Hypercall(g.CDNAEnqueueCost(descs), "cdna_enqueue", sim.RawFn(func() {
+		gotN, gotErr = g.CDNAValidate(r, descs)
+	}))
 	eng.Run(sim.Millisecond)
 	if gotErr != nil || gotN != 1 {
 		t.Fatalf("enqueue = %d, %v", gotN, gotErr)
@@ -158,10 +159,11 @@ func TestCDNAEnqueueRejectsForeign(t *testing.T) {
 	r, _ := ring.New("tx", ring.DefaultLayout, base, 64)
 	h.Prot.RegisterRing(g.ID, r, 128)
 	buf := h.Mem.AllocOne(victim.ID)
+	descs := []ring.Desc{{Addr: buf.Base(), Len: 1514}}
 	var gotErr error
-	g.CDNAEnqueue(r, []ring.Desc{{Addr: buf.Base(), Len: 1514}}, func(n int, err error) {
-		gotErr = err
-	})
+	g.Hypercall(g.CDNAEnqueueCost(descs), "cdna_enqueue", sim.RawFn(func() {
+		_, gotErr = g.CDNAValidate(r, descs)
+	}))
 	eng.Run(sim.Millisecond)
 	if gotErr != core.ErrForeignMemory {
 		t.Fatalf("err = %v, want ErrForeignMemory", gotErr)
@@ -184,7 +186,8 @@ func TestHandleBitVectorIRQ(t *testing.T) {
 	q.Accumulate(3)
 	q.Accumulate(7)
 	q.Post()
-	irq := h.NewIRQ("cdna", func() { h.HandleBitVectorIRQ(q, channels) })
+	dec := h.NewBitVecDecoder(q, channels)
+	irq := h.NewIRQ("cdna", dec.HandleIRQ)
 	irq.Raise()
 	eng.Run(sim.Millisecond)
 	if got[3] != 1 || got[7] != 1 {
