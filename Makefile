@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test check smoke topo-smoke snap-smoke cover tables paper bench bench-check clean
+.PHONY: all build vet test check smoke topo-smoke snap-smoke cover tables paper bench bench-check pprof clean
 
 all: check
 
@@ -86,6 +86,16 @@ bench:
 BENCH_TOL ?= 15
 bench-check:
 	$(GO) run ./cmd/cdnabench -short -compare BENCH_sim.json -tol $(BENCH_TOL)
+
+# pprof captures CPU and allocation profiles of the heaviest end-to-end
+# scenario (4-host incast, sharded) into prof/. Inspect with
+# `go tool pprof prof/cpu.out` / `go tool pprof prof/allocs.out`;
+# EXPERIMENTS.md documents the workflow.
+pprof:
+	mkdir -p prof
+	$(GO) run ./cmd/cdnasim -mode cdna -hosts 4 -pattern incast -shards 4 \
+		-warmup 0.1 -duration 0.4 -cpuprofile prof/cpu.out -memprofile prof/allocs.out
+	@echo "profiles written: prof/cpu.out prof/allocs.out"
 
 clean:
 	rm -f results.json results.csv BENCH_sim.json BENCH_heap.tmp.json

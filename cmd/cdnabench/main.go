@@ -107,6 +107,16 @@ type Report struct {
 	// worth of model per simulated second through one engine.
 	MultiHost EndToEnd `json:"multi_host_end_to_end"`
 
+	// MultiHostShards{2,4} rerun the multi-host row with the machine
+	// partitioned over 2 and 4 engine shards (Config.Shards). Results
+	// are byte-identical to the single-engine row by contract; the wall
+	// clock measures what the sharded executor costs or buys. On a
+	// single-core machine the shards execute sequentially, so these rows
+	// carry the barrier/seam overhead, not a parallel speedup — see
+	// EXPERIMENTS.md.
+	MultiHostShards2 EndToEnd `json:"multi_host_end_to_end_shards2"`
+	MultiHostShards4 EndToEnd `json:"multi_host_end_to_end_shards4"`
+
 	// SnapRoundTrip times the checkpoint/restore layer on the same
 	// machine: one Snapshot of a mid-window run (live queues, armed
 	// timers, open windows) and one Restore of that image into a freshly
@@ -171,11 +181,13 @@ type WarmstartFork struct {
 
 // Reference is an embedded secondary measurement (see Report.Reference).
 type Reference struct {
-	Scheduler string     `json:"scheduler"`
-	Engine    EngineRows `json:"engine"`
-	Fabric    Row        `json:"fabric_forward"`
-	EndToEnd  EndToEnd   `json:"end_to_end"`
-	MultiHost EndToEnd   `json:"multi_host_end_to_end"`
+	Scheduler        string     `json:"scheduler"`
+	Engine           EngineRows `json:"engine"`
+	Fabric           Row        `json:"fabric_forward"`
+	EndToEnd         EndToEnd   `json:"end_to_end"`
+	MultiHost        EndToEnd   `json:"multi_host_end_to_end"`
+	MultiHostShards2 EndToEnd   `json:"multi_host_end_to_end_shards2"`
+	MultiHostShards4 EndToEnd   `json:"multi_host_end_to_end_shards4"`
 }
 
 func measure(benchtime time.Duration) (*Report, error) {
@@ -244,6 +256,16 @@ func measure(benchtime time.Duration) (*Report, error) {
 	mh.Pattern = bench.PatternIncast
 	if err := endToEnd(mh, &rep.MultiHost); err != nil {
 		return nil, err
+	}
+	for _, s := range []struct {
+		n   int
+		out *EndToEnd
+	}{{2, &rep.MultiHostShards2}, {4, &rep.MultiHostShards4}} {
+		cfg := mh
+		cfg.Shards = s.n
+		if err := endToEnd(cfg, s.out); err != nil {
+			return nil, err
+		}
 	}
 	if err := snapRoundTrip(&rep.SnapRoundTrip); err != nil {
 		return nil, err
@@ -387,6 +409,13 @@ func metrics(r *Report) []metric {
 	if r.WarmstartFork.Runs > 0 {
 		forkNs = r.WarmstartFork.ForkedSeconds / float64(r.WarmstartFork.Runs) * 1e9
 	}
+	mh2Ns, mh4Ns := 0.0, 0.0
+	if r.MultiHostShards2.EventsPerSec > 0 {
+		mh2Ns = 1e9 / r.MultiHostShards2.EventsPerSec
+	}
+	if r.MultiHostShards4.EventsPerSec > 0 {
+		mh4Ns = 1e9 / r.MultiHostShards4.EventsPerSec
+	}
 	return []metric{
 		{"engine.schedule_fire", r.Engine.ScheduleFire.NsPerEvent, r.Engine.ScheduleFire.AllocsPerOp},
 		{"engine.schedule_fire_closure", r.Engine.ScheduleFireClosure.NsPerEvent, r.Engine.ScheduleFireClosure.AllocsPerOp},
@@ -402,6 +431,11 @@ func metrics(r *Report) []metric {
 		// (zero) in pre-checkpoint artifacts, where they report as n/a.
 		{"snapshot_roundtrip.ns", snapNs, 0},
 		{"warmstart_fork.ns_per_run", forkNs, 0},
+		// Sharded multi-host rows, appended last: compare() walks the OLD
+		// report's metric list by index, so new metrics must only ever be
+		// added at the end to stay comparable with committed artifacts.
+		{"multi_host_shards2.ns_per_event", mh2Ns, 0},
+		{"multi_host_shards4.ns_per_event", mh4Ns, 0},
 	}
 }
 
@@ -489,6 +523,8 @@ func main() {
 		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine, Fabric: other.Fabric}
 		rep.Reference.EndToEnd = other.EndToEnd
 		rep.Reference.MultiHost = other.MultiHost
+		rep.Reference.MultiHostShards2 = other.MultiHostShards2
+		rep.Reference.MultiHostShards4 = other.MultiHostShards4
 	}
 
 	if *out != "" || *comparePath == "" {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"cdna/internal/bench"
 	"cdna/internal/core"
@@ -45,8 +46,11 @@ func main() {
 	faultTarget := flag.Int("fault-target", 0, "victim link (linkflap) or switch port (portfail)")
 	duration := flag.Float64("duration", 1.0, "measurement window, simulated seconds")
 	warmup := flag.Float64("warmup", 0.3, "warmup, simulated seconds")
+	shards := flag.Int("shards", 0, "engine shards for a multi-host run (0/1 = single engine; results are byte-identical at any value)")
 	verbose := flag.Bool("v", false, "print extra diagnostics")
 	trace := flag.Int("trace", 0, "print the last N simulator events")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	m, err := bench.ParseMode(*mode)
@@ -104,6 +108,10 @@ func main() {
 	if *hosts > 1 {
 		cfg.Hosts = *hosts
 		cfg.Pattern = pat
+		cfg.Shards = *shards
+	} else if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "-shards requires -hosts > 1 (a single host runs on a single engine)\n")
+		os.Exit(2)
 	}
 	if *conns > 0 {
 		cfg.ConnsPerGuestPerNIC = *conns
@@ -120,6 +128,36 @@ func main() {
 			Outage: sim.Time(*faultOutage * float64(sim.Second)),
 			Target: *faultTarget,
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
 	}
 
 	var res bench.Result

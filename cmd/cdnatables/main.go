@@ -37,6 +37,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	topology := flag.Bool("topology", false, "run only the cross-host fabric scenarios (incast, all-to-all)")
 	workers := flag.Int("workers", 0, "concurrent experiments per table (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "engine shards per multi-host experiment (wall-clock only; tables are byte-identical at any value)")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		opts = bench.Quick()
 	}
 	opts.Runner = campaign.Runner(*workers)
+	opts.Shards = *shards
 
 	type job struct {
 		title string

@@ -70,22 +70,38 @@ type slot struct {
 	dev  guest.NetDevice
 }
 
-// buildCluster assembles cfg.Hosts full machines on one engine and
-// connects them through a top-of-rack switch (internal/topo), then
-// wires the configured cross-host traffic pattern. Every host is built
-// by the same per-mode builder the single-host path uses; only the
-// fabric behind newLink differs.
+// buildCluster assembles cfg.Hosts full machines and connects them
+// through a top-of-rack switch (internal/topo), then wires the
+// configured cross-host traffic pattern. Every host is built by the
+// same per-mode builder the single-host path uses; only the fabric
+// behind newLink differs.
+//
+// The cluster is partitioned over clampShards(cfg.Shards, cfg.Hosts)
+// engine shards: contiguous host blocks map to shards, the switch runs
+// on the last shard, and the access links become cross-shard seams
+// (shards.go). Every fabric pipe uses keyed delivery sequencing even at
+// one shard, so same-instant delivery order is a pure function of
+// traffic and results are byte-identical at any shard count.
 func buildCluster(cfg Config) (*Machine, error) {
 	cal := cfg.Cal
-	eng := sim.NewWithResolution(cal.EventResolution())
-	m := &Machine{Eng: eng}
+	nshards := clampShards(cfg.Shards, cfg.Hosts)
+	engines := make([]*sim.Engine, nshards)
+	for s := range engines {
+		engines[s] = sim.NewWithResolution(cal.EventResolution())
+	}
+	fabEng := engines[nshards-1]
+	m := &Machine{Eng: engines[0], engines: engines}
+	m.shardOf = make([]int, cfg.Hosts)
+	for hi := range m.shardOf {
+		m.shardOf[hi] = hi * nshards / cfg.Hosts
+	}
 	spec := cfg.Workload.Resolved(cfg.Dir == Tx || cfg.Dir == Both, cfg.Dir == Rx || cfg.Dir == Both)
 	var err error
-	m.Work, err = workload.NewGenerator(eng, spec)
+	m.Work, err = workload.NewFleet(engines, spec)
 	if err != nil {
 		return nil, err
 	}
-	m.Fabric = topo.New(eng, topo.DefaultParams())
+	m.Fabric = topo.New(fabEng, topo.DefaultParams())
 
 	guests := cfg.Guests
 	if cfg.Mode == ModeNative {
@@ -93,15 +109,23 @@ func buildCluster(cfg Config) (*Machine, error) {
 	}
 	m.Conns.Grow(cfg.Hosts * guests * cfg.NICs * cfg.ConnsPerGuestPerNIC * 2)
 
+	pipeID := 0
 	for hi := 0; hi < cfg.Hosts; hi++ {
-		h := &Host{Index: hi, CPU: cpu.New(eng, cal.CPU), Mem: mem.New()}
+		shard := m.shardOf[hi]
+		hostEng := engines[shard]
+		h := &Host{Index: hi, CPU: cpu.New(hostEng, cal.CPU), Mem: mem.New()}
 		prefix := fmt.Sprintf("h%d.", hi)
 		env := hostEnv{
-			eng: eng,
+			eng: hostEng,
 			h:   h,
 			newLink: func() (*ether.Pipe, *ether.Pipe) {
 				p := m.Fabric.Params()
-				l := ether.NewDuplex(eng, p.LinkGbps, p.PropDelay)
+				l := ether.NewDuplexOn(hostEng, fabEng, p.LinkGbps, p.PropDelay)
+				l.AtoB.EnableKeyed(pipeID)
+				l.BtoA.EnableKeyed(pipeID + 1)
+				pipeID += 2
+				m.recordSeam(l.AtoB, shard, nshards-1)
+				m.recordSeam(l.BtoA, nshards-1, shard)
 				m.Fabric.AddPort(l.AtoB, l.BtoA)
 				h.Links = append(h.Links, l.AtoB, l.BtoA)
 				return l.AtoB, l.BtoA
@@ -186,24 +210,30 @@ func (m *Machine) wirePattern(cfg Config) error {
 // acks (and RPC responses) consume remote CPU and fabric capacity.
 func (m *Machine) wireCross(cfg Config, src, dst slot) error {
 	// wire creates a data connection a→b; frames ride each side's own
-	// NIC onto the fabric, addressed by the remote device's MAC.
+	// NIC onto the fabric, addressed by the remote device's MAC. The
+	// connection lives on the sender's shard — its pump and RTO timer
+	// run there — and knows the receiver's shard for delivery-side
+	// clock reads.
 	wire := func(a, b slot) *transport.Conn {
-		conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
+		conn := transport.NewConn(m.hostEngine(a.addr.Host), len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
 		conn.RTO = 200 * sim.Millisecond
 		conn.Local, conn.Remote = a.addr, b.addr
 		conn.AttachSender(a.st.Sender(a.dev, b.dev.MAC()))
 		conn.AttachReceiver(b.st.Sender(b.dev, a.dev.MAC()))
+		conn.SetReceiverEngine(m.hostEngine(b.addr.Host))
 		m.Conns.Add(conn)
 		return conn
 	}
 	if m.Work.NeedsReverse() {
 		// RPC: the wiring guest is the client, the remote guest serves.
+		// The endpoint lives on the client's shard, where its issue and
+		// completion callbacks fire.
 		ep := workload.Endpoint{
 			Fwd: wire(src, dst), Rev: wire(dst, src),
 			Local: src.addr, Remote: dst.addr,
 			OnFlowSetup: src.st.ChargeFlowSetup, OnFlowTeardown: src.st.ChargeFlowTeardown,
 		}
-		return m.Work.Add(ep)
+		return m.Work.AddOn(m.hostEngine(src.addr.Host), ep)
 	}
 	dirs := []Direction{cfg.Dir}
 	if cfg.Dir == Both {
@@ -214,17 +244,18 @@ func (m *Machine) wireCross(cfg Config, src, dst slot) error {
 		if dir == Rx {
 			a, b = dst, src
 		}
-		// Endpoint identity is ownership, not data direction: Local is
-		// the wiring guest whose stack the flow hooks charge, matching
-		// the single-host wireConns (the conns' own Local/Remote carry
-		// the data direction).
+		// Endpoint identity stays with the wiring guest (Local/Remote),
+		// but the endpoint lives on the shard that runs its callbacks —
+		// the forward sender's host — and its flow hooks charge that
+		// same stack: flow setup/teardown is driven by, and billed to,
+		// the side that opens the flow.
 		ep := workload.Endpoint{
 			Fwd:         wire(a, b),
 			Local:       src.addr,
 			Remote:      dst.addr,
-			OnFlowSetup: src.st.ChargeFlowSetup, OnFlowTeardown: src.st.ChargeFlowTeardown,
+			OnFlowSetup: a.st.ChargeFlowSetup, OnFlowTeardown: a.st.ChargeFlowTeardown,
 		}
-		if err := m.Work.Add(ep); err != nil {
+		if err := m.Work.AddOn(m.hostEngine(a.addr.Host), ep); err != nil {
 			return err
 		}
 	}

@@ -29,6 +29,12 @@ type Config struct {
 	// Pattern selects the cross-host scenario (pairs | incast |
 	// all2all); ignored unless Hosts > 1.
 	Pattern Pattern `json:"pattern,omitempty"`
+	// Shards partitions a multi-host machine into per-host engine
+	// shards advancing in barrier-synchronized rounds (shards.go). It
+	// is purely a wall-clock knob: results are byte-identical at any
+	// value, so it is excluded from the JSON schema and the config
+	// name. Clamped to [1, Hosts]; ignored for single-host machines.
+	Shards int `json:"-"`
 
 	ConnsPerGuestPerNIC int `json:"conns_per_guest_per_nic"`
 	Window              int `json:"window"`
@@ -275,8 +281,16 @@ func (m *Machine) Config() Config { return m.cfg }
 // schedule).
 func (m *Machine) Launch() { m.Work.Launch(m.cfg.Warmup) }
 
-// RunTo advances the simulation to absolute time t.
-func (m *Machine) RunTo(t sim.Time) { m.Eng.Run(t) }
+// RunTo advances the simulation to absolute time t: directly on the
+// single engine, or in barrier-synchronized rounds across the engine
+// shards (shards.go).
+func (m *Machine) RunTo(t sim.Time) {
+	if len(m.engines) > 1 {
+		m.runShards(t)
+		return
+	}
+	m.Eng.Run(t)
+}
 
 // OpenWindow opens the measurement window: per-host components are
 // reset in host order (single-host configurations take exactly the
@@ -327,15 +341,15 @@ func (m *Machine) Collect() Result {
 		Profile:     m.profile(),
 		Retransmits: m.Conns.Retransmits(),
 		Fairness:    m.Conns.FairnessIndex(),
-		Events:      m.Eng.Fired(),
+		Events:      m.TotalFired(),
 	}
 	res.PktPerSec = float64(m.Conns.DeliveredBytes()) / 1448 / cfg.Duration.Seconds()
 	res.LatencyP50us = m.Conns.LatencyQuantile(0.5)
 	res.LatencyP90us = m.Conns.LatencyQuantile(0.9)
-	res.RPCPerSec = m.Work.Requests.Rate(cfg.Duration)
-	res.FlowsPerSec = m.Work.Flows.Rate(cfg.Duration)
-	res.MsgLatP50us = m.Work.Latency.Quantile(0.5)
-	res.MsgLatP99us = m.Work.Latency.Quantile(0.99)
+	res.RPCPerSec = m.Work.RequestsRate(cfg.Duration)
+	res.FlowsPerSec = m.Work.FlowsRate(cfg.Duration)
+	res.MsgLatP50us = m.Work.LatencyQuantile(0.5)
+	res.MsgLatP99us = m.Work.LatencyQuantile(0.99)
 	for _, h := range m.Hosts {
 		if h.Hyp != nil {
 			res.PhysIRQPerSec += h.Hyp.PhysIRQs.Rate(cfg.Duration)

@@ -184,6 +184,11 @@ func newFaultInjector(m *Machine) *faultInjector {
 	return fi
 }
 
+// faultKeyBand tags the fault timer's keyed sequence: above every
+// fabric pipe's key band (pipe identities stay far below bit 61), so a
+// fault at instant t executes after every ordinary event at t.
+const faultKeyBand = uint64(1) << 61
+
 // arm schedules the injection After from now (the window-open instant).
 func (fi *faultInjector) arm(spec FaultSpec) {
 	fi.spec = spec
@@ -191,7 +196,40 @@ func (fi *faultInjector) arm(spec FaultSpec) {
 		return
 	}
 	fi.phase = 1
-	fi.tm.ArmAfter(spec.After)
+	fi.armAfter(spec.After)
+	fi.m.solos = fi.soloTimes(fi.m.Eng.Now())
+}
+
+// armAfter arms the fault timer d from now. Multi-host machines use a
+// keyed sequence so the fault orders after every ordinary event at its
+// instant — the order the shard coordinator's solo round reproduces,
+// which is what lets a fault mutate other shards' state (links, fabric
+// ports) while they are parked.
+func (fi *faultInjector) armAfter(d sim.Time) {
+	if fi.m.cfg.Hosts > 1 {
+		fi.tm.ArmKeyed(fi.m.Eng.Now()+d, sim.SeqBand|faultKeyBand|uint64(fi.phase))
+		return
+	}
+	fi.tm.ArmAfter(d)
+}
+
+// soloTimes returns the absolute instants at which the injector still
+// fires, given its phase. OpenWindow arms at the window-open instant,
+// so the schedule is static — which also lets Restore recompute it
+// from the snapshot's phase alone.
+func (fi *faultInjector) soloTimes(windowOpen sim.Time) []sim.Time {
+	if fi.spec.Kind == FaultNone {
+		return nil
+	}
+	inject := windowOpen + fi.spec.After
+	heal := inject + fi.spec.Outage
+	switch fi.phase {
+	case 1:
+		return []sim.Time{inject, heal}
+	case 2:
+		return []sim.Time{heal}
+	}
+	return nil
 }
 
 func (fi *faultInjector) fire() {
@@ -199,7 +237,7 @@ func (fi *faultInjector) fire() {
 	case 1:
 		fi.inject()
 		fi.phase = 2
-		fi.tm.ArmAfter(fi.spec.Outage)
+		fi.armAfter(fi.spec.Outage)
 	case 2:
 		fi.heal()
 		fi.phase = 3

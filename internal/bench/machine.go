@@ -131,8 +131,9 @@ type Machine struct {
 	Hyp   *xen.Hypervisor // host 0's hypervisor; nil in native mode
 	Conns transport.Group
 	// Work drives traffic over the connections according to the
-	// configuration's workload spec.
-	Work *workload.Generator
+	// configuration's workload spec: one generator per engine shard
+	// (classic machines run a fleet of one).
+	Work *workload.Fleet
 
 	// Hosts are the machines under test, in index order. Single-host
 	// configurations have exactly one.
@@ -148,6 +149,16 @@ type Machine struct {
 
 	// Tracer is attached by RunTraced (cdnasim -trace).
 	Tracer *sim.Tracer
+
+	// Shard runtime (shards.go). engines holds the per-shard engines in
+	// shard-index order — Eng aliases engines[0]; classic machines have
+	// exactly one. shardOf maps host index to shard (nil for
+	// single-host), seams are the cross-shard pipe directions, and solos
+	// are pending fault instants the coordinator must serialize.
+	engines []*sim.Engine
+	shardOf []int
+	seams   []seam
+	solos   []sim.Time
 
 	cfg    Config
 	faults *faultInjector
@@ -255,8 +266,9 @@ func Build(cfg Config) (*Machine, error) {
 	// builders wire below; direction decides which RPC message is
 	// payload-heavy.
 	spec := cfg.Workload.Resolved(cfg.Dir == Tx || cfg.Dir == Both, cfg.Dir == Rx || cfg.Dir == Both)
+	m.engines = []*sim.Engine{eng}
 	var err error
-	m.Work, err = workload.NewGenerator(eng, spec)
+	m.Work, err = workload.NewFleet(m.engines, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +380,7 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, guestIdx, nic
 				Local: local, Remote: remote,
 				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
 			}
-			if err := m.Work.Add(ep); err != nil {
+			if err := m.Work.AddOn(m.Eng, ep); err != nil {
 				return err
 			}
 			continue
@@ -384,7 +396,7 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, guestIdx, nic
 				Remote:      remote,
 				OnFlowSetup: st.ChargeFlowSetup, OnFlowTeardown: st.ChargeFlowTeardown,
 			}
-			if err := m.Work.Add(ep); err != nil {
+			if err := m.Work.AddOn(m.Eng, ep); err != nil {
 				return err
 			}
 		}

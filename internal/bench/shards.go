@@ -1,0 +1,226 @@
+package bench
+
+// Shard runtime: a multi-host machine can be partitioned into per-host
+// engine shards that advance in barrier-synchronized rounds. The only
+// coupling between shards is the fabric links, whose serialization and
+// propagation delays give every cross-shard influence a strictly
+// positive latency — the lookahead that conservative parallel
+// simulation rests on. Each round the coordinator computes, per shard,
+// a horizon no incoming seam can beat, runs every shard up to its
+// horizon (concurrently on a multicore host), then flushes the seam
+// outboxes at the barrier. Horizons guarantee every flushed arrival is
+// still in its destination's future, and keyed delivery sequencing
+// (ether/cross.go) guarantees same-instant arrivals execute in the same
+// order a single engine would — so results are byte-identical at any
+// shard count.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+)
+
+// seam is one cross-shard pipe direction: frames sent on engine shard
+// src are delivered on shard dst.
+type seam struct {
+	pipe     *ether.Pipe
+	src, dst int
+}
+
+// timeInf is an unreachable instant (an empty queue's "next event").
+const timeInf = sim.Time(math.MaxInt64)
+
+// clampShards resolves a configured shard count against the host
+// count: at least one shard, at most one per host.
+func clampShards(shards, hosts int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards > hosts {
+		return hosts
+	}
+	return shards
+}
+
+// Shards returns the machine's engine shard count (1 for classic
+// single-engine machines).
+func (m *Machine) Shards() int { return len(m.engines) }
+
+// TotalFired returns events executed across every engine shard.
+func (m *Machine) TotalFired() uint64 {
+	var n uint64
+	for _, e := range m.engines {
+		n += e.Fired()
+	}
+	return n
+}
+
+// hostEngine returns the engine shard that simulates host hi.
+func (m *Machine) hostEngine(hi int) *sim.Engine {
+	if m.shardOf == nil {
+		return m.Eng
+	}
+	return m.engines[m.shardOf[hi]]
+}
+
+// recordSeam registers a pipe direction with the coordinator if it
+// actually crosses shards (a host co-located with the fabric shard
+// keeps plain same-engine pipes).
+func (m *Machine) recordSeam(p *ether.Pipe, src, dst int) {
+	if p.Cross() {
+		m.seams = append(m.seams, seam{pipe: p, src: src, dst: dst})
+	}
+}
+
+// runShards advances every shard to absolute time t in barrier-
+// synchronized rounds.
+func (m *Machine) runShards(t sim.Time) {
+	avail := make([]sim.Time, len(m.engines))
+	horizon := make([]sim.Time, len(m.engines))
+	for {
+		// Barrier: flush every seam outbox onto its destination engine.
+		// The previous round's horizons guarantee the arrivals are in
+		// the destinations' future.
+		for _, s := range m.seams {
+			s.pipe.FlushCross()
+		}
+		done := true
+		for _, e := range m.engines {
+			if e.Now() < t {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		solo := m.nextSolo()
+		if solo < t && m.allAt(solo) {
+			m.runSolo(solo)
+			continue
+		}
+		// Availability fixpoint: avail[r] is a lower bound on when
+		// shard r could next execute anything — its own queue head, or
+		// an arrival over an incoming seam, which in turn depends on
+		// the sending shard's availability. Seam latencies are strictly
+		// positive, so relaxation terminates.
+		for r, e := range m.engines {
+			if at, ok := e.NextAt(); ok {
+				avail[r] = at
+			} else {
+				avail[r] = timeInf
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, s := range m.seams {
+				if avail[s.src] >= t {
+					continue // the source does nothing inside this run
+				}
+				if ea := s.pipe.EarliestArrival(avail[s.src]); ea < avail[s.dst] {
+					avail[s.dst] = ea
+					changed = true
+				}
+			}
+		}
+		// Horizons: a shard may execute events strictly before the
+		// earliest instant any incoming seam could still deliver. The
+		// shard with the globally minimal availability always clears
+		// its own queue head, so every round makes progress.
+		for d := range horizon {
+			horizon[d] = t
+		}
+		for _, s := range m.seams {
+			if avail[s.src] >= t {
+				continue
+			}
+			if ea := s.pipe.EarliestArrival(avail[s.src]); ea < horizon[s.dst] {
+				horizon[s.dst] = ea
+			}
+		}
+		// A pending fault instant is a global synchronization point: no
+		// shard may cross it until all are parked exactly on it.
+		if solo < t {
+			for d := range horizon {
+				if horizon[d] > solo {
+					horizon[d] = solo
+				}
+			}
+		}
+		m.runRound(horizon)
+	}
+}
+
+// runRound advances every shard whose horizon is ahead of its clock.
+// The horizons make the shards independent for the round, so on a
+// multicore host they run concurrently; the result is identical either
+// way.
+func (m *Machine) runRound(horizon []sim.Time) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		for d, e := range m.engines {
+			if horizon[d] > e.Now() {
+				e.Run(horizon[d])
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for d, e := range m.engines {
+		if horizon[d] <= e.Now() {
+			continue
+		}
+		wg.Add(1)
+		go func(e *sim.Engine, h sim.Time) {
+			defer wg.Done()
+			e.Run(h)
+		}(e, horizon[d])
+	}
+	wg.Wait()
+}
+
+// runSolo carries the machine across a fault instant. The fault event
+// mutates state on arbitrary shards (access links, fabric ports), so
+// it must execute with every other shard parked. Its key orders it
+// after every ordinary event at its instant — on one engine and on N
+// shards alike — so the other shards first execute their own events at
+// the instant (times are integral: running to solo+1 executes exactly
+// the events at solo), then the injector's shard crosses it alone.
+func (m *Machine) runSolo(solo sim.Time) {
+	horizon := make([]sim.Time, len(m.engines))
+	for d := range horizon {
+		horizon[d] = solo + 1
+	}
+	horizon[0] = solo // park the injector's shard
+	m.runRound(horizon)
+	m.engines[0].Run(solo + 1)
+	m.popSolo(solo)
+}
+
+// nextSolo returns the earliest pending solo instant (timeInf if
+// none).
+func (m *Machine) nextSolo() sim.Time {
+	if len(m.solos) == 0 {
+		return timeInf
+	}
+	return m.solos[0]
+}
+
+// popSolo retires a crossed solo instant.
+func (m *Machine) popSolo(t sim.Time) {
+	if len(m.solos) > 0 && m.solos[0] == t {
+		m.solos = m.solos[1:]
+	}
+}
+
+// allAt reports whether every shard clock sits exactly at t.
+func (m *Machine) allAt(t sim.Time) bool {
+	for _, e := range m.engines {
+		if e.Now() != t {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"cdna/internal/sim"
+	"cdna/internal/workload"
+)
+
+// The shard determinism contract: partitioning a multi-host machine
+// over N engine shards is purely a wall-clock optimization — every
+// result a sharded run produces must be byte-identical to the
+// single-engine run of the same configuration. These tests pin that
+// contract across patterns, workloads, architectures, directions and
+// fault scenarios.
+
+// runJSON runs cfg and returns the result as canonical JSON.
+func runJSON(t *testing.T, cfg Config) string {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultJSON(t, res)
+}
+
+// shardDiff runs cfg at one shard and at each of the given counts and
+// fails on any divergence.
+func shardDiff(t *testing.T, cfg Config, shards ...int) {
+	t.Helper()
+	cfg.Shards = 1
+	ref := runJSON(t, cfg)
+	for _, s := range shards {
+		cfg.Shards = s
+		if got := runJSON(t, cfg); got != ref {
+			t.Fatalf("shards=%d diverges from shards=1:\n--- 1 ---\n%s\n--- %d ---\n%s", s, ref, s, got)
+		}
+	}
+}
+
+func TestClampShards(t *testing.T) {
+	for _, tc := range []struct{ shards, hosts, want int }{
+		{0, 4, 1}, {-3, 4, 1}, {1, 4, 1}, {3, 4, 3}, {4, 4, 4}, {9, 4, 4}, {2, 2, 2},
+	} {
+		if got := clampShards(tc.shards, tc.hosts); got != tc.want {
+			t.Errorf("clampShards(%d, %d) = %d, want %d", tc.shards, tc.hosts, got, tc.want)
+		}
+	}
+}
+
+// TestShardDifferentialRandom draws pseudo-random multi-host
+// configurations — architecture, rack size, pattern, workload kind,
+// direction, optional fault — and checks each against the full shard
+// ladder up to one shard per host.
+func TestShardDifferentialRandom(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	combos := []struct {
+		mode Mode
+		nic  NICKind
+	}{
+		{ModeCDNA, NICRice},
+		{ModeXen, NICRice},
+		{ModeXen, NICIntel},
+		{ModeNative, NICIntel},
+	}
+	hostChoices := []int{2, 3, 4}
+	patterns := []Pattern{PatternPairs, PatternIncast, PatternAllToAll}
+	kinds := []workload.Kind{workload.Bulk, workload.RequestResponse, workload.Churn, workload.Burst}
+	dirs := []Direction{Tx, Rx, Both}
+	faults := []FaultKind{FaultNone, FaultNone, FaultLinkFlap, FaultPortFail, FaultBlackout}
+
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(uint64(seed)*0x9e3779b9 + 11)
+			combo := combos[rng.Intn(len(combos))]
+			cfg := DefaultConfig(combo.mode, combo.nic, dirs[rng.Intn(len(dirs))])
+			cfg.Warmup = 10 * sim.Millisecond
+			cfg.Duration = 30 * sim.Millisecond
+			cfg.Hosts = hostChoices[rng.Intn(len(hostChoices))]
+			cfg.Pattern = patterns[rng.Intn(len(patterns))]
+			cfg.Guests = 1 + rng.Intn(2)
+			cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+			cfg.Workload.Kind = kinds[rng.Intn(len(kinds))]
+			if f := faults[rng.Intn(len(faults))]; f != FaultNone {
+				if f != FaultPortFail || cfg.Hosts > 1 {
+					cfg.Fault = FaultSpec{Kind: f, After: cfg.Duration / 4, Outage: cfg.Duration / 4}
+				}
+			}
+			ladder := make([]int, 0, cfg.Hosts-1)
+			for s := 2; s <= cfg.Hosts; s++ {
+				ladder = append(ladder, s)
+			}
+			t.Logf("%s shards=%v", cfg.Name(), ladder)
+			shardDiff(t, cfg, ladder...)
+		})
+	}
+}
+
+// TestShardDifferentialFaults pins every fault scenario explicitly at
+// the maximum shard count: fault events mutate links and fabric ports
+// on other shards, so their solo-round serialization must replay the
+// single-engine order exactly — injection, the outage, and the healing.
+func TestShardDifferentialFaults(t *testing.T) {
+	for _, kind := range []FaultKind{FaultLinkFlap, FaultPortFail, FaultBlackout} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+			cfg.Hosts = 4
+			cfg.Pattern = PatternIncast
+			cfg.Guests = 2
+			cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+			cfg.Warmup = 10 * sim.Millisecond
+			cfg.Duration = 40 * sim.Millisecond
+			cfg.Fault = FaultSpec{Kind: kind, After: 10 * sim.Millisecond, Outage: 10 * sim.Millisecond}
+			shardDiff(t, cfg, 2, 4)
+		})
+	}
+}
+
+// TestShardSnapshotRoundTrip is the checkpoint contract on a sharded
+// machine: a snapshot taken mid-window (seam queues, keyed event
+// sequences and all) must restore into a byte-identical completion —
+// in a machine with the same shard count, and reject one with a
+// different count.
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+	cfg.Hosts = 4
+	cfg.Pattern = PatternIncast
+	cfg.Guests = 2
+	cfg.ConnsPerGuestPerNIC = connsFor(cfg.Guests)
+	cfg.Warmup = 10 * sim.Millisecond
+	cfg.Duration = 30 * sim.Millisecond
+	cfg.Shards = 4
+	cfg.Fault = FaultSpec{Kind: FaultLinkFlap, After: 8 * sim.Millisecond, Outage: 8 * sim.Millisecond}
+
+	// Mid-window, between injection and healing.
+	snapAt := cfg.Warmup + 12*sim.Millisecond
+	cold, img := runWithSnapshot(t, cfg, snapAt)
+	resumed := resumeFromSnapshot(t, cfg, snapAt, img)
+	a, b := resultJSON(t, cold), resultJSON(t, resumed)
+	if a != b {
+		t.Fatalf("restored sharded run diverged:\n--- cold ---\n%s\n--- restored ---\n%s", a, b)
+	}
+
+	// The sharded image must also equal the single-engine result.
+	single := cfg
+	single.Shards = 1
+	if got := runJSON(t, single); got != a {
+		t.Fatalf("sharded run diverged from single-engine run:\n--- 1 ---\n%s\n--- 4 ---\n%s", got, a)
+	}
+
+	// A machine with a different shard layout must reject the image.
+	other := cfg
+	other.Shards = 2
+	om, err := Prepare(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Restore(img); err == nil {
+		t.Fatal("restore into a machine with a different shard count succeeded")
+	}
+}
+
+// TestShardTablesByteIdentical renders a multi-host table with and
+// without sharding: the formatted output (the artifact cmd/cdnatables
+// emits) must match byte for byte.
+func TestShardTablesByteIdentical(t *testing.T) {
+	render := func(shards int) string {
+		o := Opts{Warmup: 10 * sim.Millisecond, Duration: 30 * sim.Millisecond, Shards: shards}
+		tbl, _, err := TopologyIncast(o, []int{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	ref := render(1)
+	if got := render(4); got != ref {
+		t.Fatalf("sharded table diverges:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s", ref, got)
+	}
+}

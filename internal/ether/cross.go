@@ -1,0 +1,103 @@
+package ether
+
+import (
+	"cdna/internal/sim"
+)
+
+// Cross-engine seams: when a simulation is partitioned into per-host
+// engine shards, the fabric links are the only coupling between shards.
+// A pipe whose transmitter and receiver live on different engines cannot
+// schedule its delivery directly — the destination engine runs
+// concurrently and may sit at a different clock. Instead the pipe queues
+// the delivery in an outbox that the shard coordinator flushes onto the
+// destination engine at round barriers (FlushCross), which is safe
+// because conservative horizons guarantee every queued arrival is still
+// in the destination's future.
+//
+// Determinism across shard counts comes from keyed delivery sequencing
+// (EnableKeyed): every fabric pipe delivery carries an explicit event
+// key SeqBand | pipeID<<40 | n instead of a scheduling-order sequence,
+// so same-instant deliveries order by (pipe identity, send order) — a
+// pure function of simulated traffic — whether they were scheduled
+// mid-round on one engine or injected at a barrier on another. Keyed
+// mode is therefore enabled for every fabric pipe of a multi-host
+// machine even at one shard, making the single-engine run the byte
+// reference for all shard counts.
+
+// keyIDShift positions the pipe identity above the per-pipe send
+// counter in a delivery key: 2^40 sends per pipe and 2^21 pipes fit
+// under sim.SeqBand with room to spare.
+const keyIDShift = 40
+
+// crossMsg is one frame awaiting barrier injection on the destination
+// engine.
+type crossMsg struct {
+	at  sim.Time
+	key uint64
+	f   *Frame
+}
+
+// NewPipeOn creates a unidirectional pipe whose transmitter runs on src
+// and whose receiver runs on dst. With src == dst it is equivalent to
+// NewPipe; otherwise the pipe becomes a cross-engine seam: deliveries
+// are bound on the destination engine and buffered in an outbox until
+// the shard coordinator flushes them.
+func NewPipeOn(src, dst *sim.Engine, gbps float64, propDelay sim.Time) *Pipe {
+	p := &Pipe{eng: src, bytesPerNs: GbpsToBytesPerNs(gbps), propDelay: propDelay}
+	if dst != nil && dst != src {
+		p.xEng = dst
+		p.deliverFn = dst.Bind(p.deliver)
+	} else {
+		p.deliverFn = src.Bind(p.deliver)
+	}
+	return p
+}
+
+// NewDuplexOn builds a full-duplex link between engines a and b: the
+// AtoB pipe transmits on a and delivers on b, BtoA the reverse.
+func NewDuplexOn(a, b *sim.Engine, gbps float64, propDelay sim.Time) *Duplex {
+	return &Duplex{
+		AtoB: NewPipeOn(a, b, gbps, propDelay),
+		BtoA: NewPipeOn(b, a, gbps, propDelay),
+	}
+}
+
+// EnableKeyed switches the pipe to keyed delivery sequencing under the
+// given machine-unique pipe identity. Must be called before any Send;
+// ids must be assigned in deterministic construction order so keys are
+// reproducible.
+func (p *Pipe) EnableKeyed(id int) {
+	p.keyed = true
+	p.keyBase = sim.SeqBand | uint64(id)<<keyIDShift
+}
+
+// Cross reports whether the pipe is a cross-engine seam.
+func (p *Pipe) Cross() bool { return p.xEng != nil }
+
+// FlushCross schedules every outboxed delivery on the destination
+// engine and appends the frames to the arrival queue those deliveries
+// pop. Only the shard coordinator may call it, between rounds, when
+// both engines are parked.
+func (p *Pipe) FlushCross() {
+	for _, m := range p.outbox {
+		p.arrivals.Push(m.f)
+		p.xEng.AtFnKeyed(m.at, "ether.deliver", p.deliverFn, m.key)
+		m.f = nil
+	}
+	p.outbox = p.outbox[:0]
+}
+
+// EarliestArrival returns a conservative lower bound on when any frame
+// the transmitter could still send — given that the transmitting shard
+// cannot act before srcAvail — would reach the receiver: serialization
+// of at least a minimum frame behind whatever already occupies the
+// wire, plus propagation. The shard coordinator derives round horizons
+// from this bound.
+func (p *Pipe) EarliestArrival(srcAvail sim.Time) sim.Time {
+	start := srcAvail
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	minTx := sim.Time(float64(MinFrame+WireOverhead) / p.bytesPerNs)
+	return start + minTx + p.propDelay
+}

@@ -40,6 +40,18 @@ type Pipe struct {
 	// failure.
 	down bool
 
+	// Keyed delivery sequencing and cross-engine seam state (cross.go).
+	// Fabric pipes of multi-host machines sequence deliveries by an
+	// explicit key so ordering is identical at any shard count; pipes
+	// whose receiver lives on another engine additionally buffer
+	// deliveries in an outbox until a round barrier.
+	keyed    bool
+	keyBase  uint64
+	sendSeq  uint64
+	xEng     *sim.Engine      // destination engine; nil for same-engine pipes
+	outbox   []crossMsg       // sends awaiting barrier injection (seams only)
+	arrivals sim.FIFO[*Frame] // flushed frames whose deliveries are queued on xEng
+
 	Frames stats.Counter
 	Bytes  stats.Counter
 	// Dropped counts frames discarded because the link was down.
@@ -72,12 +84,28 @@ func (p *Pipe) Send(f *Frame) {
 	p.Frames.Inc()
 	p.Bytes.Add(uint64(f.WireBytes()))
 	deliverAt := p.busyUntil + p.propDelay
+	if p.keyed {
+		key := p.keyBase | p.sendSeq
+		p.sendSeq++
+		if p.xEng != nil {
+			p.outbox = append(p.outbox, crossMsg{at: deliverAt, key: key, f: f})
+			return
+		}
+		p.inflight.Push(f)
+		p.eng.AtFnKeyed(deliverAt, "ether.deliver", p.deliverFn, key)
+		return
+	}
 	p.inflight.Push(f)
 	p.eng.AtFn(deliverAt, "ether.deliver", p.deliverFn)
 }
 
 func (p *Pipe) deliver() {
-	f := p.inflight.Pop()
+	var f *Frame
+	if p.xEng != nil {
+		f = p.arrivals.Pop()
+	} else {
+		f = p.inflight.Pop()
+	}
 	if p.dst != nil {
 		p.dst.Receive(f)
 	}

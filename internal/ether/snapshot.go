@@ -131,6 +131,14 @@ type PipeState struct {
 	Frames    stats.CounterState
 	Bytes     stats.CounterState
 	Dropped   stats.CounterState
+
+	// Keyed/seam state (cross.go): the per-pipe send counter behind
+	// delivery keys, and the arrival queue of a cross-engine pipe
+	// (whose delivery events ride the destination engine's snapshot).
+	// Seam outboxes are always empty at snapshot points — the shard
+	// coordinator flushes them before returning from every run.
+	SendSeq  uint64
+	Arrivals []FrameState
 }
 
 // State captures the pipe.
@@ -143,6 +151,13 @@ func (p *Pipe) State(codec PayloadCodec) (PipeState, error) {
 		}
 		inflight[i] = s
 	}
+	arrivals, err := CaptureFrameFIFO(&p.arrivals, codec)
+	if err != nil {
+		return PipeState{}, err
+	}
+	if len(p.outbox) > 0 {
+		return PipeState{}, fmt.Errorf("ether: snapshot of a seam pipe with an unflushed outbox")
+	}
 	return PipeState{
 		BusyUntil: p.busyUntil,
 		Down:      p.down,
@@ -150,6 +165,8 @@ func (p *Pipe) State(codec PayloadCodec) (PipeState, error) {
 		Frames:    p.Frames.State(),
 		Bytes:     p.Bytes.State(),
 		Dropped:   p.Dropped.State(),
+		SendSeq:   p.sendSeq,
+		Arrivals:  arrivals,
 	}, nil
 }
 
@@ -168,6 +185,11 @@ func (p *Pipe) SetState(s PipeState, codec PayloadCodec) error {
 	p.Frames.SetState(s.Frames)
 	p.Bytes.SetState(s.Bytes)
 	p.Dropped.SetState(s.Dropped)
+	p.sendSeq = s.SendSeq
+	p.outbox = p.outbox[:0]
+	if err := RestoreFrameFIFO(&p.arrivals, s.Arrivals, codec); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -69,9 +69,13 @@ func TestStackDeliverDispatches(t *testing.T) {
 	acked := false
 	conn.AttachReceiver(func(s *transport.Segment) { acked = true })
 	seg := &transport.Segment{Conn: conn, Seq: 0, Len: transport.DefaultSegSize}
-	dev.rx(&ether.Frame{Size: 1514, Payload: seg})
+	dev.rx(&ether.Frame{Dst: dev.mac, Size: 1514, Payload: seg})
 	seg2 := &transport.Segment{Conn: conn, Seq: 1, Len: transport.DefaultSegSize}
-	dev.rx(&ether.Frame{Size: 1514, Payload: seg2})
+	dev.rx(&ether.Frame{Dst: dev.mac, Size: 1514, Payload: seg2})
+	// A frame addressed to some other station must be filtered at the
+	// device boundary, not dispatched to the conn.
+	dev.rx(&ether.Frame{Dst: ether.MakeMAC(9, 9), Size: 1514,
+		Payload: &transport.Segment{Conn: conn, Seq: 2, Len: transport.DefaultSegSize}})
 	eng.Run(10 * sim.Millisecond)
 	if conn.Delivered.Total() != 2*transport.DefaultSegSize {
 		t.Fatalf("delivered = %d", conn.Delivered.Total())
@@ -81,6 +85,9 @@ func TestStackDeliverDispatches(t *testing.T) {
 	}
 	if st.Delivered.Total() != 2 {
 		t.Fatalf("stack delivered counter = %d", st.Delivered.Total())
+	}
+	if st.Foreign.Total() != 1 {
+		t.Fatalf("foreign counter = %d, want 1", st.Foreign.Total())
 	}
 }
 

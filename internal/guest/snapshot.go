@@ -321,6 +321,7 @@ func (d *NativeDriver) SetState(s NativeDriverState, codec ether.PayloadCodec) e
 type StackState struct {
 	UserAcc   int
 	Delivered stats.CounterState
+	Foreign   stats.CounterState
 	RxQ       [][]byte
 	Senders   [][][]byte
 }
@@ -330,6 +331,7 @@ func (s *Stack) State(codec ether.PayloadCodec) (StackState, error) {
 	st := StackState{
 		UserAcc:   s.userAcc,
 		Delivered: s.Delivered.State(),
+		Foreign:   s.Foreign.State(),
 		RxQ:       make([][]byte, s.rxQ.Len()),
 		Senders:   make([][][]byte, len(s.senders)),
 	}
@@ -363,6 +365,7 @@ func (s *Stack) SetState(st StackState, codec ether.PayloadCodec) error {
 	}
 	s.userAcc = st.UserAcc
 	s.Delivered.SetState(st.Delivered)
+	s.Foreign.SetState(st.Foreign)
 	s.rxQ.Clear()
 	for _, b := range st.RxQ {
 		p, err := codec.DecodePayload(b)

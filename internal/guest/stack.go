@@ -71,6 +71,12 @@ type Stack struct {
 	devs      []NetDevice
 	userAcc   int
 	Delivered stats.Counter // data packets handed to transport
+	// Foreign counts unicast frames dropped at the device boundary
+	// because their destination MAC is some other station's: a fabric
+	// switch floods unicast to unlearned MACs, so endpoints see frames
+	// that were never theirs and must filter them exactly like a
+	// non-promiscuous NIC — not dispatch them up the transport layer.
+	Foreign stats.Counter
 
 	// Segments queued into the kernel's receive path; rxFn (bound once)
 	// pops the segment its task corresponds to. Domain task queues are
@@ -94,10 +100,20 @@ func NewStack(dom *cpu.Domain, costs StackCosts) *Stack {
 	return s
 }
 
-// AttachDevice binds a device's receive path into the stack.
+// AttachDevice binds a device's receive path into the stack. Frames
+// whose destination is neither the device's MAC nor broadcast are
+// dropped here (counted in Foreign) before any stack cost is charged:
+// they are flood copies the fabric sprayed at every port, filtered by
+// address exactly as a non-promiscuous endpoint device would.
 func (s *Stack) AttachDevice(dev NetDevice) {
 	s.devs = append(s.devs, dev)
-	dev.SetRxHandler(s.deliver)
+	dev.SetRxHandler(func(f *ether.Frame) {
+		if f.Dst != dev.MAC() && !f.Dst.IsBroadcast() {
+			s.Foreign.Inc()
+			return
+		}
+		s.deliver(f)
+	})
 }
 
 // Devices returns the attached devices.

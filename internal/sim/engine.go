@@ -166,6 +166,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // population — O(1), not a scan.
 func (e *Engine) Pending() int { return e.q.len() }
 
+// NextAt returns the timestamp of the earliest pending event, and false
+// if the queue is empty. Shard coordinators use it to bound how early a
+// stopped engine could possibly act again (its lookahead anchor).
+func (e *Engine) NextAt() (Time, bool) {
+	ev := e.q.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // alloc takes an event from the free list, or grows the pool.
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
@@ -206,6 +217,34 @@ func (e *Engine) AtFn(t Time, name string, fn Fn) Handle {
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.name, ev.fn, ev.fnID = t, e.seq, name, fn.f, fn.id
+	e.q.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// SeqBand is the high sequence bit that separates key-sequenced events
+// (AtFnKeyed) from counter-sequenced ones: any keyed sequence has it
+// set, so keyed events order after every counter-sequenced event at the
+// same instant, regardless of scheduling order. Counter sequences can
+// never reach it (2^62 events is beyond any feasible run).
+const SeqBand uint64 = 1 << 62
+
+// AtFnKeyed schedules a registered callback at absolute time t with an
+// explicit sequence key instead of the engine counter. The key decides
+// ordering among same-time events, which makes the order a pure function
+// of the caller's key assignment — the property the sharded runtime
+// needs so that an event injected at a barrier sorts identically to one
+// scheduled mid-round on a single engine. Keys must have SeqBand set
+// (checked) and be unique among pending events; the engine counter is
+// not consumed.
+func (e *Engine) AtFnKeyed(t Time, name string, fn Fn, key uint64) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
+	}
+	if key&SeqBand == 0 {
+		panic(fmt.Sprintf("sim: keyed event %q without SeqBand in key %#x", name, key))
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.name, ev.fn, ev.fnID = t, key, name, fn.f, fn.id
 	e.q.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }

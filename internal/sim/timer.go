@@ -54,6 +54,28 @@ func (t *Timer) ArmAfter(d Time) {
 	t.Arm(t.eng.now + d)
 }
 
+// ArmKeyed schedules (or reschedules) the timer to fire at absolute
+// time at with an explicit sequence key (see AtFnKeyed): the key, not
+// the arming moment, decides ordering against other same-time events.
+// The multi-host fault injector arms itself this way so a fault applies
+// after every ordinary event at its instant in both the single-engine
+// and the sharded runtime.
+func (t *Timer) ArmKeyed(at Time, key uint64) {
+	e := t.eng
+	if at < e.now {
+		panic("sim: timer " + t.ev.name + " armed in the past")
+	}
+	if key&SeqBand == 0 {
+		panic("sim: timer " + t.ev.name + " armed with keyless sequence")
+	}
+	t.ev.at, t.ev.seq = at, key
+	if t.ev.index >= 0 {
+		e.q.reschedule(&t.ev)
+	} else {
+		e.q.push(&t.ev)
+	}
+}
+
 // Stop disarms the timer if it is armed. The timer can be re-armed.
 func (t *Timer) Stop() {
 	if t.ev.index >= 0 {

@@ -90,6 +90,14 @@ type Conn struct {
 	Local, Remote Addr
 
 	eng *sim.Engine
+	// rcvEng is the engine the receiver side runs on. It equals eng on a
+	// single-engine machine; on a sharded machine the receiving host's
+	// shard sets it via SetReceiverEngine, so receive-path timestamps
+	// (latency samples) read the clock of the shard the delivery fires
+	// on. Sender fields are only ever touched from eng, receiver fields
+	// only from rcvEng — the disjoint field sets are what make a
+	// cross-shard connection race-free.
+	rcvEng *sim.Engine
 	// RTO is the retransmission timeout (default 3ms; the benchmark
 	// harness raises it to TCP-like values for long queueing paths).
 	RTO sim.Time
@@ -139,11 +147,16 @@ type Conn struct {
 func NewConn(eng *sim.Engine, id, segSize, window int) *Conn {
 	c := &Conn{
 		ID: id, SegSize: segSize, Window: window, AckEvery: 2,
-		eng: eng, RTO: 3 * sim.Millisecond,
+		eng: eng, rcvEng: eng, RTO: 3 * sim.Millisecond,
 	}
 	c.rtoTimer = eng.NewTimer("transport.rto", c.onRTO)
 	return c
 }
+
+// SetReceiverEngine re-homes the receiver side onto the given engine.
+// Sharded machine builders call it when the receiving host lives on a
+// different shard than the sender.
+func (c *Conn) SetReceiverEngine(eng *sim.Engine) { c.rcvEng = eng }
 
 // AttachSender installs the sender host's transmit function.
 func (c *Conn) AttachSender(send func(*Segment)) { c.sendData = send }
@@ -303,7 +316,7 @@ func (c *Conn) OnData(s *Segment) {
 	if s.Seq == c.rcvNext {
 		c.rcvNext++
 		c.Delivered.Add(uint64(s.Len))
-		c.Latency.Observe(float64(c.eng.Now()-s.SentAt) / 1000)
+		c.Latency.Observe(float64(c.rcvEng.Now()-s.SentAt) / 1000)
 		c.unacked++
 		if c.markArmed && int32(c.rcvNext-c.rcvMark) >= 0 {
 			c.markArmed = false

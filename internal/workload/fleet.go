@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+
+	"cdna/internal/sim"
+	"cdna/internal/stats"
+)
+
+// Fleet drives the endpoints of one machine across its engine shards:
+// one Generator per engine, plus the machine-global endpoint roster.
+// Every per-endpoint decision (jitter RNG stream, launch stagger) is
+// keyed by the global endpoint index, so a fleet over N shards emits
+// exactly the traffic the same roster would on a single engine — the
+// property the 1-vs-N-shard byte-identity contract rests on. A
+// single-engine machine simply runs a fleet of one.
+type Fleet struct {
+	gens  []*Generator
+	byEng map[*sim.Engine]*Generator
+	slots []fleetSlot
+
+	// lat is scratch space for merged latency quantiles.
+	lat stats.Distribution
+}
+
+// fleetSlot locates one global endpoint inside its owning generator.
+type fleetSlot struct {
+	g   *Generator
+	idx int
+}
+
+// NewFleet creates one generator per engine for a resolved spec.
+// Engines must be passed in shard-index order.
+func NewFleet(engs []*sim.Engine, spec Spec) (*Fleet, error) {
+	f := &Fleet{byEng: make(map[*sim.Engine]*Generator, len(engs))}
+	for _, eng := range engs {
+		g, err := NewGenerator(eng, spec)
+		if err != nil {
+			return nil, err
+		}
+		f.gens = append(f.gens, g)
+		f.byEng[eng] = g
+	}
+	return f, nil
+}
+
+// Spec returns the fleet's resolved spec.
+func (f *Fleet) Spec() Spec { return f.gens[0].Spec() }
+
+// NeedsReverse reports whether the workload requires a reverse
+// connection per endpoint.
+func (f *Fleet) NeedsReverse() bool { return f.gens[0].NeedsReverse() }
+
+// AddOn registers an endpoint on the shard that owns eng — the engine
+// the endpoint's forward sender runs on, so every workload callback
+// fires on the shard that owns the state it touches. Endpoints must be
+// added in a deterministic machine-global order.
+func (f *Fleet) AddOn(eng *sim.Engine, ep Endpoint) error {
+	g := f.byEng[eng]
+	if g == nil {
+		return fmt.Errorf("workload: AddOn with an engine outside the fleet")
+	}
+	if err := g.addIndexed(len(f.slots), ep); err != nil {
+		return err
+	}
+	f.slots = append(f.slots, fleetSlot{g: g, idx: len(g.eps) - 1})
+	return nil
+}
+
+// Endpoints returns the registered endpoint descriptors in global
+// registration order.
+func (f *Fleet) Endpoints() []Endpoint {
+	eps := make([]Endpoint, len(f.slots))
+	for i, s := range f.slots {
+		eps[i] = s.g.eps[s.idx].Endpoint
+	}
+	return eps
+}
+
+// Launch schedules every endpoint's start, staggered by global index
+// over the first part of warmup — the same schedule at any shard count.
+func (f *Fleet) Launch(warmup sim.Time) {
+	n := len(f.slots)
+	for i, s := range f.slots {
+		s.g.launchOne(s.g.eps[s.idx], launchAt(warmup, i, n))
+	}
+}
+
+// StartWindow resets every generator's windowed metrics.
+func (f *Fleet) StartWindow() {
+	for _, g := range f.gens {
+		g.StartWindow()
+	}
+}
+
+// RequestsRate returns completed RPC exchanges per second over the
+// window, summed across shards before the division so the result is the
+// same float a single counter would produce.
+func (f *Fleet) RequestsRate(dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	var w uint64
+	for _, g := range f.gens {
+		w += g.Requests.Window()
+	}
+	return float64(w) / dur.Seconds()
+}
+
+// FlowsRate returns completed short-lived flows per second over the
+// window.
+func (f *Fleet) FlowsRate(dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	var w uint64
+	for _, g := range f.gens {
+		w += g.Flows.Window()
+	}
+	return float64(w) / dur.Seconds()
+}
+
+// LatencyQuantile returns the q-quantile of message-completion latency
+// across every shard's samples. Quantiles are a pure function of the
+// combined multiset, so the merged value is identical to what a single
+// engine observing the same traffic would report.
+func (f *Fleet) LatencyQuantile(q float64) float64 {
+	if len(f.gens) == 1 {
+		return f.gens[0].Latency.Quantile(q)
+	}
+	f.lat.Reset()
+	for _, g := range f.gens {
+		f.lat.Merge(&g.Latency)
+	}
+	return f.lat.Quantile(q)
+}
+
+// State captures every generator in shard order.
+func (f *Fleet) State() []GeneratorState {
+	out := make([]GeneratorState, len(f.gens))
+	for i, g := range f.gens {
+		out[i] = g.State()
+	}
+	return out
+}
+
+// SetState restores every generator from a fleet image with the same
+// shard layout.
+func (f *Fleet) SetState(ss []GeneratorState) error {
+	if len(ss) != len(f.gens) {
+		return fmt.Errorf("workload: fleet shard mismatch: snapshot has %d generators, machine has %d",
+			len(ss), len(f.gens))
+	}
+	for i, g := range f.gens {
+		if err := g.SetState(ss[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -97,7 +97,14 @@ func (g *Generator) NeedsReverse() bool { return g.spec.Kind == RequestResponse 
 // order (the machine builder's wiring order); each gets its own jitter
 // RNG stream derived from the spec seed and its index, so traffic is
 // identical run-to-run and independent of campaign parallelism.
-func (g *Generator) Add(ep Endpoint) error {
+func (g *Generator) Add(ep Endpoint) error { return g.addIndexed(len(g.eps), ep) }
+
+// addIndexed registers an endpoint whose jitter RNG stream derives from
+// the given index instead of the local registration count. A Fleet
+// passes the machine-global endpoint index so a sharded machine's
+// traffic is identical to the single-engine machine's, where global and
+// local indices coincide.
+func (g *Generator) addIndexed(rngIdx int, ep Endpoint) error {
 	if ep.Fwd == nil {
 		return fmt.Errorf("workload: endpoint needs a forward connection")
 	}
@@ -105,7 +112,7 @@ func (g *Generator) Add(ep Endpoint) error {
 		return fmt.Errorf("workload: %v workload needs a reverse connection", g.spec.Kind)
 	}
 	e := &endpoint{g: g, Endpoint: ep}
-	e.rng = sim.NewRNG(g.spec.Seed + uint64(len(g.eps))*0x9e3779b97f4a7c15)
+	e.rng = sim.NewRNG(g.spec.Seed + uint64(rngIdx)*0x9e3779b97f4a7c15)
 	switch g.spec.Kind {
 	case Bulk:
 		e.startFn = g.eng.Bind(ep.Fwd.Start)
@@ -132,25 +139,34 @@ func (g *Generator) Add(ep Endpoint) error {
 // exactly: the same "conn.start" events at the same times in the same
 // order.
 func (g *Generator) Launch(warmup sim.Time) {
+	n := len(g.eps)
+	for i, e := range g.eps {
+		g.launchOne(e, launchAt(warmup, i, n))
+	}
+}
+
+// launchAt returns the staggered start time of global endpoint i of n:
+// offset past driver initialization (initial receive-buffer posting),
+// then spread over the first part of warmup.
+func launchAt(warmup sim.Time, i, n int) sim.Time {
 	stagger := warmup / 3
 	if stagger > 50*sim.Millisecond {
 		stagger = 50 * sim.Millisecond
 	}
-	n := len(g.eps)
-	for i, e := range g.eps {
-		// Offset past driver initialization (initial receive-buffer
-		// posting), then spread the starts.
-		at := 2*sim.Millisecond + sim.Time(i)*stagger/sim.Time(n)
-		switch g.spec.Kind {
-		case Bulk:
-			g.eng.AtFn(at, "conn.start", e.startFn)
-		case RequestResponse:
-			g.eng.AtFn(at, "workload.issue", e.startFn)
-		case Churn:
-			g.eng.AtFn(at, "workload.flow", e.startFn)
-		case Burst:
-			g.eng.AtFn(at, "conn.start", e.startFn)
-		}
+	return 2*sim.Millisecond + sim.Time(i)*stagger/sim.Time(n)
+}
+
+// launchOne schedules one endpoint's kind-appropriate start event.
+func (g *Generator) launchOne(e *endpoint, at sim.Time) {
+	switch g.spec.Kind {
+	case Bulk:
+		g.eng.AtFn(at, "conn.start", e.startFn)
+	case RequestResponse:
+		g.eng.AtFn(at, "workload.issue", e.startFn)
+	case Churn:
+		g.eng.AtFn(at, "workload.flow", e.startFn)
+	case Burst:
+		g.eng.AtFn(at, "conn.start", e.startFn)
 	}
 }
 
