@@ -68,8 +68,9 @@ paper:
 # bench measures the simulator itself (event-core micro-benchmarks +
 # one end-to-end run) and records the perf trajectory in BENCH_sim.json.
 # It runs twice — once with the reference heap queue (-tags simheap),
-# once with the default timing wheel — so the committed artifact carries
-# the wheel vs. heap rows side by side. See EXPERIMENTS.md.
+# once with the default hybrid near/far scheduler — so the committed
+# artifact carries the hybrid vs. heap rows side by side. See
+# EXPERIMENTS.md.
 bench:
 	$(GO) run -tags simheap ./cmd/cdnabench -out BENCH_heap.tmp.json
 	$(GO) run ./cmd/cdnabench -ref BENCH_heap.tmp.json -out BENCH_sim.json

@@ -20,6 +20,8 @@
 //	cdnabench -compare old.json -with new.json
 //	                              # pure file diff, no measurement
 //	cdnabench -tol 10             # tighten the regression tolerance (%)
+//	cdnabench -run 'model\.'      # measure only matching rows (local
+//	                              # iteration; skipped rows report zero)
 //
 // The binary reports which event queue it was compiled with
 // ("scheduler": wheel by default, heap under -tags simheap); the
@@ -39,15 +41,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 	"time"
 
 	"cdna/internal/bench"
 	"cdna/internal/core"
+	"cdna/internal/core/corebench"
+	"cdna/internal/ether/etherbench"
+	"cdna/internal/nic/nicbench"
 	"cdna/internal/sim"
 	"cdna/internal/sim/simbench"
 	"cdna/internal/topo/topobench"
+	"cdna/internal/transport/transportbench"
 )
 
 // Row is one micro-benchmark's distilled result.
@@ -79,16 +86,39 @@ type EngineRows struct {
 	RTOChurn            Row `json:"rto_churn"`             // far-future timer re-arm churn
 }
 
+// ModelRows are the model-layer micro-benchmarks — the paths between
+// the event core and a whole experiment, each holding the same zero
+// allocs/op contract the engine rows do. One op is one model-level
+// unit of work (a packet, a descriptor, a segment, a frame lifecycle);
+// the benchmark bodies live next to the packages they measure
+// (internal/nic/nicbench, internal/core/corebench,
+// internal/transport/transportbench, internal/ether/etherbench).
+type ModelRows struct {
+	NicTxPipeline    Row `json:"nic_tx_pipeline"`   // doorbell→fetch→process→DMA→wire→reap
+	GuestDMA         Row `json:"guest_dma"`         // hypercall validate+pin+stamp+publish
+	TransportSegment Row `json:"transport_segment"` // pooled segment send→deliver→ack round trip
+	FrameArena       Row `json:"frame_arena"`       // arena Get→pipe traversal→Release
+}
+
 // Report is the BENCH_sim.json schema.
 type Report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
+
+	// GOMAXPROCS records the core count of the measuring machine. The
+	// sharded multi-host rows depend on it directly (shards execute in
+	// parallel), so -compare skips their regression gate when the two
+	// reports were measured at different core counts.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
 	// Scheduler is the compiled-in event queue: "wheel" (default) or
 	// "heap" (-tags simheap).
 	Scheduler string `json:"scheduler"`
 
 	Engine EngineRows `json:"engine"`
+
+	// Model holds the model-layer rows (see ModelRows).
+	Model ModelRows `json:"model"`
 
 	// Fabric is the multi-host switch's hot path (internal/topo): one
 	// store-and-forward traversal per op — ingress, forwarding decision,
@@ -183,6 +213,7 @@ type WarmstartFork struct {
 type Reference struct {
 	Scheduler        string     `json:"scheduler"`
 	Engine           EngineRows `json:"engine"`
+	Model            ModelRows  `json:"model"`
 	Fabric           Row        `json:"fabric_forward"`
 	EndToEnd         EndToEnd   `json:"end_to_end"`
 	MultiHost        EndToEnd   `json:"multi_host_end_to_end"`
@@ -190,7 +221,7 @@ type Reference struct {
 	MultiHostShards4 EndToEnd   `json:"multi_host_end_to_end_shards4"`
 }
 
-func measure(benchtime time.Duration) (*Report, error) {
+func measure(benchtime time.Duration, match func(string) bool) (*Report, error) {
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		if err := f.Value.Set(benchtime.String()); err != nil {
 			return nil, err
@@ -199,33 +230,44 @@ func measure(benchtime time.Duration) (*Report, error) {
 	var rep Report
 	rep.GoVersion = runtime.Version()
 	rep.GOARCH = runtime.GOARCH
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Scheduler = sim.SchedulerName
 
 	// Micro rows are best-of-three, like the end-to-end row below: on a
 	// shared or frequency-scaled machine a single measurement window can
 	// land in a slow phase and masquerade as a hot-path regression. The
 	// allocs/op figures are identical across runs (allocation is
-	// deterministic); only the timing varies.
-	best := func(fn func(*testing.B)) Row {
-		out := row(testing.Benchmark(fn))
+	// deterministic); only the timing varies. Rows whose name does not
+	// match the -run filter are skipped and report as zero.
+	best := func(name string, out *Row, fn func(*testing.B)) {
+		if !match(name) {
+			return
+		}
+		*out = row(testing.Benchmark(fn))
 		for i := 1; i < 3; i++ {
 			if r := row(testing.Benchmark(fn)); r.NsPerEvent > 0 && r.NsPerEvent < out.NsPerEvent {
 				r.AllocsPerOp, r.BytesPerOp = out.AllocsPerOp, out.BytesPerOp
-				out = r
+				*out = r
 			}
 		}
-		return out
 	}
-	rep.Engine.ScheduleFire = best(simbench.ScheduleFire)
-	rep.Engine.ScheduleFireClosure = best(simbench.ScheduleFireClosure)
-	rep.Engine.ScheduleFireDepth64 = best(simbench.ScheduleFireDepth64)
-	rep.Engine.TimerRearm = best(simbench.TimerRearm)
-	rep.Engine.Cancel = best(simbench.Cancel)
-	rep.Engine.CancelHeavy = best(simbench.CancelHeavy)
-	rep.Engine.RTOChurn = best(simbench.RTOChurn)
-	rep.Fabric = best(topobench.Forward)
+	best("engine.schedule_fire", &rep.Engine.ScheduleFire, simbench.ScheduleFire)
+	best("engine.schedule_fire_closure", &rep.Engine.ScheduleFireClosure, simbench.ScheduleFireClosure)
+	best("engine.schedule_fire_depth64", &rep.Engine.ScheduleFireDepth64, simbench.ScheduleFireDepth64)
+	best("engine.timer_rearm", &rep.Engine.TimerRearm, simbench.TimerRearm)
+	best("engine.cancel", &rep.Engine.Cancel, simbench.Cancel)
+	best("engine.cancel_heavy", &rep.Engine.CancelHeavy, simbench.CancelHeavy)
+	best("engine.rto_churn", &rep.Engine.RTOChurn, simbench.RTOChurn)
+	best("fabric.forward", &rep.Fabric, topobench.Forward)
+	best("model.nic_tx_pipeline", &rep.Model.NicTxPipeline, nicbench.TxPipeline)
+	best("model.guest_dma", &rep.Model.GuestDMA, corebench.GuestDMA)
+	best("model.transport_segment", &rep.Model.TransportSegment, transportbench.Segment)
+	best("model.frame_arena", &rep.Model.FrameArena, etherbench.FrameArena)
 
-	endToEnd := func(cfg bench.Config, out *EndToEnd) error {
+	endToEnd := func(name string, cfg bench.Config, out *EndToEnd) error {
+		if !match(name) {
+			return nil
+		}
 		cfg.Protection = core.ModeHypercall
 		cfg.Warmup = bench.Quick().Warmup
 		cfg.Duration = bench.Quick().Duration
@@ -248,30 +290,35 @@ func measure(benchtime time.Duration) (*Report, error) {
 		}
 		return nil
 	}
-	if err := endToEnd(bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx), &rep.EndToEnd); err != nil {
+	if err := endToEnd("end_to_end", bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx), &rep.EndToEnd); err != nil {
 		return nil, err
 	}
 	mh := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
 	mh.Hosts = 4
 	mh.Pattern = bench.PatternIncast
-	if err := endToEnd(mh, &rep.MultiHost); err != nil {
+	if err := endToEnd("multi_host", mh, &rep.MultiHost); err != nil {
 		return nil, err
 	}
 	for _, s := range []struct {
-		n   int
-		out *EndToEnd
-	}{{2, &rep.MultiHostShards2}, {4, &rep.MultiHostShards4}} {
+		name string
+		n    int
+		out  *EndToEnd
+	}{{"multi_host_shards2", 2, &rep.MultiHostShards2}, {"multi_host_shards4", 4, &rep.MultiHostShards4}} {
 		cfg := mh
 		cfg.Shards = s.n
-		if err := endToEnd(cfg, s.out); err != nil {
+		if err := endToEnd(s.name, cfg, s.out); err != nil {
 			return nil, err
 		}
 	}
-	if err := snapRoundTrip(&rep.SnapRoundTrip); err != nil {
-		return nil, err
+	if match("snapshot_roundtrip") {
+		if err := snapRoundTrip(&rep.SnapRoundTrip); err != nil {
+			return nil, err
+		}
 	}
-	if err := warmstartFork(&rep.WarmstartFork); err != nil {
-		return nil, err
+	if match("warmstart_fork") {
+		if err := warmstartFork(&rep.WarmstartFork); err != nil {
+			return nil, err
+		}
 	}
 
 	rep.SeedBaseline.NsPerEvent = 81.5
@@ -389,10 +436,14 @@ func load(path string) (*Report, error) {
 }
 
 // metric is one comparable ns/event figure extracted from a report.
+// procs is nonzero only for rows whose timing depends on the measuring
+// machine's core count (the sharded multi-host rows); compare() skips
+// the regression gate on those when the two reports disagree.
 type metric struct {
 	name   string
 	ns     float64
 	allocs int64
+	procs  int
 }
 
 func metrics(r *Report) []metric {
@@ -417,25 +468,33 @@ func metrics(r *Report) []metric {
 		mh4Ns = 1e9 / r.MultiHostShards4.EventsPerSec
 	}
 	return []metric{
-		{"engine.schedule_fire", r.Engine.ScheduleFire.NsPerEvent, r.Engine.ScheduleFire.AllocsPerOp},
-		{"engine.schedule_fire_closure", r.Engine.ScheduleFireClosure.NsPerEvent, r.Engine.ScheduleFireClosure.AllocsPerOp},
-		{"engine.schedule_fire_depth64", r.Engine.ScheduleFireDepth64.NsPerEvent, r.Engine.ScheduleFireDepth64.AllocsPerOp},
-		{"engine.timer_rearm", r.Engine.TimerRearm.NsPerEvent, r.Engine.TimerRearm.AllocsPerOp},
-		{"engine.cancel", r.Engine.Cancel.NsPerEvent, r.Engine.Cancel.AllocsPerOp},
-		{"engine.cancel_heavy", r.Engine.CancelHeavy.NsPerEvent, r.Engine.CancelHeavy.AllocsPerOp},
-		{"engine.rto_churn", r.Engine.RTOChurn.NsPerEvent, r.Engine.RTOChurn.AllocsPerOp},
-		{"fabric.forward", r.Fabric.NsPerEvent, r.Fabric.AllocsPerOp},
-		{"end_to_end.ns_per_event", e2eNs, 0},
-		{"multi_host.ns_per_event", mhNs, 0},
+		{"engine.schedule_fire", r.Engine.ScheduleFire.NsPerEvent, r.Engine.ScheduleFire.AllocsPerOp, 0},
+		{"engine.schedule_fire_closure", r.Engine.ScheduleFireClosure.NsPerEvent, r.Engine.ScheduleFireClosure.AllocsPerOp, 0},
+		{"engine.schedule_fire_depth64", r.Engine.ScheduleFireDepth64.NsPerEvent, r.Engine.ScheduleFireDepth64.AllocsPerOp, 0},
+		{"engine.timer_rearm", r.Engine.TimerRearm.NsPerEvent, r.Engine.TimerRearm.AllocsPerOp, 0},
+		{"engine.cancel", r.Engine.Cancel.NsPerEvent, r.Engine.Cancel.AllocsPerOp, 0},
+		{"engine.cancel_heavy", r.Engine.CancelHeavy.NsPerEvent, r.Engine.CancelHeavy.AllocsPerOp, 0},
+		{"engine.rto_churn", r.Engine.RTOChurn.NsPerEvent, r.Engine.RTOChurn.AllocsPerOp, 0},
+		{"fabric.forward", r.Fabric.NsPerEvent, r.Fabric.AllocsPerOp, 0},
+		{"end_to_end.ns_per_event", e2eNs, 0, 0},
+		{"multi_host.ns_per_event", mhNs, 0, 0},
 		// Snapshot+restore round trip and per-run forked wall: absent
 		// (zero) in pre-checkpoint artifacts, where they report as n/a.
-		{"snapshot_roundtrip.ns", snapNs, 0},
-		{"warmstart_fork.ns_per_run", forkNs, 0},
-		// Sharded multi-host rows, appended last: compare() walks the OLD
-		// report's metric list by index, so new metrics must only ever be
-		// added at the end to stay comparable with committed artifacts.
-		{"multi_host_shards2.ns_per_event", mh2Ns, 0},
-		{"multi_host_shards4.ns_per_event", mh4Ns, 0},
+		{"snapshot_roundtrip.ns", snapNs, 0, 0},
+		{"warmstart_fork.ns_per_run", forkNs, 0, 0},
+		// compare() walks the OLD report's metric list by index, so new
+		// metrics must only ever be added at the end to stay comparable
+		// with committed artifacts. The sharded rows carry the report's
+		// GOMAXPROCS: their wall clock depends on how many shards actually
+		// run in parallel, so cross-machine comparisons skip their gate.
+		{"multi_host_shards2.ns_per_event", mh2Ns, 0, r.GOMAXPROCS},
+		{"multi_host_shards4.ns_per_event", mh4Ns, 0, r.GOMAXPROCS},
+		// Model-layer rows (this PR's additions, at the end per the rule
+		// above).
+		{"model.nic_tx_pipeline", r.Model.NicTxPipeline.NsPerEvent, r.Model.NicTxPipeline.AllocsPerOp, 0},
+		{"model.guest_dma", r.Model.GuestDMA.NsPerEvent, r.Model.GuestDMA.AllocsPerOp, 0},
+		{"model.transport_segment", r.Model.TransportSegment.NsPerEvent, r.Model.TransportSegment.AllocsPerOp, 0},
+		{"model.frame_arena", r.Model.FrameArena.NsPerEvent, r.Model.FrameArena.AllocsPerOp, 0},
 	}
 }
 
@@ -463,6 +522,12 @@ func compare(old, cur *Report, tol float64) (failed bool) {
 			// has — a silently broken benchmark, not a speedup.
 			fmt.Printf("  %-30s %12.2f %12.2f %9s  << MISSING\n", o.name, o.ns, c.ns, "n/a")
 			failed = true
+		case o.procs != 0 && c.procs != 0 && o.procs != c.procs:
+			// Core-count-sensitive row measured on machines with different
+			// parallelism: the delta is hardware, not a code regression.
+			delta := (c.ns - o.ns) / o.ns * 100
+			fmt.Printf("  %-30s %12.2f %12.2f %+8.1f%%  (skipped: %d vs %d cores)\n",
+				o.name, o.ns, c.ns, delta, o.procs, c.procs)
 		default:
 			delta := (c.ns - o.ns) / o.ns * 100
 			mark := ""
@@ -495,7 +560,17 @@ func main() {
 	comparePath := flag.String("compare", "", "diff against this BENCH_sim.json; exit 1 on regression")
 	withPath := flag.String("with", "", "with -compare: diff this file instead of measuring")
 	tol := flag.Float64("tol", 15, "regression tolerance on ns/event metrics, percent")
+	runFilter := flag.String("run", "", "measure only rows whose name matches this regexp (skipped rows report zero); for local iteration, not -compare")
 	flag.Parse()
+
+	match := func(string) bool { return true }
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fatal(fmt.Errorf("-run: %w", err))
+		}
+		match = re.MatchString
+	}
 
 	bt := *benchtime
 	if *short && bt > 250*time.Millisecond {
@@ -511,7 +586,7 @@ func main() {
 		if rep, err = load(*withPath); err != nil {
 			fatal(err)
 		}
-	} else if rep, err = measure(bt); err != nil {
+	} else if rep, err = measure(bt, match); err != nil {
 		fatal(err)
 	}
 
@@ -520,7 +595,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine, Fabric: other.Fabric}
+		rep.Reference = &Reference{Scheduler: other.Scheduler, Engine: other.Engine, Model: other.Model, Fabric: other.Fabric}
 		rep.Reference.EndToEnd = other.EndToEnd
 		rep.Reference.MultiHost = other.MultiHost
 		rep.Reference.MultiHostShards2 = other.MultiHostShards2

@@ -114,6 +114,8 @@ func (f *Netfront) rxUpTask() {
 	fr := f.rxUp.Pop()
 	if f.rxHandler != nil {
 		f.rxHandler(fr)
+	} else {
+		fr.Release()
 	}
 }
 

@@ -91,6 +91,12 @@ func buildCluster(cfg Config) (*Machine, error) {
 	}
 	fabEng := engines[nshards-1]
 	m := &Machine{Eng: engines[0], engines: engines}
+	m.arenas = make([]*ether.Arena, nshards)
+	m.segPools = make([]*transport.SegPool, nshards)
+	for s := range m.arenas {
+		m.arenas[s] = ether.NewArena()
+		m.segPools[s] = transport.NewSegPool()
+	}
 	m.shardOf = make([]int, cfg.Hosts)
 	for hi := range m.shardOf {
 		m.shardOf[hi] = hi * nshards / cfg.Hosts
@@ -136,6 +142,9 @@ func buildCluster(cfg Config) (*Machine, error) {
 		}
 		if err := buildHost(cfg, env); err != nil {
 			return nil, err
+		}
+		for _, st := range h.Stacks {
+			st.Arena = m.arenas[shard]
 		}
 		m.Hosts = append(m.Hosts, h)
 		m.adoptHost(h)
@@ -217,6 +226,7 @@ func (m *Machine) wireCross(cfg Config, src, dst slot) error {
 	wire := func(a, b slot) *transport.Conn {
 		conn := transport.NewConn(m.hostEngine(a.addr.Host), len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
 		conn.RTO = 200 * sim.Millisecond
+		conn.SetPools(m.segPools[m.shardOf[a.addr.Host]], m.segPools[m.shardOf[b.addr.Host]])
 		conn.Local, conn.Remote = a.addr, b.addr
 		conn.AttachSender(a.st.Sender(a.dev, b.dev.MAC()))
 		conn.AttachReceiver(b.st.Sender(b.dev, a.dev.MAC()))

@@ -160,6 +160,14 @@ type Machine struct {
 	seams   []seam
 	solos   []sim.Time
 
+	// arenas/segPools recycle frames and transport segments, one pair
+	// per engine shard (index = shard): every stack, peer and
+	// connection endpoint draws from its own shard's pool, and seam
+	// pipes clone anything that crosses shards, so pooled objects never
+	// leave their shard.
+	arenas   []*ether.Arena
+	segPools []*transport.SegPool
+
 	cfg    Config
 	faults *faultInjector
 }
@@ -198,15 +206,19 @@ type hostEnv struct {
 // link in the single-host topology. The paper tuned it to never be the
 // bottleneck; here it has no CPU model at all.
 type peer struct {
-	outs []*ether.Pipe
-	macs []ether.MAC
+	outs  []*ether.Pipe
+	macs  []ether.MAC
+	arena *ether.Arena
 }
 
 func (p *peer) port(i int) ether.Port {
 	return ether.PortFunc(func(f *ether.Frame) {
+		// Dispatch while the frame still owns its payload reference,
+		// then drop the frame (the peer has no CPU and no queues).
 		if seg, ok := f.Payload.(*transport.Segment); ok {
 			transport.Dispatch(seg)
 		}
+		f.Release()
 	})
 }
 
@@ -216,6 +228,10 @@ func (p *peer) sender(i int, dst ether.MAC) func(*transport.Segment) {
 	out := p.outs[i]
 	src := p.macs[i]
 	return func(seg *transport.Segment) {
+		if p.arena != nil {
+			out.Send(p.arena.Get(src, dst, seg.FrameBytes(), seg))
+			return
+		}
 		out.Send(&ether.Frame{Src: src, Dst: dst, Size: seg.FrameBytes(), Payload: seg})
 	}
 }
@@ -272,7 +288,9 @@ func Build(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr := &peer{}
+	m.arenas = []*ether.Arena{ether.NewArena()}
+	m.segPools = []*transport.SegPool{transport.NewSegPool()}
+	pr := &peer{arena: m.arenas[0]}
 
 	// Pre-size every builder-filled slice: the topology's final counts
 	// are implied by the configuration, so the assembly loops below
@@ -313,6 +331,9 @@ func Build(cfg Config) (*Machine, error) {
 
 	if err := buildHost(cfg, env); err != nil {
 		return nil, err
+	}
+	for _, st := range h.Stacks {
+		st.Arena = m.arenas[0]
 	}
 	m.adoptHost(h)
 	m.cfg = cfg
@@ -358,6 +379,7 @@ func (m *Machine) wireConns(cfg Config, pr *peer, st *guest.Stack, guestIdx, nic
 	wire := func(dir Direction) *transport.Conn {
 		conn := transport.NewConn(m.Eng, len(m.Conns.Conns), transport.DefaultSegSize, cfg.Window)
 		conn.RTO = 200 * sim.Millisecond
+		conn.SetPools(m.segPools[0], m.segPools[0])
 		if dir == Tx {
 			conn.Local, conn.Remote = local, remote
 			conn.AttachSender(st.Sender(dev, pr.macs[nicIdx]))

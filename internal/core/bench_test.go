@@ -1,0 +1,12 @@
+package core_test
+
+import (
+	"testing"
+
+	"cdna/internal/core/corebench"
+)
+
+// The hypercall DMA-protection enqueue path, runnable via
+// `go test -bench`; cmd/cdnabench runs the same function for the
+// committed BENCH_sim.json row.
+func BenchmarkGuestDMA(b *testing.B) { corebench.GuestDMA(b) }

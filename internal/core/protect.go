@@ -8,6 +8,7 @@ import (
 
 	"cdna/internal/mem"
 	"cdna/internal/ring"
+	"cdna/internal/sim"
 	"cdna/internal/stats"
 )
 
@@ -89,9 +90,14 @@ var (
 	ErrRevoked       = errors.New("core: context has been revoked")
 )
 
+// pinned records one descriptor's page pins as a contiguous frame span
+// — descriptors reference [Addr, Addr+Len), so the spanned frames are
+// first..first+n-1 and the hot pin/unpin paths never materialize a
+// frame slice.
 type pinned struct {
-	idx  uint32 // free-running ring index of the descriptor
-	pfns []mem.PFN
+	idx   uint32 // free-running ring index of the descriptor
+	first mem.PFN
+	n     int32
 }
 
 // ringState is the hypervisor's per-ring protection bookkeeping.
@@ -99,7 +105,7 @@ type ringState struct {
 	owner  mem.DomID
 	r      *ring.Ring
 	seq    *SeqAssigner
-	pins   []pinned // FIFO ordered by idx
+	pins   sim.FIFO[pinned] // ordered by idx
 	active bool
 }
 
@@ -161,12 +167,12 @@ func (p *Protection) UnregisterRing(r *ring.Ring) {
 	if !ok {
 		return
 	}
-	for _, pin := range st.pins {
-		for _, pfn := range pin.pfns {
-			p.Mem.Put(pfn)
+	for st.pins.Len() > 0 {
+		pin := st.pins.Pop()
+		for i := int32(0); i < pin.n; i++ {
+			p.Mem.Put(pin.first + mem.PFN(i))
 		}
 	}
-	st.pins = nil
 	st.active = false
 	if p.Mode == ModeHypercall {
 		for _, pfn := range mem.RangePFNs(r.Base, r.Bytes()) {
@@ -185,7 +191,7 @@ func (p *Protection) Registered(r *ring.Ring) bool {
 // Pins returns the number of descriptors with outstanding page pins on r.
 func (p *Protection) Pins(r *ring.Ring) int {
 	if st, ok := p.rings[r]; ok {
-		return len(st.pins)
+		return st.pins.Len()
 	}
 	return 0
 }
@@ -230,22 +236,21 @@ func (p *Protection) Enqueue(owner mem.DomID, r *ring.Ring, descs []ring.Desc) (
 	}
 	idx := r.Prod()
 	for _, d := range descs {
-		pfns := mem.RangePFNs(d.Addr, int(d.Len))
-		for _, pfn := range pfns {
-			p.Mem.Get(pfn)
+		first, npg := mem.RangeSpan(d.Addr, int(d.Len))
+		for i := 0; i < npg; i++ {
+			p.Mem.Get(first + mem.PFN(i))
 			p.PinnedPages.Inc()
 		}
-		st.pins = append(st.pins, pinned{idx: idx, pfns: pfns})
 		d.Seq = st.seq.Assign()
 		d.Flags |= ring.FlagValid
 		if err := r.WriteDesc(p.Mem, mem.DomHyp, idx, d); err != nil {
 			// Unreachable for registered rings; fail closed.
-			for _, pfn := range pfns {
-				p.Mem.Put(pfn)
+			for i := 0; i < npg; i++ {
+				p.Mem.Put(first + mem.PFN(i))
 			}
-			st.pins = st.pins[:len(st.pins)-1]
 			return 0, err
 		}
+		st.pins.Push(pinned{idx: idx, first: first, n: int32(npg)})
 		idx++
 	}
 	if err := r.Publish(len(descs)); err != nil {
@@ -261,19 +266,20 @@ func (p *Protection) Enqueue(owner mem.DomID, r *ring.Ring, descs []ring.Desc) (
 func (p *Protection) reap(st *ringState) {
 	cons := st.r.Cons()
 	n := 0
-	for _, pin := range st.pins {
+	for st.pins.Len() > 0 {
 		// Free-running indices: pin.idx is complete when it is strictly
 		// below cons in free-running terms.
+		pin := st.pins.Peek()
 		if int32(cons-pin.idx) <= 0 {
 			break
 		}
-		for _, pfn := range pin.pfns {
-			p.Mem.Put(pfn)
+		for i := int32(0); i < pin.n; i++ {
+			p.Mem.Put(pin.first + mem.PFN(i))
 		}
+		st.pins.Pop()
 		n++
 	}
 	if n > 0 {
-		st.pins = st.pins[n:]
 		p.Reaped.Add(uint64(n))
 	}
 }

@@ -78,10 +78,17 @@ func (p *Protection) State() ProtectionState {
 			Owner:      st.owner,
 			SeqNext:    st.seq.State(),
 			Active:     st.active,
-			Pins:       make([]PinState, len(st.pins)),
+			Pins:       make([]PinState, st.pins.Len()),
 		}
-		for j, pin := range st.pins {
-			rs.Pins[j] = PinState{Idx: pin.idx, PFNs: append([]mem.PFN(nil), pin.pfns...)}
+		for j := range rs.Pins {
+			pin := st.pins.At(j)
+			// Pins are contiguous frame spans internally; the image keeps
+			// the explicit frame list so its wire shape is unchanged.
+			pfns := make([]mem.PFN, pin.n)
+			for k := range pfns {
+				pfns[k] = pin.first + mem.PFN(k)
+			}
+			rs.Pins[j] = PinState{Idx: pin.idx, PFNs: pfns}
 		}
 		s.Rings[i] = rs
 	}
@@ -110,9 +117,13 @@ func (p *Protection) SetState(s ProtectionState) error {
 		st.owner = rs.Owner
 		st.seq.SetState(rs.SeqNext)
 		st.active = rs.Active
-		st.pins = st.pins[:0]
+		st.pins.Clear()
 		for _, pin := range rs.Pins {
-			st.pins = append(st.pins, pinned{idx: pin.Idx, pfns: append([]mem.PFN(nil), pin.PFNs...)})
+			if len(pin.PFNs) == 0 {
+				continue
+			}
+			// Images come from State(), which emits contiguous spans.
+			st.pins.Push(pinned{idx: pin.Idx, first: pin.PFNs[0], n: int32(len(pin.PFNs))})
 		}
 	}
 	p.Validated.SetState(s.Validated)

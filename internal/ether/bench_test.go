@@ -1,0 +1,12 @@
+package ether_test
+
+import (
+	"testing"
+
+	"cdna/internal/ether/etherbench"
+)
+
+// The pooled-frame hot path, runnable via `go test -bench`;
+// cmd/cdnabench runs the same function for the committed BENCH_sim.json
+// row.
+func BenchmarkFrameArena(b *testing.B) { etherbench.FrameArena(b) }

@@ -84,11 +84,30 @@ func (b *Bridge) Input(in int, f *Frame) {
 			if out != in {
 				b.Forwarded.Inc()
 				b.outputs[out].Receive(f)
+			} else {
+				// Hairpin suppressed: nobody consumes the frame.
+				f.Release()
 			}
 			return
 		}
 	}
 	b.Flooded.Inc()
+	// Each recipient consumes one reference; the incoming reference
+	// covers the first, so take one more per extra recipient before any
+	// Receive can release the frame.
+	n := 0
+	for i := range b.outputs {
+		if i != in {
+			n++
+		}
+	}
+	if n == 0 {
+		f.Release()
+		return
+	}
+	for i := 1; i < n; i++ {
+		f.Retain()
+	}
 	for i, out := range b.outputs {
 		if i != in {
 			out.Receive(f)

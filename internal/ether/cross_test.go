@@ -1,0 +1,136 @@
+package ether
+
+import (
+	"testing"
+
+	"cdna/internal/sim"
+)
+
+func TestCrossPipeSeamDelivery(t *testing.T) {
+	src, dst := sim.New(), sim.New()
+	p := NewPipeOn(src, dst, 1.0, 500*sim.Nanosecond)
+	if !p.Cross() {
+		t.Fatal("pipe between distinct engines is not a seam")
+	}
+	p.EnableKeyed(3)
+
+	var got []*Frame
+	p.Connect(PortFunc(func(f *Frame) { got = append(got, f) }))
+
+	a := NewArena()
+	pay := &fakePayload{}
+	f := a.Get(MakeMAC(0, 1), MakeMAC(0, 2), 1514, pay)
+	p.Send(f)
+
+	// The send outboxes an unpooled clone and drops the wire's reference
+	// to the original on the sending shard.
+	if a.FreeLen() != 1 {
+		t.Fatal("seam Send did not release the original frame")
+	}
+	if pay.releases != 1 {
+		t.Fatalf("original payload released %d times, want 1", pay.releases)
+	}
+	if len(got) != 0 {
+		t.Fatal("seam delivered before FlushCross")
+	}
+
+	p.FlushCross()
+	dst.Run(dst.Now() + sim.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames after flush, want 1", len(got))
+	}
+	c := got[0]
+	if c.Pooled() {
+		t.Fatal("delivered seam frame is pooled")
+	}
+	if c.Size != 1514 || c.Src != MakeMAC(0, 1) || c.Dst != MakeMAC(0, 2) {
+		t.Fatalf("seam clone header differs: %+v", c)
+	}
+	if cp, ok := c.Payload.(*fakePayload); !ok || !cp.seamClone {
+		t.Fatalf("seam payload not an unshared clone: %v", c.Payload)
+	}
+}
+
+func TestPipeOnSameEngineIsLocal(t *testing.T) {
+	eng := sim.New()
+	p := NewPipeOn(eng, eng, 1.0, 500*sim.Nanosecond)
+	if p.Cross() {
+		t.Fatal("same-engine NewPipeOn built a seam")
+	}
+	p.EnableKeyed(1)
+
+	var got []*Frame
+	p.Connect(PortFunc(func(f *Frame) { got = append(got, f) }))
+	for i := 0; i < 3; i++ {
+		f := &Frame{Src: MakeMAC(0, 1), Dst: MakeMAC(0, 2), Size: 100 + i}
+		p.Send(f)
+	}
+	eng.Run(eng.Now() + sim.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("delivered %d frames, want 3", len(got))
+	}
+	for i, f := range got {
+		if f.Size != 100+i {
+			t.Fatalf("keyed same-engine delivery out of order: got size %d at %d", f.Size, i)
+		}
+	}
+}
+
+func TestDuplexOnWiresBothDirections(t *testing.T) {
+	a, b := sim.New(), sim.New()
+	d := NewDuplexOn(a, b, 1.0, 500*sim.Nanosecond)
+	if !d.AtoB.Cross() || !d.BtoA.Cross() {
+		t.Fatal("cross-engine duplex direction is not a seam")
+	}
+	if same := NewDuplexOn(a, a, 1.0, 0); same.AtoB.Cross() || same.BtoA.Cross() {
+		t.Fatal("same-engine duplex built seams")
+	}
+}
+
+func TestEarliestArrivalBound(t *testing.T) {
+	eng := sim.New()
+	p := NewPipeOn(eng, sim.New(), 1.0, 500*sim.Nanosecond)
+	p.EnableKeyed(0)
+
+	minTx := sim.Time(float64(MinFrame+WireOverhead) / GbpsToBytesPerNs(1.0))
+	if got, want := p.EarliestArrival(0), minTx+500*sim.Nanosecond; got != want {
+		t.Fatalf("idle-wire bound = %v, want %v", got, want)
+	}
+	if got, want := p.EarliestArrival(1000), 1000+minTx+500*sim.Nanosecond; got != want {
+		t.Fatalf("srcAvail bound = %v, want %v", got, want)
+	}
+
+	// A frame on the wire pushes the bound out past srcAvail.
+	p.Send(&Frame{Src: MakeMAC(0, 1), Dst: MakeMAC(0, 2), Size: 1514})
+	if got := p.EarliestArrival(0); got <= minTx+500*sim.Nanosecond {
+		t.Fatalf("busy-wire bound %v not pushed past idle bound", got)
+	}
+}
+
+func TestPipeDownReleasesDroppedFrames(t *testing.T) {
+	eng := sim.New()
+	p := NewPipe(eng, 1.0, 0)
+	p.SetDown(true)
+	if !p.Down() {
+		t.Fatal("SetDown(true) not reported by Down()")
+	}
+	a := NewArena()
+	f := a.Get(MakeMAC(0, 1), MakeMAC(0, 2), 100, nil)
+	p.Send(f)
+	if p.Dropped.Total() != 1 {
+		t.Fatalf("Dropped = %d, want 1", p.Dropped.Total())
+	}
+	if a.FreeLen() != 1 {
+		t.Fatal("down-link drop leaked the frame")
+	}
+	p.SetDown(false)
+
+	// With no port connected, delivery releases the frame instead of
+	// leaking it.
+	f2 := a.Get(MakeMAC(0, 1), MakeMAC(0, 2), 100, nil)
+	p.Send(f2)
+	eng.Run(eng.Now() + sim.Millisecond)
+	if a.FreeLen() != 1 {
+		t.Fatal("portless delivery leaked the frame")
+	}
+}

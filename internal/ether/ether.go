@@ -43,10 +43,20 @@ const (
 // Frame is an Ethernet frame. Size is the frame length in bytes
 // including the 14-byte header but excluding CRC/preamble/IFG; Payload
 // carries the simulated upper-layer object (a transport segment).
+//
+// Frames on the hot data path come from a per-engine Arena and are
+// reference-counted (see arena.go for the ownership rules). Frames
+// built as plain literals work identically — their Retain/Release are
+// no-ops and the garbage collector owns them.
 type Frame struct {
 	Dst, Src MAC
 	Size     int
 	Payload  any
+
+	// Arena bookkeeping; all zero for unpooled (literal) frames.
+	arena *Arena
+	refs  int32
+	gen   uint32
 }
 
 // WireBytes returns the number of byte slots the frame occupies on the

@@ -73,6 +73,7 @@ func (p *Pipe) Connect(dst Port) { p.dst = dst }
 func (p *Pipe) Send(f *Frame) {
 	if p.down {
 		p.Dropped.Inc()
+		f.Release()
 		return
 	}
 	start := p.eng.Now()
@@ -88,7 +89,12 @@ func (p *Pipe) Send(f *Frame) {
 		key := p.keyBase | p.sendSeq
 		p.sendSeq++
 		if p.xEng != nil {
-			p.outbox = append(p.outbox, crossMsg{at: deliverAt, key: key, f: f})
+			// Seam crossing: the destination shard must never touch this
+			// shard's arena or pools, so hand it an unpooled value-copy
+			// and drop the wire's reference to the original here, on the
+			// sending shard.
+			p.outbox = append(p.outbox, crossMsg{at: deliverAt, key: key, f: cloneForSeam(f)})
+			f.Release()
 			return
 		}
 		p.inflight.Push(f)
@@ -108,6 +114,8 @@ func (p *Pipe) deliver() {
 	}
 	if p.dst != nil {
 		p.dst.Receive(f)
+	} else {
+		f.Release()
 	}
 }
 

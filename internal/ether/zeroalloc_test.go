@@ -1,0 +1,40 @@
+//go:build !race
+
+package ether_test
+
+import (
+	"testing"
+
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+)
+
+// The steady-state frame path must be allocation-free: frames come from
+// the arena's free list and every link traversal rides pooled events.
+// Race builds are excluded (the detector's instrumentation allocates).
+func TestPipeSteadyStateZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	eng := sim.New()
+	a := ether.NewArena()
+	p := ether.NewPipe(eng, 10.0, sim.Microsecond)
+	p.Connect(ether.PortFunc(func(f *ether.Frame) { f.Release() }))
+	src, dst := ether.MakeMAC(1, 0), ether.MakeMAC(2, 0)
+	drain := func() { eng.Run(eng.Now() + sim.Second) }
+	for i := 0; i < 8; i++ {
+		p.Send(a.Get(src, dst, 1514, nil))
+	}
+	drain()
+
+	news := a.News
+	if n := testing.AllocsPerRun(200, func() {
+		p.Send(a.Get(src, dst, 1514, nil))
+		drain()
+	}); n != 0 {
+		t.Fatalf("steady-state frame lifecycle allocates %.1f/op, want 0", n)
+	}
+	if a.News != news {
+		t.Fatalf("arena missed its free list in steady state: News %d -> %d", news, a.News)
+	}
+}

@@ -180,6 +180,7 @@ func (d *CDNADriver) txEnqueueTask() {
 	f := d.txIn.Pop()
 	if d.backlog.Len() >= qdiscLimit {
 		d.TxDropped.Inc()
+		f.Release()
 		return
 	}
 	d.backlog.Push(f)
@@ -272,6 +273,7 @@ func (d *CDNADriver) finishEnqueue(op enqOp, n int, err error) {
 			d.EnqueueErrs.Add(uint64(len(op.batch)))
 			for _, s := range op.batch {
 				d.txPool = append(d.txPool, s.pfn)
+				s.frame.Release()
 			}
 		} else {
 			base := d.Ctx.TxRing.Prod() - uint32(n)
@@ -333,7 +335,10 @@ func (d *CDNADriver) reapTx() {
 			d.txPool = append(d.txPool, pfn)
 			d.txBufs[idx] = 0
 		}
-		d.inflight[idx] = nil
+		if f := d.inflight[idx]; f != nil {
+			f.Release()
+			d.inflight[idx] = nil
+		}
 		d.lastTxCons++
 	}
 }
@@ -376,6 +381,8 @@ func (d *CDNADriver) rxUpTask() {
 	f := d.rxUp.Pop()
 	if d.rxHandler != nil {
 		d.rxHandler(f)
+	} else {
+		f.Release()
 	}
 }
 

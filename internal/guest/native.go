@@ -140,6 +140,7 @@ func (d *NativeDriver) txEnqueueTask() {
 	// buffers allow; the rest drains on transmit completions.
 	if d.backlog.Len() >= qdiscLimit {
 		d.TxDropped.Inc()
+		f.Release()
 		return
 	}
 	d.backlog.Push(f)
@@ -192,7 +193,10 @@ func (d *NativeDriver) reapTx() {
 			d.txPool = append(d.txPool, pfn)
 			delete(d.txBufs, idx)
 		}
-		delete(d.inflight, idx)
+		if f, ok := d.inflight[idx]; ok {
+			f.Release()
+			delete(d.inflight, idx)
+		}
 		d.lastTxCons++
 	}
 }
@@ -222,6 +226,8 @@ func (d *NativeDriver) rxUpTask() {
 	f := d.rxUp.Pop()
 	if d.rxHandler != nil {
 		d.rxHandler(f)
+	} else {
+		f.Release()
 	}
 }
 

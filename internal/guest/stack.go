@@ -68,6 +68,11 @@ type Stack struct {
 	Dom   *cpu.Domain
 	Costs StackCosts
 
+	// Arena, when set by the machine builder, supplies pooled transmit
+	// frames (it must belong to the stack's engine). Nil falls back to
+	// plain heap allocation with identical behavior.
+	Arena *ether.Arena
+
 	devs      []NetDevice
 	userAcc   int
 	Delivered stats.Counter // data packets handed to transport
@@ -110,6 +115,7 @@ func (s *Stack) AttachDevice(dev NetDevice) {
 	dev.SetRxHandler(func(f *ether.Frame) {
 		if f.Dst != dev.MAC() && !f.Dst.IsBroadcast() {
 			s.Foreign.Inc()
+			f.Release()
 			return
 		}
 		s.deliver(f)
@@ -181,16 +187,25 @@ func (sn *sender) xmitTask() {
 	if !seg.Ack {
 		sn.s.chargeUser()
 	}
-	sn.dev.StartXmit(&ether.Frame{
-		Src: sn.dev.MAC(), Dst: sn.dst,
-		Size: seg.FrameBytes(), Payload: seg,
-	})
+	// The segment's creation reference transfers into the frame: the
+	// frame owns its payload and releases it when freed.
+	var f *ether.Frame
+	if a := sn.s.Arena; a != nil {
+		f = a.Get(sn.dev.MAC(), sn.dst, seg.FrameBytes(), seg)
+	} else {
+		f = &ether.Frame{
+			Src: sn.dev.MAC(), Dst: sn.dst,
+			Size: seg.FrameBytes(), Payload: seg,
+		}
+	}
+	sn.dev.StartXmit(f)
 }
 
 // deliver is the receive upcall from a driver.
 func (s *Stack) deliver(f *ether.Frame) {
 	seg, ok := f.Payload.(*transport.Segment)
 	if !ok {
+		f.Release()
 		return // opaque/garbage frame (corruption demos): dropped by the stack
 	}
 	cost := s.Costs.RxData
@@ -199,7 +214,11 @@ func (s *Stack) deliver(f *ether.Frame) {
 		cost = s.Costs.RxAck
 		name = "stack.rxack"
 	}
+	// The rx queue outlives the frame: retain the segment before the
+	// frame (which owns the payload reference) can be freed.
+	seg.Retain()
 	s.rxQ.Push(seg)
+	f.Release()
 	s.Dom.Exec(cpu.CatKernel, cost, name, s.rxFn)
 }
 
@@ -210,4 +229,5 @@ func (s *Stack) deliverTask() {
 		s.Delivered.Inc()
 	}
 	transport.Dispatch(seg)
+	seg.Release()
 }

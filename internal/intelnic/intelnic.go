@@ -60,7 +60,10 @@ type NIC struct {
 
 	writebackDoneFn sim.Fn // bound once: raise the IRQ after the writeback DMA
 
-	rxDone []*ether.Frame // completed receive frames awaiting the driver
+	// rxDone accumulates completed receive frames between interrupts;
+	// the driver's IRQ task drains the burst in one swap (previously a
+	// fresh slice per interrupt).
+	rxDone sim.DoubleBuf[*ether.Frame]
 }
 
 // New creates the NIC with its wire attachment.
@@ -87,7 +90,7 @@ func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params, 
 		// land in the single receive queue.
 		RxQueueFor: func(dst ether.MAC) int { return 0 },
 		OnRxDelivered: func(qid int, f *ether.Frame, d ring.Desc) {
-			n.rxDone = append(n.rxDone, f)
+			n.rxDone.Append(f)
 		},
 		OnCompletion: func(qid int, tx bool) { n.Coal.Event() },
 	}
@@ -119,15 +122,15 @@ func (n *NIC) KickTx(prod uint32) { n.E.KickTx(0, prod) }
 // KickRx is the receive doorbell.
 func (n *NIC) KickRx(prod uint32) { n.E.KickRx(0, prod) }
 
-// DrainRx hands the driver all completed receive frames.
+// DrainRx hands the driver all completed receive frames. The returned
+// slice is recycled at the drain after next; the driver's IRQ task
+// consumes it synchronously.
 func (n *NIC) DrainRx() []*ether.Frame {
-	out := n.rxDone
-	n.rxDone = nil
-	return out
+	return n.rxDone.Drain()
 }
 
 // RxPending returns queued, undrained receive completions.
-func (n *NIC) RxPending() int { return len(n.rxDone) }
+func (n *NIC) RxPending() int { return n.rxDone.Len() }
 
 // Receive implements ether.Port for the wire side.
 func (n *NIC) Receive(f *ether.Frame) { n.E.Receive(f) }

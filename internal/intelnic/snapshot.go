@@ -19,9 +19,13 @@ func (n *NIC) State(codec ether.PayloadCodec) (State, error) {
 	if err != nil {
 		return State{}, err
 	}
-	rx, err := ether.CaptureFrames(n.rxDone, codec)
-	if err != nil {
-		return State{}, err
+	rx := make([]ether.FrameState, n.rxDone.Len())
+	for i := range rx {
+		fs, err := ether.CaptureFrame(n.rxDone.At(i), codec)
+		if err != nil {
+			return State{}, err
+		}
+		rx[i] = fs
 	}
 	return State{Engine: es, Coal: n.Coal.State(), RxDone: rx}, nil
 }
@@ -32,10 +36,13 @@ func (n *NIC) SetState(s State, codec ether.PayloadCodec) error {
 		return err
 	}
 	n.Coal.SetState(s.Coal)
-	rx, err := ether.RestoreFrames(s.RxDone, codec)
-	if err != nil {
-		return err
+	n.rxDone.Reset()
+	for _, fs := range s.RxDone {
+		f, err := ether.RestoreFrame(fs, codec)
+		if err != nil {
+			return err
+		}
+		n.rxDone.Append(f)
 	}
-	n.rxDone = rx
 	return nil
 }

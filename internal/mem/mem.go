@@ -275,15 +275,28 @@ func (m *Memory) RangeOwned(dom DomID, addr Addr, n int) bool {
 
 // RangePFNs returns the frames spanned by [addr, addr+n).
 func RangePFNs(addr Addr, n int) []PFN {
-	if n <= 0 {
+	first, count := RangeSpan(addr, n)
+	if count == 0 {
 		return nil
 	}
-	first, last := addr.PFN(), Addr(uint64(addr)+uint64(n)-1).PFN()
-	out := make([]PFN, 0, last-first+1)
-	for pfn := first; pfn <= last; pfn++ {
-		out = append(out, pfn)
+	out := make([]PFN, count)
+	for i := range out {
+		out[i] = first + PFN(i)
 	}
 	return out
+}
+
+// RangeSpan returns the first frame and the frame count spanned by
+// [addr, addr+n). Spans are contiguous by construction, so (first,
+// count) carries the same information as RangePFNs without allocating —
+// the per-descriptor hot paths (pinning, enqueue-cost accounting) use
+// this form.
+func RangeSpan(addr Addr, n int) (PFN, int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	first, last := addr.PFN(), Addr(uint64(addr)+uint64(n)-1).PFN()
+	return first, int(last-first) + 1
 }
 
 func (m *Memory) pageFor(a Addr) (*page, error) {

@@ -1,0 +1,12 @@
+package nic_test
+
+import (
+	"testing"
+
+	"cdna/internal/nic/nicbench"
+)
+
+// The device transmit pipeline, runnable via `go test -bench`;
+// cmd/cdnabench runs the same function for the committed BENCH_sim.json
+// row.
+func BenchmarkTxPipeline(b *testing.B) { nicbench.TxPipeline(b) }

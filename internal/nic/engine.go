@@ -170,7 +170,9 @@ func (e *Engine) DetachQueue(qid int) {
 	q.active = false
 	q.txFifo.Clear()
 	q.rxFifo.Clear()
-	q.rxHeld.Clear()
+	for q.rxHeld.Len() > 0 {
+		q.rxHeld.Pop().Release()
+	}
 	q.rxHeldBytes = 0
 }
 
@@ -362,6 +364,9 @@ func (e *Engine) txDmaDone() {
 		f = &ether.Frame{Size: int(j.entry.desc.Len)}
 	}
 	if e.Out != nil {
+		// The driver's in-flight slot keeps its reference until reap;
+		// the wire consumes one of its own.
+		f.Retain()
 		e.Out.Send(f)
 	}
 	e.TxPackets.Inc()
@@ -387,6 +392,7 @@ func (e *Engine) Receive(f *ether.Frame) {
 	}
 	if qid < 0 || qid >= len(e.queues) || !e.queues[qid].active {
 		e.RxDrops.Inc()
+		f.Release()
 		return
 	}
 	q := e.queues[qid]
@@ -403,6 +409,7 @@ func (e *Engine) Receive(f *ether.Frame) {
 			return
 		}
 		e.RxDrops.Inc()
+		f.Release()
 		e.fetchRx(q)
 		return
 	}
@@ -439,6 +446,7 @@ func (e *Engine) rxDmaDone() {
 	j := e.rxDmaJobs.Pop()
 	q := j.q
 	if !q.active {
+		j.f.Release()
 		return
 	}
 	if q.rx.Avail() > 0 {

@@ -57,11 +57,13 @@ type RxCompletion struct {
 }
 
 type devContext struct {
-	ctx     *core.Context
-	qid     int
-	lookup  func(idx uint32) *ether.Frame
-	rxDone  []RxCompletion
-	rxSpare []RxCompletion // DrainRx double buffer
+	ctx    *core.Context
+	qid    int
+	lookup func(idx uint32) *ether.Frame
+	// rxDone accumulates receive completions between guest virtual
+	// interrupts; DrainRx hands the burst across the device/driver
+	// boundary in one swap (sim.DoubleBuf's batched layer crossing).
+	rxDone sim.DoubleBuf[RxCompletion]
 }
 
 // NIC is the CDNA-capable device.
@@ -159,7 +161,9 @@ func New(eng *sim.Engine, b *bus.Bus, m *mem.Memory, out *ether.Pipe, p Params) 
 		},
 		OnRxDelivered: func(qid int, f *ether.Frame, d ring.Desc) {
 			if dc := n.queueCtx(qid); dc != nil {
-				dc.rxDone = append(dc.rxDone, RxCompletion{Frame: f, Desc: d})
+				dc.rxDone.Append(RxCompletion{Frame: f, Desc: d})
+			} else {
+				f.Release()
 			}
 		},
 		OnCompletion: func(qid int, tx bool) {
@@ -283,6 +287,10 @@ func (n *NIC) DetachContext(ctxID int) {
 		return
 	}
 	n.E.DetachQueue(dc.qid)
+	for i := 0; i < dc.rxDone.Len(); i++ {
+		dc.rxDone.At(i).Frame.Release()
+	}
+	dc.rxDone.Reset()
 	n.Mbox.ClearContext(ctxID)
 	n.contexts[ctxID] = nil
 	n.byQueue[dc.qid] = nil
@@ -338,20 +346,16 @@ func (n *NIC) DrainRx(ctxID int) []RxCompletion {
 	if dc == nil {
 		return nil
 	}
-	// Double-buffer: hand out the filled buffer and refill into the
-	// spare, so the steady state recycles two arrays instead of
-	// allocating a fresh slice per interrupt. The caller consumes the
-	// returned slice before the next drain (the driver's virq task
-	// does, synchronously).
-	out := dc.rxDone
-	dc.rxDone, dc.rxSpare = dc.rxSpare[:0], out
-	return out
+	// One swap hands the whole burst across the device/driver boundary;
+	// the caller consumes the returned slice before the next drain (the
+	// driver's virq task does, synchronously).
+	return dc.rxDone.Drain()
 }
 
 // RxPending returns queued, undrained receive completions for a context.
 func (n *NIC) RxPending(ctxID int) int {
 	if dc := n.ctxByID(ctxID); dc != nil {
-		return len(dc.rxDone)
+		return dc.rxDone.Len()
 	}
 	return 0
 }

@@ -80,9 +80,10 @@ func (n *NIC) State(codec ether.PayloadCodec) (State, error) {
 		cs := ContextState{
 			CtxID:  dc.ctx.ID,
 			Qid:    dc.qid,
-			RxDone: make([]RxCompletionState, len(dc.rxDone)),
+			RxDone: make([]RxCompletionState, dc.rxDone.Len()),
 		}
-		for j, rc := range dc.rxDone {
+		for j := range cs.RxDone {
+			rc := dc.rxDone.At(j)
 			fs, err := ether.CaptureFrame(rc.Frame, codec)
 			if err != nil {
 				return State{}, err
@@ -95,8 +96,8 @@ func (n *NIC) State(codec ether.PayloadCodec) (State, error) {
 }
 
 // SetState restores the NIC into a freshly built machine with the same
-// attach roster. The rxSpare recycling buffer restores empty — it is
-// never observable.
+// attach roster. The rxDone double buffer's spare array restores empty
+// — it is never observable.
 func (n *NIC) SetState(s State, codec ether.PayloadCodec) error {
 	if len(s.Contexts) != len(n.attached) {
 		return fmt.Errorf("ricenic: context roster mismatch: snapshot has %d, machine has %d",
@@ -123,15 +124,14 @@ func (n *NIC) SetState(s State, codec ether.PayloadCodec) error {
 	}
 	for i, cs := range s.Contexts {
 		dc := n.attached[i]
-		dc.rxDone = dc.rxDone[:0]
+		dc.rxDone.Reset()
 		for _, rc := range cs.RxDone {
 			f, err := ether.RestoreFrame(rc.Frame, codec)
 			if err != nil {
 				return err
 			}
-			dc.rxDone = append(dc.rxDone, RxCompletion{Frame: f, Desc: rc.Desc})
+			dc.rxDone.Append(RxCompletion{Frame: f, Desc: rc.Desc})
 		}
-		dc.rxSpare = dc.rxSpare[:0]
 	}
 	return nil
 }

@@ -5,8 +5,11 @@ package sim
 // the hot path — `queueImpl` is a build-tag-selected type alias, see
 // sched_select_*.go):
 //
-//   - wheelSched (default): a hierarchical timing wheel with O(1)
-//     amortized schedule/cancel — the production queue;
+//   - hybridSched (default): a near/far split — a small binary-heap
+//     run for the wheel clock's current window fronting the timing
+//     wheel for everything farther out (sched_hybrid.go);
+//   - wheelSched (-tags simwheel): the pure hierarchical timing wheel
+//     with O(1) amortized schedule/cancel;
 //   - heapSched (-tags simheap): the PR 2 binary min-heap, kept as the
 //     reference implementation the differential test replays against.
 //
@@ -51,6 +54,7 @@ type scheduler interface {
 var (
 	_ scheduler = (*wheelSched)(nil)
 	_ scheduler = (*heapSched)(nil)
+	_ scheduler = (*hybridSched)(nil)
 )
 
 func eventLess(a, b *Event) bool {

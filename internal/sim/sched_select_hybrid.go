@@ -1,0 +1,13 @@
+//go:build !simheap && !simwheel
+
+package sim
+
+// queueImpl selects the default event queue: the hybrid near/far
+// scheduler (sched_hybrid.go) — a small binary-heap run for the
+// immediate horizon fronting the hierarchical timing wheel for far
+// timers. Build with -tags simwheel for the pure wheel or -tags
+// simheap for the reference heap; see sched_select_wheel.go.
+type queueImpl = hybridSched
+
+// SchedulerName identifies the compiled-in event queue.
+const SchedulerName = "hybrid"

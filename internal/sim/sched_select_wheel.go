@@ -1,12 +1,14 @@
-//go:build !simheap
+//go:build simwheel
 
 package sim
 
 // queueImpl is the event queue the Engine embeds — a concrete type, so
 // every queue operation in the hot path is a static call with no
-// interface dispatch. The default build uses the timing wheel; build
-// with -tags simheap to select the reference binary heap instead (the
-// two are proven order-identical by TestSchedulerDifferential).
+// interface dispatch. Build with -tags simwheel to select the pure
+// timing wheel (the default build fronts it with the hybrid near run,
+// see sched_select_hybrid.go); -tags simheap selects the reference
+// binary heap (all three are proven order-identical by
+// TestSchedulerDifferential).
 type queueImpl = wheelSched
 
 // SchedulerName identifies the compiled-in event queue; cdnabench

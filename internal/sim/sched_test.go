@@ -5,16 +5,17 @@ import (
 	"testing"
 )
 
-// --- Randomized differential test: the timing wheel must replay any
-// schedule / fire / cancel / timer-re-arm sequence in exactly the order
-// the reference heap produces. This is the equivalence proof behind
-// swapping the engine's queue implementation. ---
+// --- Randomized differential test: the timing wheel and the hybrid
+// near/far queue must replay any schedule / fire / cancel / timer-re-arm
+// sequence in exactly the order the reference heap produces. This is the
+// equivalence proof behind swapping the engine's queue implementation:
+// a three-way heap-vs-wheel-vs-hybrid replay. ---
 
-// schedEvent is one logical event mirrored across both queues.
+// schedEvent is one logical event mirrored across every queue: evs[i]
+// is its copy in the i'th implementation (heap first — the oracle).
 type schedEvent struct {
-	id   int
-	heap *Event
-	whl  *Event
+	id  int
+	evs []*Event
 }
 
 func TestSchedulerDifferential(t *testing.T) {
@@ -28,10 +29,12 @@ func TestSchedulerDifferential(t *testing.T) {
 
 func testSchedulerDifferential(t *testing.T, gshift uint) {
 	rng := NewRNG(20260729 + uint64(gshift))
-	h := &heapSched{}
-	w := &wheelSched{}
-	h.init(gshift)
-	w.init(gshift)
+	impls := []scheduler{&heapSched{}, &wheelSched{}, &hybridSched{}}
+	names := []string{"heap", "wheel", "hybrid"}
+	h := impls[0]
+	for _, q := range impls {
+		q.init(gshift)
+	}
 
 	// Delay mix spanning every wheel level plus the overflow list
 	// (64^6 ticks at gshift 0 is ~68.7 simulated seconds).
@@ -58,30 +61,39 @@ func testSchedulerDifferential(t *testing.T, gshift uint) {
 		next int
 		live []*schedEvent
 	)
-	check := func(op string) (hev, wev *Event) {
-		hev, wev = h.peek(), w.peek()
-		switch {
-		case (hev == nil) != (wev == nil):
-			t.Fatalf("%s: heap peek %v vs wheel peek %v (heap len %d, wheel len %d)",
-				op, hev, wev, h.len(), w.len())
-		case hev == nil:
-			return nil, nil
-		case hev.at != wev.at || hev.seq != wev.seq || hev.name != wev.name:
-			t.Fatalf("%s: heap min (%d,%d,%s) != wheel min (%d,%d,%s)",
-				op, hev.at, hev.seq, hev.name, wev.at, wev.seq, wev.name)
+	check := func(op string) []*Event {
+		mins := make([]*Event, len(impls))
+		for i, q := range impls {
+			mins[i] = q.peek()
 		}
-		return hev, wev
+		hev := mins[0]
+		for i, ev := range mins[1:] {
+			switch {
+			case (hev == nil) != (ev == nil):
+				t.Fatalf("%s: heap peek %v vs %s peek %v (heap len %d, %s len %d)",
+					op, hev, names[i+1], ev, h.len(), names[i+1], impls[i+1].len())
+			case hev == nil:
+			case hev.at != ev.at || hev.seq != ev.seq || hev.name != ev.name:
+				t.Fatalf("%s: heap min (%d,%d,%s) != %s min (%d,%d,%s)",
+					op, hev.at, hev.seq, hev.name, names[i+1], ev.at, ev.seq, ev.name)
+			}
+		}
+		if hev == nil {
+			return nil
+		}
+		return mins
 	}
 	popMin := func(op string) bool {
-		hev, wev := check(op)
-		if hev == nil {
+		mins := check(op)
+		if mins == nil {
 			return false
 		}
-		h.pop(hev)
-		w.pop(wev)
-		now = hev.at
+		for i, q := range impls {
+			q.pop(mins[i])
+		}
+		now = mins[0].at
 		for i, ev := range live {
-			if ev.heap == hev {
+			if ev.evs[0] == mins[0] {
 				live = append(live[:i], live[i+1:]...)
 				break
 			}
@@ -95,32 +107,38 @@ func testSchedulerDifferential(t *testing.T, gshift uint) {
 		case 0, 1, 2, 3: // schedule
 			at := now + delay()
 			seq++
-			se := &schedEvent{id: next}
+			se := &schedEvent{id: next, evs: make([]*Event, len(impls))}
 			name := fmt.Sprint(next)
 			next++
-			se.heap = &Event{at: at, seq: seq, name: name, index: -1}
-			se.whl = &Event{at: at, seq: seq, name: name, index: -1}
-			h.push(se.heap)
-			w.push(se.whl)
+			for j, q := range impls {
+				se.evs[j] = &Event{at: at, seq: seq, name: name, index: -1}
+				q.push(se.evs[j])
+			}
 			live = append(live, se)
 		case 4, 5: // fire
 			popMin("pop")
 		case 6: // fire + same-timestamp batch drain through popAt
 			if popMin("pop") {
 				for {
-					hev, wev := h.popAt(now), w.popAt(now)
-					if (hev == nil) != (wev == nil) {
-						t.Fatalf("popAt(%d): heap %v vs wheel %v", now, hev, wev)
+					got := make([]*Event, len(impls))
+					for j, q := range impls {
+						got[j] = q.popAt(now)
+					}
+					hev := got[0]
+					for j, ev := range got[1:] {
+						if (hev == nil) != (ev == nil) {
+							t.Fatalf("popAt(%d): heap %v vs %s %v", now, hev, names[j+1], ev)
+						}
+						if hev != nil && (hev.at != ev.at || hev.seq != ev.seq || hev.name != ev.name) {
+							t.Fatalf("popAt(%d): heap (%d,%d,%s) != %s (%d,%d,%s)",
+								now, hev.at, hev.seq, hev.name, names[j+1], ev.at, ev.seq, ev.name)
+						}
 					}
 					if hev == nil {
 						break
 					}
-					if hev.at != wev.at || hev.seq != wev.seq || hev.name != wev.name {
-						t.Fatalf("popAt(%d): heap (%d,%d,%s) != wheel (%d,%d,%s)",
-							now, hev.at, hev.seq, hev.name, wev.at, wev.seq, wev.name)
-					}
 					for i, ev := range live {
-						if ev.heap == hev {
+						if ev.evs[0] == hev {
 							live = append(live[:i], live[i+1:]...)
 							break
 						}
@@ -131,8 +149,9 @@ func testSchedulerDifferential(t *testing.T, gshift uint) {
 			if len(live) > 0 {
 				j := rng.Intn(len(live))
 				se := live[j]
-				h.remove(se.heap)
-				w.remove(se.whl)
+				for k, q := range impls {
+					q.remove(se.evs[k])
+				}
 				live = append(live[:j], live[j+1:]...)
 			}
 		case 8: // timer re-arm: new (at, seq) re-keyed in place
@@ -140,23 +159,27 @@ func testSchedulerDifferential(t *testing.T, gshift uint) {
 				se := live[rng.Intn(len(live))]
 				at := now + delay()
 				seq++
-				se.heap.at, se.heap.seq = at, seq
-				se.whl.at, se.whl.seq = at, seq
-				h.reschedule(se.heap)
-				w.reschedule(se.whl)
+				for k, q := range impls {
+					se.evs[k].at, se.evs[k].seq = at, seq
+					q.reschedule(se.evs[k])
+				}
 			}
 		case 9: // consistency probe
 			check("probe")
-			if h.len() != w.len() {
-				t.Fatalf("len mismatch: heap %d wheel %d", h.len(), w.len())
+			for j, q := range impls[1:] {
+				if h.len() != q.len() {
+					t.Fatalf("len mismatch: heap %d %s %d", h.len(), names[j+1], q.len())
+				}
 			}
 		}
 	}
 	// Drain completely: the full remaining fire order must agree.
 	for popMin("drain") {
 	}
-	if h.len() != 0 || w.len() != 0 {
-		t.Fatalf("queues not empty after drain: heap %d wheel %d", h.len(), w.len())
+	for j, q := range impls {
+		if q.len() != 0 {
+			t.Fatalf("%s not empty after drain: %d", names[j], q.len())
+		}
 	}
 }
 
@@ -342,5 +365,106 @@ func TestEngineSameTimestampBatchWithInsertions(t *testing.T) {
 		if order[i] != want[i] {
 			t.Fatalf("order = %v, want %v", order, want)
 		}
+	}
+}
+
+// --- Hybrid near/far seam edge cases (driven on the concrete type so
+// they hold under any build tag). ---
+
+// TestHybridHorizonBoundary places events exactly at the near/far
+// boundary: the last tick of the wheel clock's current window is near,
+// the first tick of the next window is far, and popping across the
+// boundary promotes the new window into the run.
+func TestHybridHorizonBoundary(t *testing.T) {
+	h := &hybridSched{}
+	h.init(0)
+	mk := func(at Time, seq uint64) *Event {
+		ev := &Event{at: at, seq: seq, name: "ev", index: -1}
+		h.push(ev)
+		return ev
+	}
+	mk(0, 1)
+	last := mk(wheelSlots-1, 2) // tick 63: last near tick of window 0
+	mk(wheelSlots, 3)           // tick 64: first far tick (window 1)
+	mk(wheelSlots+1, 4)
+	if len(h.run) != 2 || h.w.len() != 2 {
+		t.Fatalf("near/far split: run %d wheel %d, want 2/2", len(h.run), h.w.len())
+	}
+	if last.index < nearBase {
+		t.Fatalf("boundary-1 event not in near run (index %d)", last.index)
+	}
+	var got []Time
+	for {
+		ev := h.peek()
+		if ev == nil {
+			break
+		}
+		h.pop(ev)
+		got = append(got, ev.at)
+		if ev.at == wheelSlots && len(h.run) != 1 {
+			// Popping into window 1 must promote tick 65 to the run.
+			t.Fatalf("after boundary pop: run %d, want 1", len(h.run))
+		}
+	}
+	want := []Time{0, wheelSlots - 1, wheelSlots, wheelSlots + 1}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHybridCancelRearmPromoted cancels and re-arms events that were
+// promoted into the near run by a cascade: membership bookkeeping must
+// track an event across far→near promotion and near↔far re-arms.
+func TestHybridCancelRearmPromoted(t *testing.T) {
+	h := &hybridSched{}
+	h.init(0)
+	a := &Event{at: 70, seq: 1, name: "a", index: -1}
+	b := &Event{at: 100, seq: 2, name: "b", index: -1}
+	c := &Event{at: 101, seq: 3, name: "c", index: -1}
+	for _, ev := range []*Event{a, b, c} {
+		h.push(ev)
+	}
+	// Ticks 70, 100, 101 are all in window 1 (far from window 0): the
+	// run starts empty.
+	if len(h.run) != 0 || h.w.len() != 3 {
+		t.Fatalf("initial split: run %d wheel %d, want 0/3", len(h.run), h.w.len())
+	}
+	if ev := h.peek(); ev != a {
+		t.Fatalf("peek %v, want a", ev)
+	}
+	h.pop(a)
+	// Popping 70 advanced the clock into window 1: 100 and 101 must now
+	// be promoted into the run.
+	if len(h.run) != 2 || h.w.len() != 0 {
+		t.Fatalf("after promote: run %d wheel %d, want 2/0", len(h.run), h.w.len())
+	}
+	if b.index < nearBase || c.index < nearBase {
+		t.Fatalf("promoted events not indexed into run: b=%d c=%d", b.index, c.index)
+	}
+	// Cancel the promoted b.
+	h.remove(b)
+	if b.index != -1 || h.len() != 1 || h.peek() != c {
+		t.Fatalf("after cancel: index=%d len=%d peek=%v", b.index, h.len(), h.peek())
+	}
+	// Re-arm c far (near→far): it must leave the run for the wheel.
+	c.at, c.seq = 200, 4
+	h.reschedule(c)
+	if len(h.run) != 0 || h.w.len() != 1 || h.peek() != c {
+		t.Fatalf("after far re-arm: run %d wheel %d peek %v", len(h.run), h.w.len(), h.peek())
+	}
+	// Re-arm c near again (far→near).
+	c.at, c.seq = 75, 5
+	h.reschedule(c)
+	if len(h.run) != 1 || h.w.len() != 0 {
+		t.Fatalf("after near re-arm: run %d wheel %d", len(h.run), h.w.len())
+	}
+	h.pop(h.peek())
+	if h.len() != 0 {
+		t.Fatalf("len %d after draining", h.len())
 	}
 }

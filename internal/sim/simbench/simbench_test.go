@@ -1,0 +1,16 @@
+package simbench
+
+import "testing"
+
+// Standard-runner wrappers so `go test -bench` can drive the shared
+// benchmark bodies directly (cdnabench runs the same functions through
+// testing.Benchmark). Compare queue implementations with
+// `go test -bench . [-tags simwheel|simheap] ./internal/sim/simbench/`.
+
+func BenchmarkScheduleFire(b *testing.B)        { ScheduleFire(b) }
+func BenchmarkScheduleFireClosure(b *testing.B) { ScheduleFireClosure(b) }
+func BenchmarkScheduleFireDepth64(b *testing.B) { ScheduleFireDepth64(b) }
+func BenchmarkTimerRearm(b *testing.B)          { TimerRearm(b) }
+func BenchmarkCancel(b *testing.B)              { Cancel(b) }
+func BenchmarkCancelHeavy(b *testing.B)         { CancelHeavy(b) }
+func BenchmarkRTOChurn(b *testing.B)            { RTOChurn(b) }

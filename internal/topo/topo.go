@@ -182,11 +182,13 @@ func (p *Port) Receive(f *ether.Frame) {
 	if p.failed {
 		p.Dropped.Inc()
 		p.sw.Drops.Inc()
+		f.Release()
 		return
 	}
 	if p.q.Len() >= p.sw.p.EgressCap {
 		p.Dropped.Inc()
 		p.sw.Drops.Inc()
+		f.Release()
 		return
 	}
 	p.q.Push(f)
@@ -224,7 +226,7 @@ func (s *Switch) FailPort(i int) {
 	p := s.ports[i]
 	p.failed = true
 	for p.q.Len() > 0 {
-		p.q.Pop()
+		p.q.Pop().Release()
 		p.Dropped.Inc()
 		s.Drops.Inc()
 	}

@@ -1,0 +1,49 @@
+//go:build !race
+
+package topo_test
+
+import (
+	"testing"
+
+	"cdna/internal/ether"
+	"cdna/internal/sim"
+	"cdna/internal/topo"
+)
+
+// One store-and-forward traversal must be allocation-free in steady
+// state: pending frames ride a reused FIFO, callbacks are bound at
+// construction, and the event core pools its events. Race builds are
+// excluded (the detector's instrumentation allocates).
+func TestSwitchForwardZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	eng := sim.New()
+	p := topo.DefaultParams()
+	sw := topo.New(eng, p)
+	const n = 4
+	macs := make([]ether.MAC, n)
+	for i := 0; i < n; i++ {
+		l := ether.NewDuplex(eng, p.LinkGbps, p.PropDelay)
+		sw.AddPort(l.AtoB, l.BtoA)
+		l.BtoA.Connect(ether.PortFunc(func(f *ether.Frame) { f.Release() }))
+		macs[i] = ether.MakeMAC(5, i)
+	}
+	for i := 0; i < n; i++ {
+		sw.Input(i, &ether.Frame{Src: macs[i], Dst: ether.Broadcast, Size: 60})
+	}
+	drain := func() { eng.Run(eng.Now() + sim.Second) }
+	drain()
+	f := &ether.Frame{Src: macs[0], Dst: macs[2], Size: 1514}
+	for i := 0; i < 32; i++ {
+		sw.Input(0, f)
+	}
+	drain()
+
+	if a := testing.AllocsPerRun(200, func() {
+		sw.Input(0, f)
+		drain()
+	}); a != 0 {
+		t.Fatalf("steady-state forward allocates %.1f/op, want 0", a)
+	}
+}

@@ -1,0 +1,12 @@
+package transport_test
+
+import (
+	"testing"
+
+	"cdna/internal/transport/transportbench"
+)
+
+// The pooled-segment round trip, runnable via `go test -bench`;
+// cmd/cdnabench runs the same function for the committed BENCH_sim.json
+// row.
+func BenchmarkSegment(b *testing.B) { transportbench.Segment(b) }

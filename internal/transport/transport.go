@@ -52,6 +52,16 @@ func (a Addr) String() string {
 }
 
 // Segment is one transport PDU; it rides in ether.Frame.Payload.
+//
+// Segments on the hot path come from a SegPool and are
+// reference-counted: the frame carrying a segment owns one reference
+// (released when the frame is freed), and a receive path that keeps
+// the segment past the frame's lifetime (a stack rx queue) retains its
+// own. Segments built as plain literals (tests, snapshot restore, seam
+// clones) have no pool; their Retain/Release are no-ops and the
+// garbage collector owns them. Pooled segments are immutable once
+// handed to the send path and never cross a shard boundary — seam
+// pipes clone them via CloneUnshared.
 type Segment struct {
 	Conn   *Conn
 	Seq    uint32 // data sequence number (in segments)
@@ -59,12 +69,101 @@ type Segment struct {
 	Ack    bool
 	AckSeq uint32   // cumulative: next expected data seq
 	SentAt sim.Time // transmit timestamp for latency measurement
+
+	pool *SegPool
+	refs int32
 }
 
 // FrameBytes returns the Ethernet frame size for this segment.
 func (s *Segment) FrameBytes() int {
 	return ether.HeaderBytes + TCPIPOverhead + s.Len
 }
+
+// SegPool is a segment free list. One pool serves one engine (shard);
+// connection endpoints draw from the pool of the shard they run on
+// (sender side for data, receiver side for acks), so pools are only
+// ever touched by their owning shard.
+type SegPool struct {
+	free []*Segment
+
+	// Gets/Puts count pooled traffic; News counts free-list misses. In
+	// steady state News stops growing — the transport_segment benchmark
+	// and the zero-alloc tests hold that.
+	Gets, Puts, News uint64
+}
+
+// NewSegPool creates an empty pool.
+func NewSegPool() *SegPool { return &SegPool{} }
+
+// Get returns a zeroed segment with one reference, owned by the caller.
+func (p *SegPool) Get() *Segment {
+	p.Gets++
+	var s *Segment
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*s = Segment{pool: p}
+	} else {
+		p.News++
+		s = &Segment{pool: p}
+	}
+	s.refs = 1
+	return s
+}
+
+// put recycles a freed segment.
+func (p *SegPool) put(s *Segment) {
+	p.Puts++
+	p.free = append(p.free, s)
+}
+
+// FreeLen returns the current free-list depth (tests).
+func (p *SegPool) FreeLen() int { return len(p.free) }
+
+// Retain adds a reference. No-op for unpooled segments.
+func (s *Segment) Retain() {
+	if s.pool == nil {
+		return
+	}
+	if s.refs <= 0 {
+		panic("transport: Retain of a released segment")
+	}
+	s.refs++
+}
+
+// Release drops one reference; the last one returns the segment to its
+// pool. No-op for unpooled segments.
+func (s *Segment) Release() {
+	if s.pool == nil {
+		return
+	}
+	if s.refs <= 0 {
+		panic("transport: Release of a released segment")
+	}
+	s.refs--
+	if s.refs > 0 {
+		return
+	}
+	s.Conn = nil
+	s.pool.put(s)
+}
+
+// RetainPayload implements ether.PayloadRef.
+func (s *Segment) RetainPayload() { s.Retain() }
+
+// ReleasePayload implements ether.PayloadRef.
+func (s *Segment) ReleasePayload() { s.Release() }
+
+// CloneUnshared implements ether.PayloadRef: an unpooled value-copy
+// for cross-shard seam crossings. The Conn pointer is shared — its
+// sender and receiver field sets are disjoint per shard, which is what
+// makes a cross-shard connection race-free in the first place.
+func (s *Segment) CloneUnshared() any {
+	return &Segment{Conn: s.Conn, Seq: s.Seq, Len: s.Len, Ack: s.Ack, AckSeq: s.AckSeq, SentAt: s.SentAt}
+}
+
+var _ ether.PayloadRef = (*Segment)(nil)
 
 // Dispatch routes a received segment to its connection endpoint. Hosts
 // call this after their receive path has delivered the frame payload.
@@ -101,6 +200,12 @@ type Conn struct {
 	// RTO is the retransmission timeout (default 3ms; the benchmark
 	// harness raises it to TCP-like values for long queueing paths).
 	RTO sim.Time
+
+	// sndPool recycles data segments (drawn on the sender's engine) and
+	// rcvPool recycles acks (drawn on the receiver's engine). Machine
+	// builders set them via SetPools; nil pools fall back to plain heap
+	// allocation with identical behavior.
+	sndPool, rcvPool *SegPool
 
 	// Sender state.
 	sendData func(*Segment)
@@ -157,6 +262,14 @@ func NewConn(eng *sim.Engine, id, segSize, window int) *Conn {
 // Sharded machine builders call it when the receiving host lives on a
 // different shard than the sender.
 func (c *Conn) SetReceiverEngine(eng *sim.Engine) { c.rcvEng = eng }
+
+// SetPools installs the segment pools: snd for data segments (must
+// belong to the sender's shard), rcv for acks (the receiver's shard).
+// Either may be nil to keep plain heap allocation on that side.
+func (c *Conn) SetPools(snd, rcv *SegPool) {
+	c.sndPool = snd
+	c.rcvPool = rcv
+}
 
 // AttachSender installs the sender host's transmit function.
 func (c *Conn) AttachSender(send func(*Segment)) { c.sendData = send }
@@ -254,7 +367,13 @@ func (c *Conn) Pump() {
 		return
 	}
 	for c.InFlight() < c.effWindow() && c.mayTransmit() {
-		seg := &Segment{Conn: c, Seq: c.sndNext, Len: c.SegSize, SentAt: c.eng.Now()}
+		var seg *Segment
+		if c.sndPool != nil {
+			seg = c.sndPool.Get()
+		} else {
+			seg = &Segment{}
+		}
+		seg.Conn, seg.Seq, seg.Len, seg.SentAt = c, c.sndNext, c.SegSize, c.eng.Now()
 		c.sndNext++
 		c.sendData(seg)
 	}
@@ -342,7 +461,14 @@ func (c *Conn) emitAck() {
 		return
 	}
 	c.AcksSent.Inc()
-	c.sendAck(&Segment{Conn: c, Ack: true, AckSeq: c.rcvNext})
+	var s *Segment
+	if c.rcvPool != nil {
+		s = c.rcvPool.Get()
+	} else {
+		s = &Segment{}
+	}
+	s.Conn, s.Ack, s.AckSeq = c, true, c.rcvNext
+	c.sendAck(s)
 }
 
 // StartWindow resets the connection's windowed metrics.

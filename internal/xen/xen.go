@@ -125,8 +125,14 @@ func (h *Hypervisor) Domains() []*Domain { return h.domains }
 
 // Hypercall runs fn in the domain's context with the given cost charged
 // to the hypervisor category (on top of the fixed hypercall base cost).
+// The hc: flight-recorder prefix is only rendered when someone is
+// recording, keeping the per-hypercall path allocation-free (the same
+// convention internal/cpu uses for task names).
 func (d *Domain) Hypercall(extra sim.Time, name string, fn sim.Fn) {
-	d.VCPU.Exec(cpu.CatHyp, d.hyp.Params.HypercallBase+extra, "hc:"+name, fn)
+	if d.hyp.Eng.Traced() {
+		name = "hc:" + name
+	}
+	d.VCPU.Exec(cpu.CatHyp, d.hyp.Params.HypercallBase+extra, name, fn)
 }
 
 // EventChannel is a Xen event channel bound to a handler in a target
@@ -233,7 +239,8 @@ func (h *Hypervisor) StartTimers() {
 func (d *Domain) CDNAEnqueueCost(descs []ring.Desc) sim.Time {
 	pages := 0
 	for _, desc := range descs {
-		pages += len(mem.RangePFNs(desc.Addr, int(desc.Len)))
+		_, n := mem.RangeSpan(desc.Addr, int(desc.Len))
+		pages += n
 	}
 	return sim.Time(len(descs))*d.hyp.Params.CDNAPerDesc + sim.Time(pages)*d.hyp.Params.CDNAPerPage
 }
