@@ -43,6 +43,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -57,12 +58,39 @@ import (
 	"cdna/internal/transport/transportbench"
 )
 
-// Row is one micro-benchmark's distilled result.
+// Row is one micro-benchmark's distilled result. The timing is the
+// median of five measurement windows; SpreadPct records the window
+// scatter ((max-min)/median) so a noisy measuring machine is visible
+// in the artifact instead of silently widening the regression gate.
 type Row struct {
 	NsPerEvent   float64 `json:"ns_per_event"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
+	SpreadPct    float64 `json:"spread_pct,omitempty"`
+}
+
+// timingRuns is how many times each wall-clock row is measured; the
+// reported figure is the median. A median of five tolerates two
+// outlier windows where best-of-three tolerated none slow-side — the
+// difference between a flaky -compare gate and a stable one on shared
+// builders.
+const timingRuns = 5
+
+// medianIdx returns the index of the median sample (lower middle) and
+// the spread percentage (max-min relative to the median).
+func medianIdx(samples []float64) (int, float64) {
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return samples[idx[a]] < samples[idx[b]] })
+	mid := idx[(len(idx)-1)/2]
+	spread := 0.0
+	if m := samples[mid]; m > 0 {
+		spread = (samples[idx[len(idx)-1]] - samples[idx[0]]) / m * 100
+	}
+	return mid, spread
 }
 
 func row(r testing.BenchmarkResult) Row {
@@ -127,9 +155,10 @@ type Report struct {
 	Fabric Row `json:"fabric_forward"`
 
 	// One full experiment (CDNA transmit, quick windows) timed end to
-	// end: the whole-machine events/sec the engine work buys. Best of
-	// three runs, so a background scheduling hiccup on the measuring
-	// machine does not masquerade as a simulator regression.
+	// end: the whole-machine events/sec the engine work buys. Median of
+	// five runs, so a background scheduling hiccup on the measuring
+	// machine does not masquerade as a simulator regression (or a
+	// lucky fast window as a speedup).
 	EndToEnd EndToEnd `json:"end_to_end"`
 
 	// MultiHost is the same end-to-end timing for a 4-host CDNA incast
@@ -150,7 +179,7 @@ type Report struct {
 	// SnapRoundTrip times the checkpoint/restore layer on the same
 	// machine: one Snapshot of a mid-window run (live queues, armed
 	// timers, open windows) and one Restore of that image into a freshly
-	// built machine. Best of three, like every wall-clock row.
+	// built machine. Median of five, like every wall-clock row.
 	SnapRoundTrip SnapRoundTrip `json:"snapshot_roundtrip"`
 
 	// WarmstartFork times warm-start forking against cold execution: a
@@ -178,13 +207,15 @@ type Report struct {
 	SpeedupVsSeed float64 `json:"speedup_vs_seed"`
 }
 
-// EndToEnd is one wall-clock-timed whole-machine run.
+// EndToEnd is one wall-clock-timed whole-machine run: the median of
+// five runs, with the run-to-run wall-clock scatter recorded.
 type EndToEnd struct {
-	Config       string  `json:"config"`
-	Events       uint64  `json:"events"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Mbps         float64 `json:"mbps"`
+	Config        string  `json:"config"`
+	Events        uint64  `json:"events"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	Mbps          float64 `json:"mbps"`
+	WallSpreadPct float64 `json:"wall_spread_pct,omitempty"`
 }
 
 // SnapRoundTrip is the checkpoint/restore timing row.
@@ -233,23 +264,27 @@ func measure(benchtime time.Duration, match func(string) bool) (*Report, error) 
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	rep.Scheduler = sim.SchedulerName
 
-	// Micro rows are best-of-three, like the end-to-end row below: on a
-	// shared or frequency-scaled machine a single measurement window can
-	// land in a slow phase and masquerade as a hot-path regression. The
-	// allocs/op figures are identical across runs (allocation is
-	// deterministic); only the timing varies. Rows whose name does not
-	// match the -run filter are skipped and report as zero.
+	// Micro rows are the median of five windows, like the end-to-end
+	// rows below: on a shared or frequency-scaled machine a single
+	// measurement window can land in a slow phase and masquerade as a
+	// hot-path regression, and a best-of selection is biased fast by the
+	// same noise. The allocs/op figures are identical across runs
+	// (allocation is deterministic); only the timing varies. Rows whose
+	// name does not match the -run filter are skipped and report as zero.
 	best := func(name string, out *Row, fn func(*testing.B)) {
 		if !match(name) {
 			return
 		}
-		*out = row(testing.Benchmark(fn))
-		for i := 1; i < 3; i++ {
-			if r := row(testing.Benchmark(fn)); r.NsPerEvent > 0 && r.NsPerEvent < out.NsPerEvent {
-				r.AllocsPerOp, r.BytesPerOp = out.AllocsPerOp, out.BytesPerOp
-				*out = r
-			}
+		rows := make([]Row, timingRuns)
+		ns := make([]float64, timingRuns)
+		for i := range rows {
+			rows[i] = row(testing.Benchmark(fn))
+			ns[i] = rows[i].NsPerEvent
 		}
+		mid, spread := medianIdx(ns)
+		*out = rows[mid]
+		out.AllocsPerOp, out.BytesPerOp = rows[0].AllocsPerOp, rows[0].BytesPerOp
+		out.SpreadPct = spread
 	}
 	best("engine.schedule_fire", &rep.Engine.ScheduleFire, simbench.ScheduleFire)
 	best("engine.schedule_fire_closure", &rep.Engine.ScheduleFireClosure, simbench.ScheduleFireClosure)
@@ -271,20 +306,26 @@ func measure(benchtime time.Duration, match func(string) bool) (*Report, error) 
 		cfg.Protection = core.ModeHypercall
 		cfg.Warmup = bench.Quick().Warmup
 		cfg.Duration = bench.Quick().Duration
-		for i := 0; i < 3; i++ {
+		walls := make([]float64, timingRuns)
+		var events uint64
+		var mbps float64
+		for i := range walls {
 			start := time.Now()
 			res, err := bench.Run(cfg)
-			wall := time.Since(start).Seconds()
+			walls[i] = time.Since(start).Seconds()
 			if err != nil {
 				return fmt.Errorf("end-to-end run failed: %w", err)
 			}
-			if i == 0 || wall < out.WallSeconds {
-				out.Config = cfg.Name()
-				out.Events = res.Events
-				out.WallSeconds = wall
-				out.Mbps = res.Mbps
-			}
+			// The simulation is deterministic: events and Mbps are
+			// identical across runs; only the wall clock varies.
+			events, mbps = res.Events, res.Mbps
 		}
+		mid, spread := medianIdx(walls)
+		out.Config = cfg.Name()
+		out.Events = events
+		out.WallSeconds = walls[mid]
+		out.Mbps = mbps
+		out.WallSpreadPct = spread
 		if out.WallSeconds > 0 {
 			out.EventsPerSec = float64(out.Events) / out.WallSeconds
 		}
@@ -340,7 +381,7 @@ func quickConfig() bench.Config {
 }
 
 // snapRoundTrip measures one Snapshot plus one Restore of a mid-window
-// machine, best of three (the image bytes are identical across runs).
+// machine, median of five (the image bytes are identical across runs).
 func snapRoundTrip(out *SnapRoundTrip) error {
 	cfg := quickConfig()
 	m, err := bench.Prepare(cfg)
@@ -353,7 +394,10 @@ func snapRoundTrip(out *SnapRoundTrip) error {
 	// Mid-window: in-flight frames, armed timers, half-filled histograms
 	// — the state walk at its busiest.
 	m.RunTo(cfg.Warmup + cfg.Duration/2)
-	for i := 0; i < 3; i++ {
+	type trip struct{ snap, rest float64 }
+	trips := make([]trip, timingRuns)
+	totals := make([]float64, timingRuns)
+	for i := range trips {
 		start := time.Now()
 		img, err := m.Snapshot()
 		snapWall := time.Since(start).Seconds()
@@ -368,13 +412,13 @@ func snapRoundTrip(out *SnapRoundTrip) error {
 		if err := m2.Restore(img); err != nil {
 			return err
 		}
-		restWall := time.Since(start).Seconds()
-		if i == 0 || snapWall+restWall < out.SnapshotSeconds+out.RestoreSeconds {
-			out.Config = cfg.Name()
-			out.Bytes = len(img)
-			out.SnapshotSeconds, out.RestoreSeconds = snapWall, restWall
-		}
+		trips[i] = trip{snap: snapWall, rest: time.Since(start).Seconds()}
+		totals[i] = trips[i].snap + trips[i].rest
+		out.Config = cfg.Name()
+		out.Bytes = len(img)
 	}
+	mid, _ := medianIdx(totals)
+	out.SnapshotSeconds, out.RestoreSeconds = trips[mid].snap, trips[mid].rest
 	if s := out.SnapshotSeconds + out.RestoreSeconds; s > 0 {
 		out.RoundTripsPerSec = 1 / s
 	}
@@ -382,41 +426,40 @@ func snapRoundTrip(out *SnapRoundTrip) error {
 }
 
 // warmstartFork times a three-point fault grid cold and warm-forked;
-// cold and forked walls are each best of three.
+// cold and forked walls are each the median of five.
 func warmstartFork(out *WarmstartFork) error {
 	base := quickConfig()
 	cfgs := []bench.Config{base, base, base}
 	cfgs[1].Fault = bench.FaultSpec{Kind: bench.FaultLinkFlap}
 	cfgs[2].Fault = bench.FaultSpec{Kind: bench.FaultBlackout}
-	for i := 0; i < 3; i++ {
+	colds := make([]float64, timingRuns)
+	forkeds := make([]float64, timingRuns)
+	for i := range colds {
 		start := time.Now()
 		for _, cfg := range cfgs {
 			if _, err := bench.Run(cfg); err != nil {
 				return err
 			}
 		}
-		cold := time.Since(start).Seconds()
+		colds[i] = time.Since(start).Seconds()
 		start = time.Now()
 		outs, ws, err := bench.RunWarmForked(cfgs)
 		if err != nil {
 			return err
 		}
-		forked := time.Since(start).Seconds()
+		forkeds[i] = time.Since(start).Seconds()
 		for _, o := range outs {
 			if o.Err != nil {
 				return o.Err
 			}
 		}
-		if i == 0 || cold < out.ColdSeconds {
-			out.ColdSeconds = cold
-		}
-		if i == 0 || forked < out.ForkedSeconds {
-			out.Config = base.Name()
-			out.Runs, out.Groups = ws.Runs, ws.Groups
-			out.WarmupEvents, out.EventsSaved = ws.WarmupEvents, ws.EventsSaved
-			out.ForkedSeconds = forked
-		}
+		out.Config = base.Name()
+		out.Runs, out.Groups = ws.Runs, ws.Groups
+		out.WarmupEvents, out.EventsSaved = ws.WarmupEvents, ws.EventsSaved
 	}
+	coldMid, _ := medianIdx(colds)
+	forkedMid, _ := medianIdx(forkeds)
+	out.ColdSeconds, out.ForkedSeconds = colds[coldMid], forkeds[forkedMid]
 	if out.ForkedSeconds > 0 {
 		out.Speedup = out.ColdSeconds / out.ForkedSeconds
 	}

@@ -12,9 +12,15 @@
 //	cdnatables -topology    # only the cross-host fabric scenarios
 //	cdnatables -workers 1   # sequential (default: all cores)
 //	cdnatables -csvdir out  # also write each table as out/<slug>.csv
+//	cdnatables -store dir   # serve repeated rows from a durable result cache
 //
 // Each table's experiments run in parallel through the campaign worker
-// pool; results are deterministic regardless of worker count.
+// pool; results are deterministic regardless of worker count. With
+// -store, every row is looked up in (and persisted to) the same
+// content-addressed result store cdnasweep and the sweep daemon use,
+// so regenerating tables after a sweep — or re-running them at all —
+// only simulates the delta; the printed tables are identical either
+// way.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"cdna/internal/bench"
 	"cdna/internal/campaign"
 	"cdna/internal/stats"
+	"cdna/internal/store"
 )
 
 func main() {
@@ -39,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent experiments per table (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine shards per multi-host experiment (wall-clock only; tables are byte-identical at any value)")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
+	storeDir := flag.String("store", "", "durable result-store directory (shared with cdnasweep/the daemon); rows already stored are not re-simulated")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -54,6 +62,15 @@ func main() {
 	}
 	opts.Runner = campaign.Runner(*workers)
 	opts.Shards = *shards
+	var cacheStats campaign.CacheStats
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Runner = campaign.CachedRunner(*workers, s, &cacheStats)
+	}
 
 	type job struct {
 		title string
@@ -156,6 +173,11 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *storeDir != "" {
+		c := cacheStats.Counts()
+		fmt.Fprintf(os.Stderr, "result store: %d hits / %d misses (hit rate %.0f%%)\n",
+			c.Hits, c.Misses, c.HitRate()*100)
 	}
 }
 

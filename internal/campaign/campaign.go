@@ -11,15 +11,33 @@
 //
 // The package is the engine behind cmd/cdnasweep (grid in, JSON/CSV
 // out) and supplies the parallel bench.Runner that cmd/cdnatables
-// injects to regenerate the paper's tables concurrently.
+// injects to regenerate the paper's tables concurrently. The service
+// layers stack on the same entry point: cache.go supplies a
+// store-backed executor (Options.Exec) and internal/daemon drives Run
+// with a watchdog deadline (Options.Timeout) and a drain signal
+// (Options.Cancel).
 package campaign
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"cdna/internal/bench"
 )
+
+// ErrTimeout marks an experiment killed by the per-experiment watchdog:
+// it ran past Options.Timeout and its worker was released. Wrapped in
+// the outcome's Err; test with errors.Is.
+var ErrTimeout = errors.New("campaign: experiment exceeded watchdog deadline")
+
+// ErrCanceled marks an experiment that never started because the
+// campaign's Cancel channel closed first (a daemon drain, a shutdown).
+// Its grid point is simply unrun — resubmitting the grid completes the
+// delta, served from cache for the points that did finish.
+var ErrCanceled = errors.New("campaign: sweep canceled before experiment started")
 
 // Options controls campaign execution.
 type Options struct {
@@ -27,10 +45,33 @@ type Options struct {
 	// GOMAXPROCS.
 	Workers int
 
+	// Timeout is the per-experiment watchdog deadline. A positive value
+	// bounds every experiment's wall clock: an experiment still running
+	// at the deadline is marked failed with ErrTimeout and its worker
+	// moves on, so one wedged configuration cannot block the pool
+	// forever. The wedged goroutine itself is abandoned (goroutines
+	// cannot be killed); the cost of a leak is bounded by the number of
+	// hangs, where the cost of no watchdog is an unbounded stall.
+	// Zero disables the watchdog.
+	Timeout time.Duration
+
+	// Exec overrides the per-experiment executor; nil means
+	// bench.RunCaptured. The cache layer (CachedExec) and tests inject
+	// here. The watchdog wraps whatever executor is configured.
+	Exec func(bench.Config) bench.Outcome
+
+	// Cancel, when non-nil, aborts the campaign when closed: experiments
+	// already running finish (and report), experiments not yet started
+	// are marked with ErrCanceled and never run. This is the graceful
+	// half of a daemon drain — in-flight work completes, queued work is
+	// left for the resumed sweep.
+	Cancel <-chan struct{}
+
 	// Progress, when non-nil, is called once per finished experiment
 	// with the completion count so far and the experiment's outcome.
 	// Calls are serialized; completion order is nondeterministic under
 	// parallelism, but outcomes land in input order regardless.
+	// Canceled (never-started) experiments do not report.
 	Progress func(done, total int, out bench.Outcome)
 }
 
@@ -41,10 +82,52 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// canceled reports whether the options' cancel channel has closed.
+// Safe with a nil channel (never canceled).
+func (o Options) canceled() bool {
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// runOne executes one experiment through the configured executor,
+// under the watchdog deadline when one is set.
+func (o Options) runOne(cfg bench.Config) bench.Outcome {
+	exec := o.Exec
+	if exec == nil {
+		exec = bench.RunCaptured
+	}
+	if o.Timeout <= 0 {
+		return exec(cfg)
+	}
+	ch := make(chan bench.Outcome, 1)
+	go func() { ch <- exec(cfg) }()
+	watchdog := time.NewTimer(o.Timeout)
+	defer watchdog.Stop()
+	select {
+	case out := <-ch:
+		return out
+	case <-watchdog.C:
+		return bench.Outcome{
+			Config: cfg,
+			Err:    fmt.Errorf("experiment %s ran past %v: %w", cfg.Name(), o.Timeout, ErrTimeout),
+		}
+	}
+}
+
+func cancelOutcome(cfg bench.Config) bench.Outcome {
+	return bench.Outcome{Config: cfg, Err: ErrCanceled}
+}
+
 // Run executes every configuration of the campaign and returns one
 // outcome per configuration, in input order. Errors (including panics
-// from malformed configurations) are captured per experiment; the rest
-// of the sweep always completes.
+// from malformed configurations and watchdog timeouts) are captured per
+// experiment; the rest of the sweep always completes — unless
+// Options.Cancel closes, in which case the unstarted remainder is
+// marked ErrCanceled.
 func Run(cfgs []bench.Config, opt Options) []bench.Outcome {
 	outs := make([]bench.Outcome, len(cfgs))
 	workers := opt.workers()
@@ -53,7 +136,11 @@ func Run(cfgs []bench.Config, opt Options) []bench.Outcome {
 	}
 	if workers <= 1 {
 		for i, cfg := range cfgs {
-			outs[i] = bench.RunCaptured(cfg)
+			if opt.canceled() {
+				outs[i] = cancelOutcome(cfg)
+				continue
+			}
+			outs[i] = opt.runOne(cfg)
 			report(opt, i+1, len(cfgs), outs[i])
 		}
 		return outs
@@ -68,7 +155,7 @@ func Run(cfgs []bench.Config, opt Options) []bench.Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out := bench.RunCaptured(cfgs[i])
+				out := opt.runOne(cfgs[i])
 				outs[i] = out
 				mu.Lock()
 				done++
@@ -77,8 +164,23 @@ func Run(cfgs []bench.Config, opt Options) []bench.Outcome {
 			}
 		}()
 	}
+	// Dispatch in input order; a close of Cancel stops dispatch and
+	// marks the undispatched tail canceled. Indices past the cancel
+	// point were never sent to a worker, so writing their outcomes here
+	// cannot race.
+dispatch:
 	for i := range cfgs {
-		jobs <- i
+		if !opt.canceled() {
+			select {
+			case jobs <- i:
+				continue
+			case <-opt.Cancel:
+			}
+		}
+		for j := i; j < len(cfgs); j++ {
+			outs[j] = cancelOutcome(cfgs[j])
+		}
+		break dispatch
 	}
 	close(jobs)
 	wg.Wait()
@@ -110,4 +212,16 @@ func Errs(outs []bench.Outcome) []error {
 		}
 	}
 	return errs
+}
+
+// Interrupted reports whether any experiment in the batch was canceled
+// before starting — the signature of a drained (incomplete) sweep,
+// which a journaled daemon resumes on restart.
+func Interrupted(outs []bench.Outcome) bool {
+	for _, out := range outs {
+		if errors.Is(out.Err, ErrCanceled) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cdna/internal/bench"
+)
+
+// wedge is an executor whose victim configuration hangs forever — the
+// deliberately wedged Runner of the watchdog contract. Non-victim
+// configurations return immediately.
+func wedge(victimGuests int) func(bench.Config) bench.Outcome {
+	return func(cfg bench.Config) bench.Outcome {
+		if cfg.Guests == victimGuests {
+			select {} // wedged: never returns
+		}
+		return bench.Outcome{Config: cfg}
+	}
+}
+
+func watchdogGrid() []bench.Config {
+	var cfgs []bench.Config
+	for _, g := range []int{1, 2, 7, 4} {
+		cfg := bench.DefaultConfig(bench.ModeCDNA, bench.NICRice, bench.Tx)
+		cfg.Guests = g
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestWatchdogReleasesWorker: a hung experiment must be marked failed
+// with ErrTimeout at the deadline and its worker released — the rest of
+// the pool's experiments all complete. Without the watchdog this test
+// would deadlock (and time out the suite).
+func TestWatchdogReleasesWorker(t *testing.T) {
+	cfgs := watchdogGrid() // guests 1, 2, 7(victim), 4
+	done := make(chan []bench.Outcome, 1)
+	go func() {
+		done <- Run(cfgs, Options{
+			Workers: 2,
+			Timeout: 50 * time.Millisecond,
+			Exec:    wedge(7),
+		})
+	}()
+	var outs []bench.Outcome
+	select {
+	case outs = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog did not release the wedged worker")
+	}
+	for i, out := range outs {
+		if cfgs[i].Guests == 7 {
+			if !errors.Is(out.Err, ErrTimeout) {
+				t.Fatalf("wedged experiment err = %v; want ErrTimeout", out.Err)
+			}
+			continue
+		}
+		if out.Err != nil {
+			t.Fatalf("experiment %d failed: %v", i, out.Err)
+		}
+	}
+}
+
+// The sequential path (workers <= 1) runs the same watchdog: a single
+// wedged point cannot stall a one-worker sweep.
+func TestWatchdogSequential(t *testing.T) {
+	cfgs := watchdogGrid()
+	outs := Run(cfgs, Options{
+		Workers: 1,
+		Timeout: 50 * time.Millisecond,
+		Exec:    wedge(7),
+	})
+	timeouts := 0
+	for _, out := range outs {
+		if errors.Is(out.Err, ErrTimeout) {
+			timeouts++
+		} else if out.Err != nil {
+			t.Fatalf("unexpected error: %v", out.Err)
+		}
+	}
+	if timeouts != 1 {
+		t.Fatalf("got %d timeouts; want exactly 1", timeouts)
+	}
+}
+
+// TestWatchdogDisabled: a zero timeout must not wrap the executor in a
+// goroutine at all — outcomes flow through untouched.
+func TestWatchdogDisabled(t *testing.T) {
+	cfgs := watchdogGrid()[:2]
+	outs := Run(cfgs, Options{Workers: 1, Exec: func(cfg bench.Config) bench.Outcome {
+		return bench.Outcome{Config: cfg}
+	}})
+	for _, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("unexpected error: %v", out.Err)
+		}
+	}
+}
+
+// TestCancelMarksUnstartedTail: closing Cancel stops dispatch; finished
+// experiments keep their results, unstarted ones carry ErrCanceled, and
+// Interrupted flags the batch.
+func TestCancelMarksUnstartedTail(t *testing.T) {
+	cfgs := watchdogGrid()
+	cancel := make(chan struct{})
+	started := make(chan struct{})
+	var once bool
+	outs := Run(cfgs, Options{
+		Workers: 1,
+		Cancel:  cancel,
+		Exec: func(cfg bench.Config) bench.Outcome {
+			if !once {
+				once = true
+				close(started)
+				close(cancel) // drain arrives while the first experiment runs
+			}
+			return bench.Outcome{Config: cfg}
+		},
+	})
+	<-started
+	if outs[0].Err != nil {
+		t.Fatalf("in-flight experiment should finish: %v", outs[0].Err)
+	}
+	for i := 1; i < len(outs); i++ {
+		if !errors.Is(outs[i].Err, ErrCanceled) {
+			t.Fatalf("outcome %d err = %v; want ErrCanceled", i, outs[i].Err)
+		}
+	}
+	if !Interrupted(outs) {
+		t.Fatal("Interrupted = false for a canceled batch")
+	}
+}
+
+// TestCancelPreClosedParallel: a cancel that is already closed cancels
+// everything, on the parallel path too, and never leaves a zero-value
+// outcome behind.
+func TestCancelPreClosedParallel(t *testing.T) {
+	cfgs := watchdogGrid()
+	cancel := make(chan struct{})
+	close(cancel)
+	outs := Run(cfgs, Options{Workers: 4, Cancel: cancel})
+	for i, out := range outs {
+		if !errors.Is(out.Err, ErrCanceled) {
+			t.Fatalf("outcome %d err = %v; want ErrCanceled", i, out.Err)
+		}
+		if out.Config.Name() != cfgs[i].Name() {
+			t.Fatalf("outcome %d lost its config", i)
+		}
+	}
+}

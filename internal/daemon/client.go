@@ -1,0 +1,300 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Client talks to a sweep daemon over its unix socket. Every call
+// retries transient failures — connection errors, retryable API
+// rejections (429 queue-full, 503 draining), and 5xx — under
+// exponential backoff with jitter, so a briefly overloaded or
+// restarting daemon is invisible to the caller beyond added latency.
+type Client struct {
+	socket  string
+	hc      *http.Client
+	Backoff Backoff
+	// Logf, when non-nil, receives one line per retry and reconnect.
+	Logf func(format string, args ...any)
+}
+
+// Backoff is an exponential backoff schedule with full jitter.
+type Backoff struct {
+	Base     time.Duration // first delay; 0 means 50ms
+	Max      time.Duration // delay ceiling; 0 means 5s
+	Attempts int           // total tries per call; 0 means 8
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 5 * time.Second
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 8
+}
+
+// delay returns the jittered sleep before retry attempt n (0-based):
+// uniform over (0, min(Max, Base*2^n)].
+func (b Backoff) delay(n int) time.Duration {
+	d := b.base() << uint(n)
+	if d <= 0 || d > b.max() {
+		d = b.max()
+	}
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// NewClient returns a client for the daemon at the given socket path.
+func NewClient(socket string) *Client {
+	return &Client{
+		socket: socket,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", socket)
+				},
+			},
+		},
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// retryErr is a transient failure the backoff loop should absorb.
+type retryErr struct{ err error }
+
+func (e retryErr) Error() string { return e.err.Error() }
+func (e retryErr) Unwrap() error { return e.err }
+
+// call performs one HTTP round trip, decoding the response into out
+// (when non-nil) and classifying failures as retryable or fatal.
+func (c *Client) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("daemon client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, "http://daemon"+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return retryErr{fmt.Errorf("daemon client: %s %s: %w", method, path, err)}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return retryErr{fmt.Errorf("daemon client: reading response: %w", err)}
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		msg := string(bytes.TrimSpace(raw))
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		err := fmt.Errorf("daemon client: %s %s: %s (%s)", method, path, resp.Status, msg)
+		if ae.Retryable || resp.StatusCode >= 500 {
+			return retryErr{err}
+		}
+		return err
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("daemon client: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// retry runs fn under the backoff schedule, absorbing retryable
+// failures until the attempt budget runs out.
+func (c *Client) retry(what string, fn func() error) error {
+	var last error
+	for n := 0; n < c.Backoff.attempts(); n++ {
+		if n > 0 {
+			d := c.Backoff.delay(n - 1)
+			c.logf("retrying %s in %v: %v", what, d, last)
+			time.Sleep(d)
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if _, ok := err.(retryErr); !ok {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("daemon client: %s failed after %d attempts: %w", what, c.Backoff.attempts(), last)
+}
+
+// Submit submits a sweep (idempotent by content hash) and returns the
+// daemon's acknowledgment.
+func (c *Client) Submit(req SweepRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.retry("submit", func() error {
+		return c.call("POST", "/v1/sweeps", req, &resp)
+	})
+	return resp, err
+}
+
+// Status fetches one sweep's progress snapshot.
+func (c *Client) Status(id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.retry("status", func() error {
+		return c.call("GET", "/v1/sweeps/"+id, nil, &st)
+	})
+	return st, err
+}
+
+// DaemonStatus fetches the daemon-wide snapshot.
+func (c *Client) DaemonStatus() (DaemonStatus, error) {
+	var st DaemonStatus
+	err := c.retry("daemon status", func() error {
+		return c.call("GET", "/v1/status", nil, &st)
+	})
+	return st, err
+}
+
+// Results fetches a finished sweep's result JSON, verbatim — the bytes
+// are identical to what a local cdnasweep run would have written.
+func (c *Client) Results(id string) ([]byte, error) {
+	var raw []byte
+	err := c.retry("results", func() error {
+		resp, err := c.hc.Get("http://daemon/v1/sweeps/" + id + "/results")
+		if err != nil {
+			return retryErr{err}
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return retryErr{err}
+		}
+		if resp.StatusCode != http.StatusOK {
+			var ae apiError
+			msg := string(bytes.TrimSpace(b))
+			if json.Unmarshal(b, &ae) == nil && ae.Error != "" {
+				msg = ae.Error
+			}
+			err := fmt.Errorf("daemon client: results: %s (%s)", resp.Status, msg)
+			if ae.Retryable || resp.StatusCode >= 500 {
+				return retryErr{err}
+			}
+			return err
+		}
+		raw = b
+		return nil
+	})
+	return raw, err
+}
+
+// Drain asks the daemon to shut down gracefully.
+func (c *Client) Drain() error {
+	return c.retry("drain", func() error {
+		return c.call("POST", "/v1/drain", nil, nil)
+	})
+}
+
+// Stream follows a sweep's progress stream, invoking fn per event,
+// until the stream ends. A disconnect is returned (not retried) — the
+// caller decides whether to reconnect; events are replayed from the
+// start on a new stream.
+func (c *Client) Stream(id string, fn func(ProgressEvent)) error {
+	resp, err := c.hc.Get("http://daemon/v1/sweeps/" + id + "/stream")
+	if err != nil {
+		return retryErr{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("daemon client: stream: %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev ProgressEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return retryErr{err}
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	}
+}
+
+// RunSweep drives a sweep end to end: submit (retrying through
+// queue-full and draining rejections), follow progress, resubmit if
+// the daemon restarts or the sweep is interrupted by a drain, and
+// return the final result JSON once the sweep is done. Content-hash
+// idempotency makes every resubmission re-attach or resume rather
+// than duplicate work. progress may be nil.
+func (c *Client) RunSweep(req SweepRequest, progress func(ProgressEvent)) ([]byte, error) {
+	const resubmits = 16 // interruption budget, distinct from per-call retries
+	var lastState string
+	for n := 0; n < resubmits; n++ {
+		ack, err := c.Submit(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Stream(ack.ID, progress); err != nil {
+			c.logf("progress stream lost (%v); re-attaching to sweep %s", err, ack.ID)
+		}
+		// The stream ended (terminal event, daemon restart, or dropped
+		// connection). Poll status for the authoritative state.
+		st, err := c.Status(ack.ID)
+		if err != nil {
+			// Daemon likely restarting; back off and resubmit (same ID).
+			c.logf("status poll failed (%v); resubmitting sweep %s", err, ack.ID)
+			time.Sleep(c.Backoff.delay(n))
+			continue
+		}
+		lastState = st.State
+		switch st.State {
+		case StateDone:
+			return c.Results(ack.ID)
+		case StateFailed:
+			return nil, fmt.Errorf("daemon client: sweep %s failed: %s", ack.ID, st.Error)
+		case StateInterrupted:
+			c.logf("sweep %s interrupted (%d/%d done); resubmitting", ack.ID, st.Done, st.Total)
+			time.Sleep(c.Backoff.delay(n))
+			continue
+		default:
+			// Still queued or running but the stream closed; re-attach.
+			continue
+		}
+	}
+	return nil, fmt.Errorf("daemon client: sweep did not complete after %d submissions (last state %q)", resubmits, lastState)
+}

@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead journal of accepted sweeps. Accepting a submission
+// appends an "accept" record (request included) and fsyncs before the
+// client sees its acknowledgment; completing the sweep appends a
+// "done" record. A daemon killed mid-sweep therefore restarts with an
+// exact list of accepted-but-incomplete sweeps and resumes them — the
+// result store turns the resume into a delta run.
+//
+// The journal tolerates its own crash modes: a torn final line (killed
+// mid-append) is ignored, and startup compacts the file down to the
+// open entries via the same temp-file-plus-rename discipline the store
+// uses, so the journal cannot grow without bound or be left torn.
+
+type journalRec struct {
+	Op  string        `json:"op"` // accept | done
+	ID  string        `json:"id"`
+	Req *SweepRequest `json:"req,omitempty"`
+}
+
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal replays the journal at path (creating it if absent),
+// compacts it to its open entries, and returns those entries — the
+// sweeps to resume — in original acceptance order.
+func openJournal(path string) (*journal, []journalRec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("daemon: reading journal: %w", err)
+	}
+	var order []string
+	open := make(map[string]journalRec)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail from a crash mid-append: everything before it is
+			// intact, so stop here rather than failing the restart.
+			break
+		}
+		switch rec.Op {
+		case "accept":
+			if _, ok := open[rec.ID]; !ok {
+				order = append(order, rec.ID)
+			}
+			open[rec.ID] = rec
+		case "done":
+			delete(open, rec.ID)
+		}
+	}
+
+	var pending []journalRec
+	for _, id := range order {
+		if rec, ok := open[id]; ok && rec.Req != nil {
+			pending = append(pending, rec)
+		}
+	}
+
+	// Compact: rewrite only the open entries, atomically.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("daemon: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal.*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("daemon: compacting journal: %w", err)
+	}
+	for _, rec := range pending {
+		if err := appendRec(tmp, rec); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, nil, err
+		}
+	}
+	if err := tmp.Sync(); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("daemon: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("daemon: compacting journal: %w", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("daemon: opening journal: %w", err)
+	}
+	return &journal{f: f, path: path}, pending, nil
+}
+
+func appendRec(f *os.File, rec journalRec) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("daemon: encoding journal record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("daemon: appending journal record: %w", err)
+	}
+	return nil
+}
+
+// append writes one record and makes it durable before returning: the
+// WAL guarantee that an acknowledged submission survives any crash.
+func (j *journal) append(rec journalRec) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := appendRec(j.f, rec); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("daemon: syncing journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) accept(id string, req SweepRequest) error {
+	return j.append(journalRec{Op: "accept", ID: id, Req: &req})
+}
+
+func (j *journal) done(id string) error {
+	return j.append(journalRec{Op: "done", ID: id})
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

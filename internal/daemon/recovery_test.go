@@ -1,0 +1,115 @@
+package daemon
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cdna/internal/campaign"
+	"cdna/internal/sim"
+)
+
+// TestCrashRecovery is the kill-and-restart acceptance test: a daemon
+// killed mid-sweep (faults campaign in flight) restarts, replays its
+// journal, resumes the sweep as a delta run — completed points served
+// from the store — and the final output is byte-identical to a local
+// uninterrupted run.
+func TestCrashRecovery(t *testing.T) {
+	dir := shortDir(t)
+	cfg := testConfig(dir)
+
+	// The faults preset: 2 modes x 4 fault scenarios on a 3-host incast.
+	req := SweepRequest{
+		Grids:    campaign.FaultGrids(),
+		Warmup:   20 * sim.Millisecond,
+		Duration: 50 * sim.Millisecond,
+		Workers:  2,
+	}
+	want := localReference(t, req)
+	total := len(campaign.Expand(req.Grids...))
+	if total != 8 {
+		t.Fatalf("faults preset has %d points; test assumes 8", total)
+	}
+
+	d1, c := startDaemon(t, cfg)
+	ack, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the daemon mid-sweep: some experiments done, not all.
+	deadline := time.After(60 * time.Second)
+	for {
+		st, err := c.Status(ack.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done >= 1 && st.Done < total {
+			break
+		}
+		if Terminal(st.State) {
+			t.Fatalf("sweep finished (%+v) before the kill; shorten the windows", st)
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("sweep never reached a mid-flight point (status %+v)", st)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	d1.Kill()
+
+	// Restart on the same store and journal. The journal replay
+	// re-enqueues the sweep before intake opens; no resubmission needed.
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.recovered) != 1 || d2.recovered[0].id != ack.ID {
+		t.Fatalf("recovered %d sweeps; want the killed sweep %s", len(d2.recovered), ack.ID)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d2.Serve() }()
+	t.Cleanup(func() {
+		d2.Kill()
+		if err := <-serveErr; err != nil {
+			t.Errorf("restarted Serve: %v", err)
+		}
+	})
+
+	// The client re-attaches by content hash and collects the results.
+	got, err := c.RunSweep(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep JSON differs from an uninterrupted local run")
+	}
+
+	// The resume was a delta run: at least one pre-crash point came from
+	// the store instead of being recomputed.
+	st, err := c.Status(ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Done != total {
+		t.Fatalf("resumed sweep status = %+v; want done %d/%d", st, total, total)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("resumed sweep recomputed everything; want >0 cache hits from the pre-crash run")
+	}
+	if st.Cache.Hits+st.Cache.Misses != uint64(total) {
+		t.Fatalf("cache ledger %+v does not cover all %d points", st.Cache, total)
+	}
+
+	// And the journal is closed out: a third daemon has nothing to resume.
+	d2.Kill()
+	<-serveErr
+	serveErr <- nil
+	_, pending, err := openJournal(cfg.journalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("journal still holds %d open sweeps after completion", len(pending))
+	}
+}
