@@ -24,10 +24,18 @@ smoke:
 
 # topo-smoke drives the multi-host fabric end to end through cdnasweep:
 # two architectures at two rack sizes under incast and all-to-all with
-# very short windows. Wired into CI next to smoke.
+# very short windows, then the same rack over multi-tier fabrics
+# (leaf-spine and fat-tree) and an open-loop leaf-spine run driven from
+# a checked-in flow trace. Wired into CI next to smoke.
 topo-smoke:
 	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx -hosts 2,4 \
 		-patterns incast,all2all -warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+	$(GO) run ./cmd/cdnasweep -modes xen,cdna -dirs tx -hosts 4 \
+		-patterns incast -fabrics leafspine,fattree \
+		-warmup 0.02 -duration 0.05 -workers 0 -json /dev/null
+	$(GO) run ./cmd/cdnasim -mode cdna -hosts 4 -pattern incast -fabric leafspine \
+		-workload trace -tracefile internal/workload/testdata/smoke_trace.csv \
+		-warmup 0.02 -duration 0.05 > /dev/null
 
 # snap-smoke drives the checkpoint/restore layer end to end through
 # cdnasweep: a fault-scenario grid (link flap, switch-port failure,

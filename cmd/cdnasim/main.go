@@ -14,6 +14,10 @@
 //	cdnasim -mode xen -hosts 8 -pattern all2all
 //	cdnasim -mode cdna -hosts 3 -pattern incast -fault linkflap
 //	cdnasim -mode cdna -hosts 3 -fault portfail -fault-at 0.2 -fault-outage 0.1 -fault-target 2
+//	cdnasim -mode cdna -hosts 4 -pattern incast -fabric leafspine -spines 2
+//	cdnasim -mode cdna -hosts 4 -pattern pairs -fabric leafspine -hostsperleaf 1 -oversub 4
+//	cdnasim -mode cdna -hosts 4 -pattern incast -fabric leafspine -workload poisson -flowrate 2000 -sizedist websearch
+//	cdnasim -mode cdna -hosts 4 -workload trace -tracefile flows.csv
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"cdna/internal/bench"
 	"cdna/internal/core"
 	"cdna/internal/sim"
+	"cdna/internal/topo"
 	"cdna/internal/workload"
 )
 
@@ -40,6 +45,15 @@ func main() {
 	wl := flag.String("workload", "bulk", "traffic shape: bulk | rr | churn | burst")
 	hosts := flag.Int("hosts", 1, "machines on the switched fabric (1 = classic host+peer topology)")
 	pattern := flag.String("pattern", "pairs", "cross-host scenario (hosts > 1): pairs | incast | all2all")
+	fabric := flag.String("fabric", "tor", "switching topology (hosts > 1): tor | leafspine | fattree")
+	spines := flag.Int("spines", 0, "spine (leafspine) or per-pod aggregation (fattree) switches (0 = default 2)")
+	hostsPerLeaf := flag.Int("hostsperleaf", 0, "hosts attached to each leaf/edge switch (0 = default 2)")
+	oversub := flag.Float64("oversub", 0, "trunk oversubscription ratio (0 = non-blocking 1:1)")
+	fabricSeed := flag.Uint64("fabricseed", 0, "ECMP hash seed for multi-tier fabrics")
+	flowRate := flag.Float64("flowrate", 0, "open-loop workloads: mean flow arrivals/s per modeled client (0 = default)")
+	clients := flag.Int("clients", 0, "open-loop workloads: modeled clients per endpoint (0 = default 1)")
+	sizeDist := flag.String("sizedist", "", "open-loop flow sizes: fixed | pareto | websearch | datamining")
+	traceFile := flag.String("tracefile", "", "trace workload: CSV flow trace (arrival,src,dst,bytes)")
 	fault := flag.String("fault", "none", "fault scenario: none | linkflap | portfail | blackout")
 	faultAt := flag.Float64("fault-at", 0, "fault injection offset from window open, simulated seconds (0 = a quarter into the window)")
 	faultOutage := flag.Float64("fault-outage", 0, "fault duration before healing, simulated seconds (0 = a quarter window)")
@@ -98,9 +112,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-pattern %v requires -hosts > 1 (the classic topology has no fabric)\n", pat)
 		os.Exit(2)
 	}
+	fbKind, err := topo.ParseFabricKind(*fabric)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *hosts <= 1 && fbKind != topo.KindToR {
+		fmt.Fprintf(os.Stderr, "-fabric %v requires -hosts > 1 (a multi-tier fabric needs a rack to connect)\n", fbKind)
+		os.Exit(2)
+	}
+	var sd workload.SizeDist
+	if *sizeDist != "" {
+		if sd, err = workload.ParseSizeDist(*sizeDist); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	cfg := bench.DefaultConfig(m, k, d)
-	cfg.Workload = workload.Spec{Kind: wk}
+	cfg.Workload = workload.Spec{
+		Kind:      wk,
+		FlowRate:  *flowRate,
+		Clients:   *clients,
+		SizeDist:  sd,
+		TracePath: *traceFile,
+	}
 	cfg.Guests = *guests
 	cfg.NICs = *nics
 	cfg.Window = *window
@@ -109,6 +145,15 @@ func main() {
 		cfg.Hosts = *hosts
 		cfg.Pattern = pat
 		cfg.Shards = *shards
+		if fbKind != topo.KindToR {
+			cfg.Fabric = topo.FabricSpec{
+				Kind:         fbKind,
+				HostsPerLeaf: *hostsPerLeaf,
+				Spines:       *spines,
+				Oversub:      *oversub,
+				Seed:         *fabricSeed,
+			}
+		}
 	} else if *shards > 1 {
 		fmt.Fprintf(os.Stderr, "-shards requires -hosts > 1 (a single host runs on a single engine)\n")
 		os.Exit(2)
@@ -185,9 +230,17 @@ func main() {
 		fmt.Printf("workload %v: rpc/s: %.0f  flows/s: %.0f  msg p50: %.0f us  p99: %.0f us\n",
 			wk, res.RPCPerSec, res.FlowsPerSec, res.MsgLatP50us, res.MsgLatP99us)
 	}
+	if res.ArrivalsPerSec > 0 {
+		fmt.Printf("open loop: arrivals/s: %.0f  completions/s: %.0f (arrivals outrunning completions = backlog growth)\n",
+			res.ArrivalsPerSec, res.FlowsPerSec)
+	}
+	if res.TraceSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d trace events matched no connection (src/dst hosts vs -pattern %v wiring) and were skipped\n",
+			res.TraceSkipped, cfg.Pattern)
+	}
 	if cfg.Hosts > 1 {
-		fmt.Printf("fabric %v over %d hosts: switch drops: %d  max egress depth: %d frames\n",
-			cfg.Pattern, cfg.Hosts, res.FabricDrops, res.FabricMaxDepth)
+		fmt.Printf("fabric %v/%v over %d hosts: switch drops: %d  max egress depth: %d frames\n",
+			res.Config.Fabric.Kind, cfg.Pattern, cfg.Hosts, res.FabricDrops, res.FabricMaxDepth)
 	}
 	if fk != bench.FaultNone {
 		// The effective schedule comes from the result's config: Prepare

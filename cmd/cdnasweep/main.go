@@ -17,6 +17,9 @@
 //	cdnasweep -modes xen,cdna -hosts 2,4,8 -patterns incast,all2all
 //	cdnasweep -preset faults -json faults.json
 //	cdnasweep -modes cdna -hosts 3 -patterns incast -faults none,linkflap,blackout -warmfork
+//	cdnasweep -preset fabrics -json fabrics.json
+//	cdnasweep -preset openloop -quick -csv openloop.csv
+//	cdnasweep -modes xen,cdna -hosts 4 -patterns incast -fabrics tor,leafspine,fattree
 //	cdnasweep -spec grid.json -workers 4
 //	cdnasweep -store .cdna-store -preset faults     # local run, durable result cache
 //	cdnasweep -daemon -socket d.sock -store st      # serve sweeps as a daemon
@@ -56,6 +59,7 @@ import (
 	"cdna/internal/daemon"
 	"cdna/internal/sim"
 	"cdna/internal/store"
+	"cdna/internal/topo"
 	"cdna/internal/workload"
 )
 
@@ -96,10 +100,14 @@ func presetGrids(name string) []campaign.Grid {
 		return campaign.TopologyGrids()
 	case "faults":
 		return campaign.FaultGrids()
+	case "fabrics":
+		return campaign.FabricGrids()
+	case "openloop":
+		return campaign.OpenLoopGrids()
 	case "paper":
 		return campaign.PaperGrids()
 	}
-	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | topology | faults | paper)", name)
+	fatal("unknown preset %q (want table1 | tables | figures | ablations | workloads | topology | faults | fabrics | openloop | paper)", name)
 	return nil
 }
 
@@ -119,6 +127,7 @@ func main() {
 	workloads := flag.String("workloads", "", "comma list: bulk | rr | churn | burst (per-kind defaults; use -spec for knobs)")
 	hosts := flag.String("hosts", "", "comma list of fabric host counts (1 = classic host+peer; also overrides a preset's host axis)")
 	patterns := flag.String("patterns", "", "comma list: pairs | incast | all2all (cross-host scenarios, hosts > 1)")
+	fabrics := flag.String("fabrics", "", "comma list: tor | leafspine | fattree (switching topologies, hosts > 1; defaults per kind, use -spec for knobs)")
 	shards := flag.String("shards", "", "comma list of engine shard counts for multi-host points (wall-clock only; results are byte-identical at any value)")
 	faults := flag.String("faults", "", "comma list: none | linkflap | portfail | blackout (default quarter-window schedule; use -spec for exact timing)")
 	conns := flag.Int("conns", 0, "connections per guest per NIC (0 = balanced default)")
@@ -228,7 +237,7 @@ func main() {
 		"modes": true, "nics": true, "dirs": true, "guests": true,
 		"niccounts": true, "protections": true, "batches": true,
 		"irqs": true, "coalesce": true, "conns": true, "window": true,
-		"workloads": true, "patterns": true, "faults": true,
+		"workloads": true, "patterns": true, "faults": true, "fabrics": true,
 	}
 	if *preset != "" || *spec != "" {
 		flag.Visit(func(f *flag.Flag) {
@@ -271,7 +280,11 @@ func main() {
 			}),
 			Hosts:    splitList("hosts", *hosts, strconv.Atoi),
 			Patterns: splitList("patterns", *patterns, bench.ParsePattern),
-			Shards:   splitList("shards", *shards, strconv.Atoi),
+			Fabrics: splitList("fabrics", *fabrics, func(s string) (topo.FabricSpec, error) {
+				k, err := topo.ParseFabricKind(s)
+				return topo.FabricSpec{Kind: k}, err
+			}),
+			Shards: splitList("shards", *shards, strconv.Atoi),
 			Faults: splitList("faults", *faults, func(s string) (bench.FaultSpec, error) {
 				k, err := bench.ParseFaultKind(s)
 				return bench.FaultSpec{Kind: k}, err
@@ -287,6 +300,9 @@ func main() {
 		// constraint the grid cannot honor.
 		if len(g.Patterns) > 0 && len(g.Hosts) == 0 {
 			fatal("-patterns requires -hosts (cross-host scenarios need a multi-host fabric)")
+		}
+		if len(g.Fabrics) > 0 && len(g.Hosts) == 0 {
+			fatal("-fabrics requires -hosts (a multi-tier fabric needs a rack to connect)")
 		}
 		grids = []campaign.Grid{g}
 	}

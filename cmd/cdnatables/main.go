@@ -10,6 +10,7 @@
 //	cdnatables -figure 3    # only Figure 3
 //	cdnatables -ablations   # only the ablation studies
 //	cdnatables -topology    # only the cross-host fabric scenarios
+//	cdnatables -fabrics     # only the multi-tier fabric + open-loop scenarios
 //	cdnatables -workers 1   # sequential (default: all cores)
 //	cdnatables -csvdir out  # also write each table as out/<slug>.csv
 //	cdnatables -store dir   # serve repeated rows from a durable result cache
@@ -43,6 +44,7 @@ func main() {
 	figure := flag.Int("figure", 0, "run only this figure (3-4)")
 	ablations := flag.Bool("ablations", false, "run only the ablation studies")
 	topology := flag.Bool("topology", false, "run only the cross-host fabric scenarios (incast, all-to-all)")
+	fabrics := flag.Bool("fabrics", false, "run only the multi-tier fabric scenarios (cross-rack incast, oversubscription, open-loop load)")
 	workers := flag.Int("workers", 0, "concurrent experiments per table (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "engine shards per multi-host experiment (wall-clock only; tables are byte-identical at any value)")
 	csvDir := flag.String("csvdir", "", "also write each table as CSV into this directory")
@@ -83,7 +85,7 @@ func main() {
 
 	// The fabric scenarios are opt-in (beyond the paper's single-host
 	// evaluation), so the default output stays exactly the paper set.
-	wantTables := *table == 0 && *figure == 0 && !*ablations && !*topology
+	wantTables := *table == 0 && *figure == 0 && !*ablations && !*topology && !*fabrics
 	if wantTables || *table == 1 {
 		add("Table 1: native Linux vs Xen guest (paper: native 5126/3629, Xen 1602/1112 Mb/s)", func() (*stats.Table, error) {
 			t, _, err := bench.Table1(opts)
@@ -153,6 +155,20 @@ func main() {
 		})
 		add("Topology: all-to-all shuffle over the switched fabric", func() (*stats.Table, error) {
 			t, _, err := bench.TopologyAllToAll(opts, []int{4, 8})
+			return t, err
+		})
+	}
+	if *fabrics {
+		add("Fabric: cross-rack incast collapse (ToR vs leaf-spine vs fat-tree)", func() (*stats.Table, error) {
+			t, _, err := bench.FabricIncast(opts, 4)
+			return t, err
+		})
+		add("Fabric: core-link saturation vs oversubscription ratio (leaf-spine)", func() (*stats.Table, error) {
+			t, _, err := bench.FabricOversub(opts, []float64{1, 2, 4})
+			return t, err
+		})
+		add("Fabric: Xen vs CDNA under open-loop Poisson load (response-time collapse)", func() (*stats.Table, error) {
+			t, _, err := bench.ScenarioOpenLoop(opts, []float64{50, 500, 4000})
 			return t, err
 		})
 	}

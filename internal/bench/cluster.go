@@ -107,7 +107,13 @@ func buildCluster(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Fabric = topo.New(fabEng, topo.DefaultParams())
+	// Access links claim keyed-pipe IDs [0, 2*Hosts*NICs); the fabric's
+	// trunks start above them, so IDs are disjoint at any shard count.
+	m.Fabric, err = topo.NewFabric(fabEng, topo.DefaultParams(), cfg.Fabric,
+		cfg.Hosts, cfg.NICs, 2*cfg.Hosts*cfg.NICs)
+	if err != nil {
+		return nil, err
+	}
 
 	guests := cfg.Guests
 	if cfg.Mode == ModeNative {

@@ -6,6 +6,7 @@ import (
 	"cdna/internal/core"
 	"cdna/internal/sim"
 	"cdna/internal/stats"
+	"cdna/internal/topo"
 	"cdna/internal/workload"
 )
 
@@ -29,6 +30,12 @@ type Config struct {
 	// Pattern selects the cross-host scenario (pairs | incast |
 	// all2all); ignored unless Hosts > 1.
 	Pattern Pattern `json:"pattern,omitempty"`
+	// Fabric selects the switch topology connecting the hosts. The zero
+	// value is the classic single top-of-rack switch, so legacy configs
+	// and records are unchanged; leaf-spine and fat-tree presets compose
+	// multiple switches with ECMP-hashed trunks (internal/topo).
+	// Requires Hosts > 1 for any non-ToR kind.
+	Fabric topo.FabricSpec `json:"fabric,omitzero"`
 	// Shards partitions a multi-host machine into per-host engine
 	// shards advancing in barrier-synchronized rounds (shards.go). It
 	// is purely a wall-clock knob: results are byte-identical at any
@@ -71,7 +78,7 @@ type Config struct {
 func (c Config) Name() string {
 	name := fmt.Sprintf("%v/%v/%dg/%dnic/%v", c.Mode, c.NIC, c.Guests, c.NICs, c.Dir)
 	if c.Hosts > 1 {
-		name += fmt.Sprintf("/hosts=%d/%v", c.Hosts, c.Pattern)
+		name += fmt.Sprintf("/hosts=%d/%v", c.Hosts, c.Pattern) + c.Fabric.Suffix()
 	}
 	if c.Mode == ModeCDNA && c.Protection != core.ModeHypercall {
 		name += "/prot=" + c.Protection.String()
@@ -173,6 +180,21 @@ type Result struct {
 	FlowsPerSec float64 `json:"flows_per_sec,omitempty"` // completed short-lived flows per second
 	MsgLatP50us float64 `json:"msg_lat_p50_us,omitempty"`
 	MsgLatP99us float64 `json:"msg_lat_p99_us,omitempty"`
+
+	// Open-loop columns (zero for closed-loop workloads). ArrivalsPerSec
+	// is the offered flow rate; compared with FlowsPerSec it exposes the
+	// backlog an overloaded fabric accrues — the response-time-collapse
+	// signature a closed-loop generator cannot show.
+	ArrivalsPerSec float64 `json:"arrivals_per_sec,omitempty"`
+	// TraceSkipped counts trace events that matched no endpoint pair
+	// (trace kind only): a nonzero value means the trace's src/dst
+	// hosts don't line up with the configured pattern's connections —
+	// the row is measuring less traffic than the trace offered.
+	TraceSkipped int `json:"trace_skipped,omitempty"`
+	// FabricStrays counts frames the multi-tier valley-free rule
+	// released (destination learned upward from an upward ingress —
+	// transient, during FDB churn). Zero on single-switch fabrics.
+	FabricStrays uint64 `json:"fabric_strays,omitempty"`
 }
 
 // String formats the result as a row like the paper's tables.
@@ -214,6 +236,12 @@ func (c Config) Validate() error {
 		if c.Guests > 255 || c.NICs > 255 {
 			return fmt.Errorf("bench: multi-host configs need guests and NICs <= 255 (got %d/%d)", c.Guests, c.NICs)
 		}
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	if c.Fabric.Kind != topo.KindToR && c.Hosts <= 1 {
+		return fmt.Errorf("bench: %v fabric needs a multi-host configuration (hosts > 1)", c.Fabric.Kind)
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
@@ -348,6 +376,8 @@ func (m *Machine) Collect() Result {
 	res.LatencyP90us = m.Conns.LatencyQuantile(0.9)
 	res.RPCPerSec = m.Work.RequestsRate(cfg.Duration)
 	res.FlowsPerSec = m.Work.FlowsRate(cfg.Duration)
+	res.ArrivalsPerSec = m.Work.ArrivalsRate(cfg.Duration)
+	res.TraceSkipped = m.Work.TraceSkipped()
 	res.MsgLatP50us = m.Work.LatencyQuantile(0.5)
 	res.MsgLatP99us = m.Work.LatencyQuantile(0.99)
 	for _, h := range m.Hosts {
@@ -369,14 +399,11 @@ func (m *Machine) Collect() Result {
 		}
 	}
 	if m.Fabric != nil {
-		res.FabricDrops = m.Fabric.Drops.Window()
-		res.FabricFlooded = m.Fabric.Flooded().Window()
-		res.FabricMoves = m.Fabric.Moves().Window()
-		for i := 0; i < m.Fabric.NumPorts(); i++ {
-			if d := m.Fabric.Port(i).MaxDepth(); d > res.FabricMaxDepth {
-				res.FabricMaxDepth = d
-			}
-		}
+		res.FabricDrops = m.Fabric.DropsWindow()
+		res.FabricFlooded = m.Fabric.FloodedWindow()
+		res.FabricMoves = m.Fabric.MovesWindow()
+		res.FabricStrays = m.Fabric.StraysWindow()
+		res.FabricMaxDepth = m.Fabric.MaxDepth()
 	}
 
 	switch cfg.Mode {

@@ -138,9 +138,10 @@ type Machine struct {
 	// Hosts are the machines under test, in index order. Single-host
 	// configurations have exactly one.
 	Hosts []*Host
-	// Fabric is the top-of-rack switch connecting the hosts; nil for
+	// Fabric is the switch fabric connecting the hosts — the classic
+	// single ToR or a composed leaf-spine/fat-tree (cfg.Fabric); nil for
 	// the classic single-host topology (whose far end is the peer).
-	Fabric *topo.Switch
+	Fabric *topo.Fabric
 
 	IntelNICs []*intelnic.NIC
 	RiceNICs  []*ricenic.NIC

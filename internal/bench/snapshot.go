@@ -89,7 +89,7 @@ type hostState struct {
 type machineState struct {
 	Engines    []sim.EngineState
 	Hosts      []hostState
-	Fabric     *topo.SwitchState // nil for single-host
+	Fabric     *topo.FabricState // nil for single-host
 	Conns      []transport.ConnState
 	Work       []workload.GeneratorState
 	FaultPhase int

@@ -6,6 +6,8 @@ import (
 	"cdna/internal/core"
 	"cdna/internal/sim"
 	"cdna/internal/stats"
+	"cdna/internal/topo"
+	"cdna/internal/workload"
 )
 
 // Opts controls experiment length and execution. Quick() is for tests
@@ -442,6 +444,126 @@ func ScenarioFaults(o Opts, hosts int) (*stats.Table, []Result, error) {
 			fmt.Sprintf("%.0f", res.Mbps), fmt.Sprintf("%d", res.LinkDrops),
 			fmt.Sprintf("%d", res.FabricDrops), fmt.Sprintf("%d", res.FabricFlooded),
 			fmt.Sprintf("%d", res.Retransmits), fmt.Sprintf("%.0f", res.LatencyP90us))
+	}
+	return t, results, nil
+}
+
+// fabricSpecOf is the standard multi-tier shape the fabric scenarios
+// use: two hosts per leaf/edge, two spines (or two aggregations and two
+// cores per pod), under the given oversubscription ratio.
+func fabricSpecOf(kind topo.FabricKind, oversub float64) topo.FabricSpec {
+	if kind == topo.KindToR {
+		return topo.FabricSpec{}
+	}
+	return topo.FabricSpec{Kind: kind, HostsPerLeaf: 2, Spines: 2, Oversub: oversub}
+}
+
+// FabricIncast is the cross-rack incast collapse scenario: N→1 fan-in
+// where the spokes sit in *different racks* than the root, so the
+// convergence point moves from a single ToR's egress port onto the
+// multi-tier fabric's downlink toward the root's leaf. Rows compare the
+// single ToR against leaf-spine and fat-tree fabrics, Xen vs CDNA.
+func FabricIncast(o Opts, hosts int) (*stats.Table, []Result, error) {
+	kinds := []topo.FabricKind{topo.KindToR, topo.KindLeafSpine, topo.KindFatTree}
+	var cfgs []Config
+	for _, kind := range kinds {
+		for _, mode := range []Mode{ModeXen, ModeCDNA} {
+			nic := NICIntel
+			if mode == ModeCDNA {
+				nic = NICRice
+			}
+			cfg := DefaultConfig(mode, nic, Tx)
+			cfg.Hosts = hosts
+			cfg.Pattern = PatternIncast
+			cfg.Fabric = fabricSpecOf(kind, 1)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Fabric", "System", "Mb/s", "SwitchDrops", "MaxQ", "Flooded", "Retrans"}}
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(cfg.Fabric.Kind.String(), fmt.Sprintf("%v/%v", cfg.Mode, cfg.NIC),
+			fmt.Sprintf("%.0f", res.Mbps), fmt.Sprintf("%d", res.FabricDrops),
+			fmt.Sprintf("%d", res.FabricMaxDepth), fmt.Sprintf("%d", res.FabricFlooded),
+			fmt.Sprintf("%d", res.Retransmits))
+	}
+	return t, results, nil
+}
+
+// FabricOversub is the core-link saturation scenario: disjoint host
+// pairs on a leaf-spine fabric with one host per leaf, so *every* flow
+// crosses the spine tier, while the oversubscription ratio starves the
+// trunks. At 1:1 the spine tier is transparent; as the ratio grows,
+// flows queue and tail-drop at the leaf uplinks — goodput degrades and
+// the deepest queue moves from the access ports onto the trunks. (An
+// all-to-all pattern would muddy the signal: throttled trunks also
+// relieve fan-in pressure at host egress ports, so total drops are not
+// monotone in the ratio there.)
+func FabricOversub(o Opts, oversubs []float64) (*stats.Table, []Result, error) {
+	cfgs := make([]Config, len(oversubs))
+	for i, ov := range oversubs {
+		cfg := DefaultConfig(ModeCDNA, NICRice, Tx)
+		cfg.Hosts = 4
+		cfg.Pattern = PatternPairs
+		cfg.Fabric = topo.FabricSpec{Kind: topo.KindLeafSpine, HostsPerLeaf: 1, Spines: 2, Oversub: ov}
+		cfgs[i] = cfg
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Oversub", "Mb/s", "SwitchDrops", "MaxQ", "Retrans", "p90 lat (us)"}}
+	for i, ov := range oversubs {
+		res := results[i]
+		t.AddRow(fmt.Sprintf("%g:1", ov), fmt.Sprintf("%.0f", res.Mbps),
+			fmt.Sprintf("%d", res.FabricDrops), fmt.Sprintf("%d", res.FabricMaxDepth),
+			fmt.Sprintf("%d", res.Retransmits), fmt.Sprintf("%.0f", res.LatencyP90us))
+	}
+	return t, results, nil
+}
+
+// ScenarioOpenLoop compares Xen and CDNA under open-loop load: Poisson
+// flow arrivals (web-search flow sizes) from a modeled client
+// population converging incast-style across a leaf-spine fabric.
+// Because arrivals do not slow down when the receive path saturates,
+// the overloaded architecture shows response-time collapse — arrivals
+// outrun completions and the p99 flow latency grows with the backlog —
+// which the closed-loop scenarios structurally cannot exhibit.
+func ScenarioOpenLoop(o Opts, rates []float64) (*stats.Table, []Result, error) {
+	var cfgs []Config
+	for _, rate := range rates {
+		for _, mode := range []Mode{ModeXen, ModeCDNA} {
+			nic := NICIntel
+			if mode == ModeCDNA {
+				nic = NICRice
+			}
+			cfg := DefaultConfig(mode, nic, Tx)
+			cfg.Hosts = 4
+			cfg.Pattern = PatternIncast
+			cfg.Fabric = fabricSpecOf(topo.KindLeafSpine, 1)
+			cfg.Workload = workload.Spec{
+				Kind:     workload.Poisson,
+				FlowRate: rate,
+				SizeDist: workload.SizeWebSearch,
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &stats.Table{Header: []string{"Rate/ep", "System", "Arrivals/s", "Flows/s", "p50 lat (us)", "p99 lat (us)", "SwitchDrops"}}
+	for i, cfg := range cfgs {
+		res := results[i]
+		t.AddRow(fmt.Sprintf("%g", cfg.Workload.FlowRate), fmt.Sprintf("%v/%v", cfg.Mode, cfg.NIC),
+			fmt.Sprintf("%.0f", res.ArrivalsPerSec), fmt.Sprintf("%.0f", res.FlowsPerSec),
+			fmt.Sprintf("%.0f", res.MsgLatP50us), fmt.Sprintf("%.0f", res.MsgLatP99us),
+			fmt.Sprintf("%d", res.FabricDrops))
 	}
 	return t, results, nil
 }

@@ -137,8 +137,10 @@ func TestClusterPatternsDeliver(t *testing.T) {
 			// unicast, ports-1 per flood) either entered an egress queue
 			// or was counted as a drop, synchronously — frames still
 			// waiting out the forwarding latency appear on neither side.
-			decisions := m.Fabric.Forwarded().Total() +
-				m.Fabric.Flooded().Total()*uint64(m.Fabric.NumPorts()-1)
+			// (Single-switch formula: the default fabric is one ToR.)
+			sw := m.Fabric.SwitchAt(0)
+			decisions := sw.Forwarded().Total() +
+				sw.Flooded().Total()*uint64(sw.NumPorts()-1)
 			if enq+drop != decisions {
 				t.Fatalf("fabric ledger: enq %d + drop %d != decisions %d", enq, drop, decisions)
 			}

@@ -71,6 +71,7 @@ var csvHeader = []string{
 	"latency_p50_us", "latency_p90_us",
 	"drops", "retransmits", "fairness", "faults", "events",
 	"rpc_per_sec", "flows_per_sec", "msg_lat_p50_us", "msg_lat_p99_us",
+	"arrivals_per_sec", "trace_skipped",
 	"error",
 }
 
@@ -117,6 +118,7 @@ func WriteCSVRecords(w io.Writer, recs []Record) error {
 			f(res.LatencyP50us), f(res.LatencyP90us),
 			u(res.Drops), u(res.Retransmits), f(res.Fairness), u(res.Faults), u(res.Events),
 			f(res.RPCPerSec), f(res.FlowsPerSec), f(res.MsgLatP50us), f(res.MsgLatP99us),
+			f(res.ArrivalsPerSec), strconv.Itoa(res.TraceSkipped),
 			rec.Error,
 		}
 		if err := cw.Write(row); err != nil {

@@ -4,6 +4,7 @@ import (
 	"cdna/internal/bench"
 	"cdna/internal/core"
 	"cdna/internal/sim"
+	"cdna/internal/topo"
 	"cdna/internal/workload"
 )
 
@@ -27,6 +28,12 @@ type Grid struct {
 	// single-host points where it is meaningless.
 	Hosts    []int           `json:"hosts,omitempty"`
 	Patterns []bench.Pattern `json:"patterns,omitempty"`
+
+	// Fabrics is the switching-topology axis (single ToR, leaf-spine,
+	// fat-tree, at chosen oversubscription ratios); empty collapses to
+	// the single ToR switch. Multi-tier specs are collapsed out of
+	// single-host points, which have no cross-host fabric to shape.
+	Fabrics []topo.FabricSpec `json:"fabrics,omitempty"`
 
 	// Shards is the engine-partition axis (bench.Config.Shards): how
 	// many event-queue shards execute each multi-host point. A pure
@@ -126,6 +133,28 @@ func (g Grid) faultsFor(hosts int) []bench.FaultSpec {
 	return specs
 }
 
+// fabricsFor collapses the fabric-topology axis for single-host
+// points: multi-tier fabrics need a multi-host rack, so only the ToR
+// entries survive there (and at least the default ToR always does).
+func (g Grid) fabricsFor(hosts int) []topo.FabricSpec {
+	if len(g.Fabrics) == 0 {
+		return []topo.FabricSpec{{}}
+	}
+	if hosts > 1 {
+		return g.Fabrics
+	}
+	var specs []topo.FabricSpec
+	for _, f := range g.Fabrics {
+		if f.Kind == topo.KindToR {
+			specs = append(specs, f)
+		}
+	}
+	if len(specs) == 0 {
+		return []topo.FabricSpec{{}}
+	}
+	return specs
+}
+
 // shardsFor collapses the engine-partition axis for single-host
 // points: one host means one engine, so any requested shard count
 // degenerates to 1 and would only duplicate the point.
@@ -187,46 +216,49 @@ func (g Grid) Points() []bench.Config {
 						for _, nn := range intsOr(g.NICCounts, 2) {
 							for _, hosts := range intsOr(g.Hosts, 1) {
 								for _, pat := range g.patternsFor(hosts) {
-									for _, flt := range g.faultsFor(hosts) {
-										for _, shards := range g.shardsFor(hosts) {
-											for _, prot := range g.protectionsFor(mode) {
-												for _, batch := range batches {
-													for _, irq := range irqs {
-														for _, coal := range coals {
-															cfg := bench.DefaultConfig(mode, nic, dir)
-															cfg.Workload = wl
-															cfg.Guests = gs
-															cfg.NICs = nn
-															if hosts > 1 {
-																cfg.Hosts = hosts
-																cfg.Pattern = pat
-																cfg.Shards = shards
-															}
-															cfg.Fault = flt
-															cfg.Protection = prot
-															cfg.MaxEnqueueBatch = batch
-															cfg.DirectPerContextIRQ = irq
-															cfg.TxCoalescePkts = coal
-															cfg.ConnsPerGuestPerNIC = g.Conns
-															// Invalid guest counts stay as-is here and fail
-															// Config.Validate with a per-point error record.
-															if g.Conns <= 0 && gs >= 1 {
-																cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
-															}
-															if g.Window > 0 {
-																cfg.Window = g.Window
-															}
-															if g.Warmup > 0 {
-																cfg.Warmup = g.Warmup
-															}
-															if g.Duration > 0 {
-																cfg.Duration = g.Duration
-															}
-															key := cfg
-															key.Cal = bench.Calibration{}
-															if !seen[key] {
-																seen[key] = true
-																cfgs = append(cfgs, cfg)
+									for _, fab := range g.fabricsFor(hosts) {
+										for _, flt := range g.faultsFor(hosts) {
+											for _, shards := range g.shardsFor(hosts) {
+												for _, prot := range g.protectionsFor(mode) {
+													for _, batch := range batches {
+														for _, irq := range irqs {
+															for _, coal := range coals {
+																cfg := bench.DefaultConfig(mode, nic, dir)
+																cfg.Workload = wl
+																cfg.Guests = gs
+																cfg.NICs = nn
+																if hosts > 1 {
+																	cfg.Hosts = hosts
+																	cfg.Pattern = pat
+																	cfg.Shards = shards
+																	cfg.Fabric = fab
+																}
+																cfg.Fault = flt
+																cfg.Protection = prot
+																cfg.MaxEnqueueBatch = batch
+																cfg.DirectPerContextIRQ = irq
+																cfg.TxCoalescePkts = coal
+																cfg.ConnsPerGuestPerNIC = g.Conns
+																// Invalid guest counts stay as-is here and fail
+																// Config.Validate with a per-point error record.
+																if g.Conns <= 0 && gs >= 1 {
+																	cfg.ConnsPerGuestPerNIC = bench.BalancedConns(gs)
+																}
+																if g.Window > 0 {
+																	cfg.Window = g.Window
+																}
+																if g.Warmup > 0 {
+																	cfg.Warmup = g.Warmup
+																}
+																if g.Duration > 0 {
+																	cfg.Duration = g.Duration
+																}
+																key := cfg
+																key.Cal = bench.Calibration{}
+																if !seen[key] {
+																	seen[key] = true
+																	cfgs = append(cfgs, cfg)
+																}
 															}
 														}
 													}
@@ -376,6 +408,51 @@ func FaultGrids() []Grid {
 				{Kind: bench.FaultPortFail},
 				{Kind: bench.FaultBlackout},
 			}},
+	}
+}
+
+// FabricGrids is the multi-tier fabric campaign: the cross-rack incast
+// and shuffle scenarios re-run over leaf-spine and fat-tree topologies
+// (against the single-ToR baseline), plus a trunk-starvation sweep over
+// the oversubscription ratio, for both I/O architectures.
+func FabricGrids() []Grid {
+	tx := []bench.Direction{bench.Tx}
+	xenCDNA := []bench.Mode{bench.ModeXen, bench.ModeCDNA}
+	fabrics := []topo.FabricSpec{
+		{},
+		{Kind: topo.KindLeafSpine, HostsPerLeaf: 2, Spines: 2},
+		{Kind: topo.KindFatTree, HostsPerLeaf: 2, Spines: 2},
+	}
+	return []Grid{
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Fabrics: fabrics,
+			Patterns: []bench.Pattern{bench.PatternIncast, bench.PatternAllToAll}},
+		{Modes: cdnaOnly, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternPairs},
+			Fabrics: []topo.FabricSpec{
+				{Kind: topo.KindLeafSpine, HostsPerLeaf: 1, Spines: 2},
+				{Kind: topo.KindLeafSpine, HostsPerLeaf: 1, Spines: 2, Oversub: 2},
+				{Kind: topo.KindLeafSpine, HostsPerLeaf: 1, Spines: 2, Oversub: 4},
+			}},
+	}
+}
+
+// OpenLoopGrids is the open-loop workload campaign: Poisson and Pareto
+// flow arrivals at rates spanning light load through response-time
+// collapse, web-search and data-mining flow-size mixes, incast across a
+// leaf-spine fabric, for both I/O architectures.
+func OpenLoopGrids() []Grid {
+	tx := []bench.Direction{bench.Tx}
+	xenCDNA := []bench.Mode{bench.ModeXen, bench.ModeCDNA}
+	var shapes []workload.Spec
+	for _, rate := range []float64{50, 500, 4000} {
+		shapes = append(shapes,
+			workload.Spec{Kind: workload.Poisson, FlowRate: rate, SizeDist: workload.SizeWebSearch},
+			workload.Spec{Kind: workload.Pareto, FlowRate: rate, SizeDist: workload.SizeDataMining},
+		)
+	}
+	return []Grid{
+		{Modes: xenCDNA, Dirs: tx, Hosts: []int{4}, Patterns: []bench.Pattern{bench.PatternIncast},
+			Fabrics:   []topo.FabricSpec{{Kind: topo.KindLeafSpine, HostsPerLeaf: 2, Spines: 2}},
+			Workloads: shapes},
 	}
 }
 

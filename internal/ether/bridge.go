@@ -18,6 +18,11 @@ type Bridge struct {
 
 	Forwarded stats.Counter
 	Flooded   stats.Counter
+	// FloodCopies counts flood recipients: a flood event delivering to
+	// n ports adds n. FloodCopies - Flooded is therefore the number of
+	// extra frame copies flooding created — the term that closes the
+	// fabric-wide conservation ledger the topo property tests check.
+	FloodCopies stats.Counter
 	// Moves counts source MACs re-learned on a different port — a
 	// station that migrated across the fabric (or whose first frame
 	// arrived as part of a flood and was then seen elsewhere).
@@ -44,6 +49,21 @@ func (b *Bridge) Lookup(m MAC) int {
 		return p
 	}
 	return -1
+}
+
+// Learn points the forwarding-database entry for m at port and returns
+// the previously learned port, or -1 if the MAC was unknown. Bridge
+// callers with richer port semantics (the multi-tier switch, whose
+// uplink-facing entries legitimately flap between equal-cost ports) use
+// it to apply their own station-move accounting; Input's own
+// unconditional learning is unchanged and counts Moves itself.
+func (b *Bridge) Learn(m MAC, port int) int {
+	old, ok := b.fdb[m]
+	b.fdb[m] = port
+	if !ok {
+		return -1
+	}
+	return old
 }
 
 // Unlearn removes every forwarding-database entry pointing at port and
@@ -101,6 +121,7 @@ func (b *Bridge) Input(in int, f *Frame) {
 			n++
 		}
 	}
+	b.FloodCopies.Add(uint64(n))
 	if n == 0 {
 		f.Release()
 		return

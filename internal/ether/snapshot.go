@@ -203,10 +203,11 @@ type FDBEntry struct {
 // database is serialized sorted by MAC so the image is deterministic
 // regardless of map iteration order.
 type BridgeState struct {
-	FDB       []FDBEntry
-	Forwarded stats.CounterState
-	Flooded   stats.CounterState
-	Moves     stats.CounterState
+	FDB         []FDBEntry
+	Forwarded   stats.CounterState
+	Flooded     stats.CounterState
+	FloodCopies stats.CounterState
+	Moves       stats.CounterState
 }
 
 // State captures the bridge.
@@ -219,10 +220,11 @@ func (b *Bridge) State() BridgeState {
 		return bytes.Compare(fdb[i].MAC[:], fdb[j].MAC[:]) < 0
 	})
 	return BridgeState{
-		FDB:       fdb,
-		Forwarded: b.Forwarded.State(),
-		Flooded:   b.Flooded.State(),
-		Moves:     b.Moves.State(),
+		FDB:         fdb,
+		Forwarded:   b.Forwarded.State(),
+		Flooded:     b.Flooded.State(),
+		FloodCopies: b.FloodCopies.State(),
+		Moves:       b.Moves.State(),
 	}
 }
 
@@ -234,5 +236,6 @@ func (b *Bridge) SetState(s BridgeState) {
 	}
 	b.Forwarded.SetState(s.Forwarded)
 	b.Flooded.SetState(s.Flooded)
+	b.FloodCopies.SetState(s.FloodCopies)
 	b.Moves.SetState(s.Moves)
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // RNG is a small deterministic pseudo-random generator (splitmix64 /
 // xorshift-style) used for workload jitter. It is seeded explicitly so
 // experiments replay identically; math/rand is deliberately avoided so
@@ -44,6 +46,21 @@ func (r *RNG) Intn(n int) int {
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with the given mean —
+// the inter-arrival draw of a Poisson process. Inverse-CDF over the
+// uniform stream, so one Uint64 per draw and the sequence replays
+// identically from a stored state.
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log1p(-r.Float64())
+}
+
+// Pareto returns a Pareto(alpha, xm)-distributed value: minimum xm,
+// tail index alpha. The mean is alpha*xm/(alpha-1) for alpha > 1 —
+// heavy-tailed inter-arrival gaps and flow sizes both come from here.
+func (r *RNG) Pareto(alpha, xm float64) float64 {
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
 }
 
 // Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].

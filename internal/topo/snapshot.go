@@ -31,6 +31,7 @@ type SwitchState struct {
 	Ports  []PortState
 	Inputs stats.CounterState
 	Drops  stats.CounterState
+	Strays stats.CounterState
 }
 
 // State captures the switch.
@@ -41,6 +42,7 @@ func (s *Switch) State(codec ether.PayloadCodec) (SwitchState, error) {
 		Ports:  make([]PortState, len(s.ports)),
 		Inputs: s.Inputs.State(),
 		Drops:  s.Drops.State(),
+		Strays: s.Strays.State(),
 	}
 	for i := 0; i < s.pendQ.Len(); i++ {
 		pf := s.pendQ.At(i)
@@ -96,5 +98,63 @@ func (s *Switch) SetState(st SwitchState, codec ether.PayloadCodec) error {
 	}
 	s.Inputs.SetState(st.Inputs)
 	s.Drops.SetState(st.Drops)
+	s.Strays.SetState(st.Strays)
+	return nil
+}
+
+// FabricState is a whole multi-switch fabric's checkpoint image: one
+// switch image per member, in builder order, plus the in-flight state
+// of every trunk pipe (host-facing access links belong to their host's
+// image, but trunks are owned by the fabric). Topology (tier wiring, up
+// flags, ECMP seeds) is reconstructed from configuration, not captured.
+type FabricState struct {
+	Switches []SwitchState
+	Trunks   []ether.PipeState
+}
+
+// State captures every switch and trunk of the fabric.
+func (fb *Fabric) State(codec ether.PayloadCodec) (FabricState, error) {
+	st := FabricState{
+		Switches: make([]SwitchState, len(fb.switches)),
+		Trunks:   make([]ether.PipeState, len(fb.trunks)),
+	}
+	for i, sw := range fb.switches {
+		ss, err := sw.State(codec)
+		if err != nil {
+			return FabricState{}, err
+		}
+		st.Switches[i] = ss
+	}
+	for i, tr := range fb.trunks {
+		ts, err := tr.State(codec)
+		if err != nil {
+			return FabricState{}, err
+		}
+		st.Trunks[i] = ts
+	}
+	return st, nil
+}
+
+// SetState restores every switch and trunk into a freshly built fabric
+// with the same shape.
+func (fb *Fabric) SetState(st FabricState, codec ether.PayloadCodec) error {
+	if len(st.Switches) != len(fb.switches) {
+		return fmt.Errorf("topo: fabric roster mismatch: snapshot has %d switches, machine has %d",
+			len(st.Switches), len(fb.switches))
+	}
+	if len(st.Trunks) != len(fb.trunks) {
+		return fmt.Errorf("topo: trunk roster mismatch: snapshot has %d trunks, machine has %d",
+			len(st.Trunks), len(fb.trunks))
+	}
+	for i, sw := range fb.switches {
+		if err := sw.SetState(st.Switches[i], codec); err != nil {
+			return err
+		}
+	}
+	for i, tr := range fb.trunks {
+		if err := tr.SetState(st.Trunks[i], codec); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -21,6 +21,8 @@
 package topo
 
 import (
+	"fmt"
+
 	"cdna/internal/ether"
 	"cdna/internal/sim"
 	"cdna/internal/stats"
@@ -57,6 +59,24 @@ func DefaultParams() Params {
 	}
 }
 
+// Validate rejects parameter sets that would produce silently nonsense
+// schedules: a non-positive link rate serializes frames in zero or
+// negative time, and negative delays schedule events into the past.
+// EgressCap <= 0 stays legal — New defaults it — because "unset" is a
+// meaningful request for the standard shallow-buffered queue.
+func (p Params) Validate() error {
+	if p.LinkGbps <= 0 {
+		return fmt.Errorf("topo: LinkGbps must be positive, got %g", p.LinkGbps)
+	}
+	if p.PropDelay < 0 {
+		return fmt.Errorf("topo: PropDelay must be non-negative, got %v", p.PropDelay)
+	}
+	if p.ForwardLatency < 0 {
+		return fmt.Errorf("topo: ForwardLatency must be non-negative, got %v", p.ForwardLatency)
+	}
+	return nil
+}
+
 // pending is one fully received frame waiting out the switch's
 // forwarding latency.
 type pending struct {
@@ -78,14 +98,32 @@ type Switch struct {
 	pendQ     sim.FIFO[pending]
 	forwardFn sim.Fn
 
+	// Multi-tier routing state (empty for a classic single-tier ToR,
+	// which keeps pure learning-bridge semantics): uplinks lists the
+	// up-facing trunk ports, and ecmpSeed salts the (src,dst) hash that
+	// spreads remote-bound flows over them.
+	uplinks  []int32
+	ecmpSeed uint64
+
 	// Inputs counts frames the switch received (post store-and-forward).
 	Inputs stats.Counter
 	// Drops counts egress tail drops across all ports.
 	Drops stats.Counter
+	// Strays counts frames that arrived on an uplink for a destination
+	// also learned on an uplink: valley-free routing never re-ascends,
+	// so they are released (a transient of flood-time misdelivery or a
+	// station move mid-flight).
+	Strays stats.Counter
 }
 
-// New creates an empty switch on the engine.
+// New creates an empty switch on the engine. Params must pass Validate
+// (construction panics with the validation error otherwise — a
+// misconfigured fabric is a programming error, and callers that accept
+// external configuration validate before building).
 func New(eng *sim.Engine, p Params) *Switch {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	if p.EgressCap <= 0 {
 		p.EgressCap = DefaultParams().EgressCap
 	}
@@ -106,8 +144,13 @@ type Port struct {
 	q    sim.FIFO[*ether.Frame]
 	busy bool
 	// failed marks a dead port (fault injection): forwarding decisions
-	// toward it drop, and its queued frames were discarded at failure.
+	// toward it drop, frames arriving on its ingress drop, and its
+	// queued frames were discarded at failure.
 	failed bool
+	// up marks an up-facing trunk port of a multi-tier switch: remote
+	// destinations are reached through the ECMP-balanced uplink set,
+	// and frames arriving from above never go back up (valley-free).
+	up bool
 	// txDone fires when the egress pipe finishes serializing the current
 	// frame, freeing the wire for the next queued one.
 	txDone *sim.Timer
@@ -138,6 +181,27 @@ func (s *Switch) AddPort(in, out *ether.Pipe) int {
 	return p.id
 }
 
+// AddUplink attaches a full-duplex trunk toward the tier above and
+// marks the port up-facing. A switch with at least one uplink routes
+// valley-free with ECMP instead of flat bridge semantics (see route).
+// Wiring is identical to AddPort: in carries frames from the upper
+// switch down to this one, out carries frames up.
+func (s *Switch) AddUplink(in, out *ether.Pipe) int {
+	id := s.AddPort(in, out)
+	s.ports[id].up = true
+	s.uplinks = append(s.uplinks, int32(id))
+	return id
+}
+
+// SetECMPSeed salts the switch's (src,dst) uplink hash. Fabric builders
+// derive it from the configured fabric seed and the switch's index, so
+// different switches spread the same flow pair differently while any
+// shard count replays the same choice.
+func (s *Switch) SetECMPSeed(seed uint64) { s.ecmpSeed = seed }
+
+// NumUplinks returns the number of up-facing trunk ports.
+func (s *Switch) NumUplinks() int { return len(s.uplinks) }
+
 // NumPorts returns the number of attached ports.
 func (s *Switch) NumPorts() int { return len(s.ports) }
 
@@ -163,17 +227,162 @@ func (s *Switch) Moves() *stats.Counter { return &s.bridge.Moves }
 // waits out the store-and-forward processing latency, then the bridge
 // logic learns its source and resolves the egress port(s). Ingress
 // pipes attached by AddPort call this; tests may call it directly.
+//
+// A failed port is dead in both directions: frames arriving on its
+// ingress are dropped here — counted against the port and the switch,
+// never reaching the bridge — so a host behind a dead port cannot keep
+// injecting traffic or re-learning its MAC.
 func (s *Switch) Input(in int, f *ether.Frame) {
+	if p := s.ports[in]; p.failed {
+		p.Dropped.Inc()
+		s.Drops.Inc()
+		f.Release()
+		return
+	}
 	s.Inputs.Inc()
 	s.pendQ.Push(pending{f: f, in: int32(in)})
 	s.eng.AfterFn(s.p.ForwardLatency, "topo.forward", s.forwardFn)
 }
 
-// forward runs after ForwardLatency: standard learning-bridge semantics,
-// with the bridge's output ports being the bounded egress queues.
+// forward runs after ForwardLatency: standard learning-bridge semantics
+// for a single-tier switch (the bridge's output ports being the bounded
+// egress queues), valley-free ECMP routing for a switch with uplinks.
 func (s *Switch) forward() {
 	pf := s.pendQ.Pop()
-	s.bridge.Input(int(pf.in), pf.f)
+	if len(s.uplinks) == 0 {
+		s.bridge.Input(int(pf.in), pf.f)
+		return
+	}
+	s.route(int(pf.in), pf.f)
+}
+
+// route is the forwarding decision of a multi-tier switch. It keeps the
+// learning bridge's forwarding database and counters but adds the two
+// rules that make a Clos fabric loop-free and balanced:
+//
+//   - valley-free: a frame that arrived on an up-facing port is only
+//     ever forwarded down; if its destination is (still) learned on an
+//     uplink, the frame is a stray and is released, never re-ascended.
+//   - ECMP: a destination learned on any uplink is remote; the egress
+//     uplink is hash(seed, src, dst) over the live uplink set — a pure
+//     function of the flow pair, so each pair keeps one path (FIFO, no
+//     reordering) at any shard count.
+//
+// Source learning stays unconditional, but a MAC flapping between two
+// up-facing ports is not a station move — remote MACs legitimately
+// appear on whichever uplink the sender's ECMP chose — so Moves counts
+// only changes that involve a down-facing port.
+func (s *Switch) route(in int, f *ether.Frame) {
+	ip := s.ports[in]
+	if !f.Src.IsBroadcast() {
+		old := s.bridge.Learn(f.Src, in)
+		if old >= 0 && old != in && !(ip.up && s.ports[old].up) {
+			s.bridge.Moves.Inc()
+		}
+	}
+	if !f.Dst.IsBroadcast() {
+		if out := s.bridge.Lookup(f.Dst); out >= 0 {
+			op := s.ports[out]
+			switch {
+			case !op.up && out != in:
+				s.bridge.Forwarded.Inc()
+				op.Receive(f)
+			case !op.up:
+				f.Release() // hairpin suppressed
+			case !ip.up:
+				s.bridge.Forwarded.Inc()
+				s.ports[s.ecmpUplink(f)].Receive(f)
+			default:
+				s.Strays.Inc()
+				f.Release()
+			}
+			return
+		}
+	}
+	s.flood(in, f)
+}
+
+// flood delivers an unknown-unicast or broadcast frame to every
+// down-facing port except ingress, plus — when the frame came from
+// below — exactly one ECMP-chosen uplink. One copy per tier-crossing
+// keeps a multi-rooted Clos flood loop-free and duplicate-free: the
+// stripe wiring gives each lower switch a single port per upper
+// subtree, and descending frames never re-ascend.
+func (s *Switch) flood(in int, f *ether.Frame) {
+	s.bridge.Flooded.Inc()
+	up := -1
+	if !s.ports[in].up {
+		up = s.ecmpUplink(f)
+	}
+	n := 0
+	for i, p := range s.ports {
+		if i != in && (!p.up || i == up) {
+			n++
+		}
+	}
+	s.bridge.FloodCopies.Add(uint64(n))
+	if n == 0 {
+		f.Release()
+		return
+	}
+	for i := 1; i < n; i++ {
+		f.Retain()
+	}
+	for i, p := range s.ports {
+		if i != in && (!p.up || i == up) {
+			p.Receive(f)
+		}
+	}
+}
+
+// ecmpUplink picks the egress uplink for a flow pair: a deterministic
+// hash of (seed, src, dst) over the non-failed uplinks, falling back to
+// the full set (where the egress drop is then counted) when every
+// uplink is down.
+func (s *Switch) ecmpUplink(f *ether.Frame) int {
+	live := 0
+	for _, u := range s.uplinks {
+		if !s.ports[u].failed {
+			live++
+		}
+	}
+	h := ecmpHash(s.ecmpSeed, f.Src, f.Dst)
+	if live == 0 {
+		return int(s.uplinks[h%uint64(len(s.uplinks))])
+	}
+	k := int(h % uint64(live))
+	for _, u := range s.uplinks {
+		if s.ports[u].failed {
+			continue
+		}
+		if k == 0 {
+			return int(u)
+		}
+		k--
+	}
+	return int(s.uplinks[0]) // unreachable
+}
+
+// ecmpHash mixes the flow pair with the switch's seed (splitmix64
+// finalizer — the same stream sim.RNG uses, so quality is known and the
+// value is a pure function of its inputs: byte-identical at any shard
+// count and under any scheduler).
+func ecmpHash(seed uint64, src, dst ether.MAC) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	h := mix(seed + 0x9e3779b97f4a7c15)
+	h = mix(h ^ macBits(src))
+	h = mix(h ^ macBits(dst))
+	return h
+}
+
+// macBits packs a MAC into the low 48 bits of a uint64.
+func macBits(m ether.MAC) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
 }
 
 // Receive implements ether.Port for the embedded bridge's output side:
@@ -217,11 +426,12 @@ func (p *Port) onWireFree() {
 	}
 }
 
-// FailPort kills port i: its queued egress frames are discarded (and
-// counted as drops), every station learned behind it is unlearned from
-// the forwarding database — traffic toward those MACs floods until
-// they are re-learned — and future forwarding decisions toward the port
-// drop. The frame currently serializing, if any, still delivers.
+// FailPort kills port i in both directions: its queued egress frames
+// are discarded (and counted as drops), every station learned behind it
+// is unlearned from the forwarding database — traffic toward those MACs
+// floods until they are re-learned — and future forwarding decisions
+// toward the port drop, as do frames arriving on its ingress. The frame
+// currently serializing, if any, still delivers.
 func (s *Switch) FailPort(i int) {
 	p := s.ports[i]
 	p.failed = true
@@ -257,8 +467,10 @@ func (p *Port) Out() *ether.Pipe { return p.out }
 func (s *Switch) StartWindow() {
 	s.Inputs.StartWindow()
 	s.Drops.StartWindow()
+	s.Strays.StartWindow()
 	s.bridge.Forwarded.StartWindow()
 	s.bridge.Flooded.StartWindow()
+	s.bridge.FloodCopies.StartWindow()
 	s.bridge.Moves.StartWindow()
 	for _, p := range s.ports {
 		p.Enqueued.StartWindow()

@@ -340,6 +340,91 @@ func TestSwitchFabricInvariantsProperty(t *testing.T) {
 	}
 }
 
+// Invalid fabric constants must be rejected at construction with a
+// clear error, not turned into silently nonsense schedules. EgressCap
+// <= 0 stays a legal "use the default" request.
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{LinkGbps: 0, PropDelay: 0, ForwardLatency: 0},
+		{LinkGbps: -1},
+		{LinkGbps: 1, PropDelay: -sim.Nanosecond},
+		{LinkGbps: 1, ForwardLatency: -sim.Microsecond},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Params %+v validated, want error", p)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New accepted invalid Params %+v", p)
+				}
+			}()
+			New(sim.New(), p)
+		}()
+	}
+	ok := DefaultParams()
+	ok.EgressCap = 0 // "unset" defaults, never errors
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default Params rejected: %v", err)
+	}
+	if sw := New(sim.New(), ok); sw.Params().EgressCap != DefaultParams().EgressCap {
+		t.Fatalf("EgressCap not defaulted: %d", sw.Params().EgressCap)
+	}
+}
+
+// Failed ports must be dead in both directions. FailPort kills egress;
+// this pins the ingress half: a host behind a failed port that keeps
+// transmitting must see every frame dropped at the port — zero
+// forwards, zero floods, zero station moves — until RestorePort.
+// (Regression: ingress frames on a failed port used to be accepted and
+// forwarded, silently re-learning the "dead" station's MAC.)
+func TestSwitchFailedPortDropsIngress(t *testing.T) {
+	r := newRig(t, 3, DefaultParams())
+	r.learnAll()
+	r.sw.FailPort(0)
+	if r.sw.Lookup(r.macs[0]) != -1 {
+		t.Fatal("FailPort must unlearn the station behind the port")
+	}
+
+	// The host behind the dead port keeps transmitting.
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		r.ups[0].Send(&ether.Frame{Src: r.macs[0], Dst: r.macs[2], Size: 300})
+	}
+	r.drain()
+	if got := len(r.log[2]); got != 0 {
+		t.Fatalf("failed port leaked %d ingress frames to port 2, want 0", got)
+	}
+	if fwd, fld := r.sw.Forwarded().Window(), r.sw.Flooded().Window(); fwd != 0 || fld != 0 {
+		t.Fatalf("failed-port ingress reached the bridge: forwarded %d, flooded %d, want 0/0", fwd, fld)
+	}
+	if moves := r.sw.Moves().Window(); moves != 0 {
+		t.Fatalf("failed-port ingress re-learned its MAC: moves %d, want 0", moves)
+	}
+	if r.sw.Lookup(r.macs[0]) != -1 {
+		t.Fatal("failed-port ingress must not refresh the forwarding database")
+	}
+	// The drops are accounted on the failed port and the switch total.
+	port := r.sw.Port(0)
+	if port.Dropped.Window() != frames || r.sw.Drops.Window() != frames {
+		t.Fatalf("ingress drops: port %d, switch %d, want %d both",
+			port.Dropped.Window(), r.sw.Drops.Window(), frames)
+	}
+
+	// RestorePort brings the station back: traffic flows and the MAC is
+	// re-learned from its next frame.
+	r.sw.RestorePort(0)
+	r.ups[0].Send(&ether.Frame{Src: r.macs[0], Dst: r.macs[2], Size: 300})
+	r.drain()
+	if got := len(r.log[2]); got != 1 {
+		t.Fatalf("restored port delivered %d frames, want 1", got)
+	}
+	if r.sw.Lookup(r.macs[0]) != 0 {
+		t.Fatal("restored station not re-learned")
+	}
+}
+
 // The switch relearns a moved station exactly as the flat bridge does
 // (the regression the ether tests pin, holding through the
 // store-and-forward layer).

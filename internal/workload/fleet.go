@@ -21,6 +21,13 @@ type Fleet struct {
 
 	// lat is scratch space for merged latency quantiles.
 	lat stats.Distribution
+
+	// traceSkipped counts trace events with no matching endpoint,
+	// summed at Launch (Trace kind only).
+	traceSkipped int
+	// traceDone guards the one-shot trace assignment (Launch or the
+	// restore path, whichever runs first).
+	traceDone bool
 }
 
 // fleetSlot locates one global endpoint inside its owning generator.
@@ -80,10 +87,33 @@ func (f *Fleet) Endpoints() []Endpoint {
 // Launch schedules every endpoint's start, staggered by global index
 // over the first part of warmup — the same schedule at any shard count.
 func (f *Fleet) Launch(warmup sim.Time) {
+	f.assignTraceOnce()
 	n := len(f.slots)
 	for i, s := range f.slots {
 		s.g.launchOne(s.g.eps[s.idx], launchAt(warmup, i, n))
 	}
+}
+
+// TraceSkipped returns how many trace events had no matching endpoint
+// (valid after Launch for the Trace kind).
+func (f *Fleet) TraceSkipped() int { return f.traceSkipped }
+
+// assignTraceOnce distributes trace events against the machine-global
+// roster in slot order — the same roster at any shard count, so each
+// event lands on the same endpoint regardless of sharding. Runs once,
+// from Launch on a cold start or from SetState on a restore (a restored
+// machine is never Launched; its timers ride the engine snapshot, but
+// the replay cursor still needs the assigned rows to index into).
+func (f *Fleet) assignTraceOnce() {
+	if f.traceDone || f.Spec().Kind != Trace {
+		return
+	}
+	f.traceDone = true
+	eps := make([]*endpoint, len(f.slots))
+	for i, s := range f.slots {
+		eps[i] = s.g.eps[s.idx]
+	}
+	f.traceSkipped = assignTrace(f.gens[0].trace, eps)
 }
 
 // StartWindow resets every generator's windowed metrics.
@@ -120,6 +150,19 @@ func (f *Fleet) FlowsRate(dur sim.Time) float64 {
 	return float64(w) / dur.Seconds()
 }
 
+// ArrivalsRate returns open-loop flow arrivals per second over the
+// window — the offered load, independent of what the fabric absorbed.
+func (f *Fleet) ArrivalsRate(dur sim.Time) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	var w uint64
+	for _, g := range f.gens {
+		w += g.Arrivals.Window()
+	}
+	return float64(w) / dur.Seconds()
+}
+
 // LatencyQuantile returns the q-quantile of message-completion latency
 // across every shard's samples. Quantiles are a pure function of the
 // combined multiset, so the merged value is identical to what a single
@@ -147,6 +190,7 @@ func (f *Fleet) State() []GeneratorState {
 // SetState restores every generator from a fleet image with the same
 // shard layout.
 func (f *Fleet) SetState(ss []GeneratorState) error {
+	f.assignTraceOnce()
 	if len(ss) != len(f.gens) {
 		return fmt.Errorf("workload: fleet shard mismatch: snapshot has %d generators, machine has %d",
 			len(ss), len(f.gens))

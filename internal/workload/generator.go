@@ -44,10 +44,23 @@ type Generator struct {
 	spec Spec // resolved: all defaults filled in
 	eps  []*endpoint
 
+	// trace is the parsed flow trace (Trace kind), loaded at
+	// construction; events are assigned to endpoints at Launch.
+	trace *FlowTrace
+	// traceSkipped counts trace events with no matching endpoint.
+	traceSkipped int
+	// traceDone guards the one-shot trace assignment for a standalone
+	// generator (a Fleet assigns machine-globally instead).
+	traceDone bool
+
 	// Requests counts completed RPC exchanges (RequestResponse).
 	Requests stats.Counter
-	// Flows counts completed short-lived flows (Churn).
+	// Flows counts completed short-lived flows (Churn and the
+	// open-loop kinds).
 	Flows stats.Counter
+	// Arrivals counts open-loop flow arrivals (offered load); compared
+	// with Flows it exposes the backlog an overloaded fabric accrues.
+	Arrivals stats.Counter
 	// Latency samples message-completion latency in microseconds:
 	// request-issue to response-delivered for RequestResponse, flow
 	// open to final ack for Churn. Empty for Bulk and Burst.
@@ -59,10 +72,17 @@ type endpoint struct {
 	g *Generator
 	Endpoint
 	rng     *sim.RNG
-	timer   *sim.Timer // think / gap / burst-phase timer
-	t0      sim.Time   // outstanding message's issue time
+	timer   *sim.Timer // think / gap / burst-phase / arrival timer
+	t0      sim.Time   // outstanding message's issue (or arrival) time
 	on      bool       // burst: currently in an on-period
 	startFn sim.Fn     // kind-appropriate Launch callback, bound at Add
+
+	// Open-loop state (Poisson, Pareto, Trace).
+	backlog   sim.FIFO[flowArrival] // arrivals waiting for the connection
+	inFlight  bool                  // a flow occupies the connection
+	trace     []TraceEvent          // this endpoint's assigned trace rows
+	cursor    int                   // next trace row to replay
+	traceBase sim.Time              // engine time of trace t=0
 }
 
 // NewGenerator creates a generator for a resolved spec. Call
@@ -72,7 +92,15 @@ func NewGenerator(eng *sim.Engine, spec Spec) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Generator{eng: eng, spec: spec}, nil
+	g := &Generator{eng: eng, spec: spec}
+	if spec.Kind == Trace {
+		tr, err := LoadTrace(spec.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		g.trace = tr
+	}
+	return g, nil
 }
 
 // Spec returns the generator's resolved spec.
@@ -128,6 +156,14 @@ func (g *Generator) addIndexed(rngIdx int, ep Endpoint) error {
 	case Burst:
 		e.timer = g.eng.NewTimer("workload.burst", e.togglePhase)
 		e.startFn = g.eng.Bind(e.startBurst)
+	case Poisson, Pareto:
+		e.timer = g.eng.NewTimer("workload.arrival", e.onArrival)
+		e.startFn = g.eng.Bind(e.startOpenLoop)
+		ep.Fwd.OnSendComplete = e.onOpenFlowDone
+	case Trace:
+		e.timer = g.eng.NewTimer("workload.arrival", e.onTraceArrival)
+		e.startFn = g.eng.Bind(e.startTrace)
+		ep.Fwd.OnSendComplete = e.onOpenFlowDone
 	}
 	g.eps = append(g.eps, e)
 	return nil
@@ -139,11 +175,19 @@ func (g *Generator) addIndexed(rngIdx int, ep Endpoint) error {
 // exactly: the same "conn.start" events at the same times in the same
 // order.
 func (g *Generator) Launch(warmup sim.Time) {
+	if g.spec.Kind == Trace && !g.traceDone {
+		g.traceDone = true
+		g.traceSkipped = assignTrace(g.trace, g.eps)
+	}
 	n := len(g.eps)
 	for i, e := range g.eps {
 		g.launchOne(e, launchAt(warmup, i, n))
 	}
 }
+
+// TraceSkipped returns how many trace events had no matching endpoint
+// (valid after Launch for the Trace kind).
+func (g *Generator) TraceSkipped() int { return g.traceSkipped }
 
 // launchAt returns the staggered start time of global endpoint i of n:
 // offset past driver initialization (initial receive-buffer posting),
@@ -167,6 +211,8 @@ func (g *Generator) launchOne(e *endpoint, at sim.Time) {
 		g.eng.AtFn(at, "workload.flow", e.startFn)
 	case Burst:
 		g.eng.AtFn(at, "conn.start", e.startFn)
+	case Poisson, Pareto, Trace:
+		g.eng.AtFn(at, "workload.arrival", e.startFn)
 	}
 }
 
@@ -175,6 +221,7 @@ func (g *Generator) launchOne(e *endpoint, at sim.Time) {
 func (g *Generator) StartWindow() {
 	g.Requests.StartWindow()
 	g.Flows.StartWindow()
+	g.Arrivals.StartWindow()
 	g.Latency.Reset()
 }
 

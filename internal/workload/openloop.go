@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+
+	"cdna/internal/sim"
+)
+
+// Open-loop flow generation (Poisson, Pareto, Trace): arrivals are
+// driven by a modeled client population (or a recorded trace), not by
+// completions. Each endpoint keeps an arrival backlog; one flow is in
+// flight on the connection at a time, and latency is measured from
+// *arrival* to completion — queueing delay included — so overload shows
+// up as response-time collapse, exactly what a closed-loop generator
+// structurally cannot exhibit.
+
+// flowArrival is one queued open-loop flow: when it arrived and how
+// many segments it carries (size sampled at arrival time, so the RNG
+// draw order depends only on the arrival process).
+type flowArrival struct {
+	at   sim.Time
+	segs int32
+}
+
+// sizeBin is one step of a discrete flow-size CDF: cumulative
+// probability up to and including this size.
+type sizeBin struct {
+	q    float64
+	segs int32
+}
+
+// maxFlowSegs caps sampled flow sizes (~6 MB at the default MSS) so a
+// single heavy-tail draw cannot occupy a link for a whole measurement
+// window.
+const maxFlowSegs = 4096
+
+// websearchBins approximates the web-search flow-size CDF of the DCTCP
+// lineage (shape-preserving, in segments at the default MSS): mostly
+// small-to-mid flows with a modest heavy tail.
+var websearchBins = []sizeBin{
+	{0.15, 2}, {0.40, 7}, {0.60, 20}, {0.80, 70}, {0.92, 230}, {0.98, 700}, {1.00, 1400},
+}
+
+// dataminingBins approximates the data-mining CDF: overwhelmingly tiny
+// flows and a thin tail of very large ones.
+var dataminingBins = []sizeBin{
+	{0.50, 1}, {0.78, 2}, {0.90, 7}, {0.96, 50}, {0.99, 350}, {1.00, 2800},
+}
+
+// pickBin returns the size whose CDF step covers u.
+func pickBin(bins []sizeBin, u float64) int32 {
+	for _, b := range bins {
+		if u <= b.q {
+			return b.segs
+		}
+	}
+	return bins[len(bins)-1].segs
+}
+
+// sampleSegs draws one flow size from the spec's distribution.
+func (e *endpoint) sampleSegs() int32 {
+	s := e.g.spec
+	switch s.SizeDist {
+	case SizePareto:
+		v := e.rng.Pareto(s.ParetoAlpha, float64(s.FlowSegs))
+		if v > maxFlowSegs {
+			v = maxFlowSegs
+		}
+		return int32(math.Ceil(v))
+	case SizeWebSearch:
+		return pickBin(websearchBins, e.rng.Float64())
+	case SizeDataMining:
+		return pickBin(dataminingBins, e.rng.Float64())
+	default:
+		return int32(s.FlowSegs)
+	}
+}
+
+// interArrival draws the gap to the endpoint's next flow arrival. The
+// mean is 1/(FlowRate*Clients); Poisson draws exponential gaps, Pareto
+// heavy-tailed ones with the same mean (bursts and long silences).
+func (e *endpoint) interArrival() sim.Time {
+	s := e.g.spec
+	mean := float64(sim.Second) / (s.FlowRate * float64(s.Clients))
+	var v float64
+	if s.Kind == Pareto {
+		xm := mean * (s.ParetoAlpha - 1) / s.ParetoAlpha
+		v = e.rng.Pareto(s.ParetoAlpha, xm)
+	} else {
+		v = e.rng.Exp(mean)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return sim.Time(v)
+}
+
+// startOpenLoop is the Poisson/Pareto launch event: arm the first
+// arrival one draw away.
+func (e *endpoint) startOpenLoop() {
+	e.timer.ArmAfter(e.interArrival())
+}
+
+// onArrival is the Poisson/Pareto arrival event: enqueue the flow
+// (size sampled now), re-arm the arrival process, and start the flow
+// immediately if the connection is idle.
+func (e *endpoint) onArrival() {
+	e.g.Arrivals.Inc()
+	e.backlog.Push(flowArrival{at: e.g.eng.Now(), segs: e.sampleSegs()})
+	e.timer.ArmAfter(e.interArrival())
+	if !e.inFlight {
+		e.startNextFlow()
+	}
+}
+
+// startTrace is the Trace launch event: position the cursor and arm
+// the first recorded arrival (trace times are relative to launch).
+func (e *endpoint) startTrace() {
+	if e.cursor >= len(e.trace) {
+		return
+	}
+	e.traceBase = e.g.eng.Now()
+	e.timer.Arm(e.traceBase + e.trace[e.cursor].At)
+}
+
+// onTraceArrival replays the cursor's event and arms the next one.
+func (e *endpoint) onTraceArrival() {
+	ev := e.trace[e.cursor]
+	e.cursor++
+	e.g.Arrivals.Inc()
+	segs := int32(ev.Segs)
+	if segs > maxFlowSegs {
+		segs = maxFlowSegs
+	}
+	e.backlog.Push(flowArrival{at: e.g.eng.Now(), segs: segs})
+	if e.cursor < len(e.trace) {
+		e.timer.Arm(e.traceBase + e.trace[e.cursor].At)
+	}
+	if !e.inFlight {
+		e.startNextFlow()
+	}
+}
+
+// startNextFlow opens the backlog's head flow on the connection:
+// per-flow setup cost, fresh slow start, one delivery mark at the end.
+func (e *endpoint) startNextFlow() {
+	head := e.backlog.Pop()
+	e.inFlight = true
+	e.t0 = head.at // arrival time: latency includes backlog queueing
+	if e.OnFlowSetup != nil {
+		e.OnFlowSetup()
+	}
+	e.Fwd.ResetSlowStart()
+	e.Fwd.ExpectDelivery(int(head.segs))
+	e.Fwd.Send(int(head.segs))
+}
+
+// onOpenFlowDone runs at the sender when the in-flight flow is fully
+// acknowledged: charge teardown, record the open-loop response time,
+// and drain the backlog.
+func (e *endpoint) onOpenFlowDone() {
+	if e.OnFlowTeardown != nil {
+		e.OnFlowTeardown()
+	}
+	e.g.Flows.Inc()
+	e.g.Latency.Observe(float64(e.g.eng.Now()-e.t0) / 1000)
+	e.inFlight = false
+	if e.backlog.Len() > 0 {
+		e.startNextFlow()
+	}
+}

@@ -15,6 +15,7 @@ package workload
 
 import (
 	"fmt"
+	"path"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,21 @@ const (
 	// Burst alternates saturating on-periods with silent off-periods,
 	// jittered per endpoint so bursts desynchronize.
 	Burst
+	// Poisson is open-loop flow arrivals: a modeled client population
+	// behind each endpoint offers flows at a fixed mean rate with
+	// exponential inter-arrival gaps, regardless of how fast the fabric
+	// completes them. Arrivals queue behind the endpoint's connection;
+	// latency measures arrival→completion, queueing included — the
+	// open-loop response time that collapses under overload.
+	Poisson
+	// Pareto is Poisson's heavy-tailed sibling: the same open-loop
+	// machinery with Pareto-distributed inter-arrival gaps (tail index
+	// ParetoAlpha), so arrivals come in bursts with long silences.
+	Pareto
+	// Trace replays a recorded flow trace (CSV of arrival,src,dst,bytes)
+	// through the open-loop machinery: each row becomes a flow arrival
+	// on an endpoint matching its (src,dst) host pair.
+	Trace
 )
 
 func (k Kind) String() string {
@@ -53,12 +69,19 @@ func (k Kind) String() string {
 		return "churn"
 	case Burst:
 		return "burst"
+	case Poisson:
+		return "poisson"
+	case Pareto:
+		return "pareto"
+	case Trace:
+		return "trace"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// ParseKind parses a workload kind token: bulk | rr | churn | burst.
+// ParseKind parses a workload kind token:
+// bulk | rr | churn | burst | poisson | pareto | trace.
 func ParseKind(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "bulk", "":
@@ -69,14 +92,20 @@ func ParseKind(s string) (Kind, error) {
 		return Churn, nil
 	case "burst":
 		return Burst, nil
+	case "poisson":
+		return Poisson, nil
+	case "pareto":
+		return Pareto, nil
+	case "trace":
+		return Trace, nil
 	}
-	return 0, fmt.Errorf("workload: unknown kind %q (want bulk | rr | churn | burst)", s)
+	return 0, fmt.Errorf("workload: unknown kind %q (want bulk | rr | churn | burst | poisson | pareto | trace)", s)
 }
 
 // MarshalText encodes the kind as its canonical token.
 func (k Kind) MarshalText() ([]byte, error) {
 	switch k {
-	case Bulk, RequestResponse, Churn, Burst:
+	case Bulk, RequestResponse, Churn, Burst, Poisson, Pareto, Trace:
 		return []byte(k.String()), nil
 	}
 	return []byte(strconv.Itoa(int(k))), nil
@@ -94,6 +123,69 @@ func (k *Kind) UnmarshalText(b []byte) error {
 		return err
 	}
 	*k = v
+	return nil
+}
+
+// SizeDist selects the flow-size distribution of the open-loop kinds.
+// The zero value uses the fixed FlowSegs size, so configurations that
+// predate size distributions decode unchanged.
+type SizeDist int
+
+// Flow-size distributions.
+const (
+	// SizeFixed uses FlowSegs for every flow.
+	SizeFixed SizeDist = iota
+	// SizePareto draws Pareto(ParetoAlpha, FlowSegs) segments — a
+	// minimum-sized flow with a heavy tail.
+	SizePareto
+	// SizeWebSearch approximates the web-search flow-size CDF of the
+	// DCTCP lineage: mostly mid-sized flows, a modest heavy tail.
+	SizeWebSearch
+	// SizeDataMining approximates the data-mining CDF: overwhelmingly
+	// tiny flows and a tail of very large ones.
+	SizeDataMining
+)
+
+func (d SizeDist) String() string {
+	switch d {
+	case SizeFixed:
+		return "fixed"
+	case SizePareto:
+		return "pareto"
+	case SizeWebSearch:
+		return "websearch"
+	case SizeDataMining:
+		return "datamining"
+	default:
+		return fmt.Sprintf("SizeDist(%d)", int(d))
+	}
+}
+
+// ParseSizeDist parses a size-distribution token.
+func ParseSizeDist(s string) (SizeDist, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fixed", "":
+		return SizeFixed, nil
+	case "pareto":
+		return SizePareto, nil
+	case "websearch":
+		return SizeWebSearch, nil
+	case "datamining":
+		return SizeDataMining, nil
+	}
+	return 0, fmt.Errorf("workload: unknown size distribution %q (want fixed | pareto | websearch | datamining)", s)
+}
+
+// MarshalText encodes the distribution as its canonical token.
+func (d SizeDist) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText decodes a size-distribution token.
+func (d *SizeDist) UnmarshalText(b []byte) error {
+	v, err := ParseSizeDist(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
 	return nil
 }
 
@@ -118,6 +210,14 @@ type Spec struct {
 	BurstOn  sim.Time `json:"burst_on_ns,omitempty"`  // saturating period
 	BurstOff sim.Time `json:"burst_off_ns,omitempty"` // silent period
 
+	// Open-loop knobs (Poisson, Pareto, Trace). FlowSegs doubles as
+	// the fixed flow size (SizeFixed) and the Pareto size minimum.
+	FlowRate    float64  `json:"flow_rate,omitempty"`    // mean flow arrivals/s per modeled client
+	Clients     int      `json:"clients,omitempty"`      // modeled clients per endpoint (rate multiplier)
+	ParetoAlpha float64  `json:"pareto_alpha,omitempty"` // tail index for Pareto arrivals / sizes (>1)
+	SizeDist    SizeDist `json:"size_dist,omitempty"`    // flow-size distribution
+	TracePath   string   `json:"trace,omitempty"`        // Trace kind: CSV path (or mem: registry name)
+
 	// Seed offsets the per-endpoint jitter RNG streams; 0 uses the
 	// package default. Same seed ⇒ same traffic, always.
 	Seed uint64 `json:"seed,omitempty"`
@@ -134,6 +234,21 @@ const (
 	// DefaultFlowSegs is a churn flow's length (~11.6 KB: a small web
 	// object).
 	DefaultFlowSegs = 8
+	// DefaultClients is the modeled client population per endpoint.
+	DefaultClients = 1
+)
+
+// Default open-loop parameters.
+const (
+	// DefaultFlowRate is the mean open-loop arrival rate per modeled
+	// client, flows per second — moderate load on a GbE access link at
+	// the default flow size, leaving headroom to push into overload
+	// with Clients or FlowRate.
+	DefaultFlowRate = 400.0
+	// DefaultParetoAlpha is the heavy-tail index for Pareto arrivals
+	// and sizes: infinite variance (alpha < 2) with a finite mean
+	// (alpha > 1), the classic self-similar-traffic regime.
+	DefaultParetoAlpha = 1.5
 )
 
 // Default workload durations.
@@ -170,6 +285,20 @@ func (s Spec) Resolved(txHeavy, rxHeavy bool) Spec {
 	if r.Kind == Churn && r.FlowSegs == 0 {
 		r.FlowSegs = DefaultFlowSegs
 	}
+	if r.Kind == Poisson || r.Kind == Pareto || r.Kind == Trace {
+		if r.FlowSegs == 0 {
+			r.FlowSegs = DefaultFlowSegs
+		}
+		if r.FlowRate == 0 {
+			r.FlowRate = DefaultFlowRate
+		}
+		if r.Clients == 0 {
+			r.Clients = DefaultClients
+		}
+	}
+	if (r.Kind == Pareto || r.SizeDist == SizePareto) && r.ParetoAlpha == 0 {
+		r.ParetoAlpha = DefaultParetoAlpha
+	}
 	if r.Kind == Burst {
 		if r.BurstOn == 0 {
 			r.BurstOn = DefaultBurstOn
@@ -189,15 +318,32 @@ func (s Spec) Resolved(txHeavy, rxHeavy bool) Spec {
 // not.
 func (s Spec) Validate() error {
 	switch s.Kind {
-	case Bulk, RequestResponse, Churn, Burst:
+	case Bulk, RequestResponse, Churn, Burst, Poisson, Pareto, Trace:
 	default:
 		return fmt.Errorf("workload: unknown kind %v", s.Kind)
+	}
+	switch s.SizeDist {
+	case SizeFixed, SizePareto, SizeWebSearch, SizeDataMining:
+	default:
+		return fmt.Errorf("workload: unknown size distribution %v", s.SizeDist)
 	}
 	if s.RequestSegs < 0 || s.ResponseSegs < 0 || s.FlowSegs < 0 {
 		return fmt.Errorf("workload: negative message size in %+v", s)
 	}
 	if s.Think < 0 || s.FlowGap < 0 || s.BurstOn < 0 || s.BurstOff < 0 {
 		return fmt.Errorf("workload: negative duration in %+v", s)
+	}
+	if s.FlowRate < 0 || s.Clients < 0 {
+		return fmt.Errorf("workload: negative open-loop load in %+v", s)
+	}
+	if s.ParetoAlpha != 0 && s.ParetoAlpha <= 1 {
+		return fmt.Errorf("workload: ParetoAlpha must exceed 1 for a finite mean, got %g", s.ParetoAlpha)
+	}
+	if s.Kind == Trace && s.TracePath == "" {
+		return fmt.Errorf("workload: trace workload needs a trace path")
+	}
+	if s.Kind != Trace && s.TracePath != "" {
+		return fmt.Errorf("workload: trace path set on non-trace kind %v", s.Kind)
 	}
 	return nil
 }
@@ -234,6 +380,21 @@ func (s Spec) Suffix() string {
 	}
 	if s.BurstOff != 0 {
 		add("off", s.BurstOff.String())
+	}
+	if s.FlowRate != 0 {
+		add("rate", strconv.FormatFloat(s.FlowRate, 'g', -1, 64))
+	}
+	if s.Clients != 0 {
+		add("cl", strconv.Itoa(s.Clients))
+	}
+	if s.ParetoAlpha != 0 {
+		add("a", strconv.FormatFloat(s.ParetoAlpha, 'g', -1, 64))
+	}
+	if s.SizeDist != SizeFixed {
+		add("sz", s.SizeDist.String())
+	}
+	if s.TracePath != "" {
+		add("trace", path.Base(s.TracePath))
 	}
 	if s.Seed != 0 {
 		add("seed", strconv.FormatUint(s.Seed, 16))
